@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test bench examples experiments outputs clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+examples: build
+	go run ./examples/quickstart
+	go run ./examples/papergallery
+	go run ./examples/explorer
+	go run ./examples/fortune100 -sites 10
+	go run ./examples/doctor
+	go run ./examples/cigate
+
+# Regenerate every paper artifact (Tables 1-2, perf, ablation).
+experiments:
+	go run ./cmd/experiments
+
+# The archived outputs referenced from EXPERIMENTS.md.
+outputs:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,362 @@
+package webracer
+
+// Benchmark harness: one benchmark per evaluation artifact of the paper
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for a reference
+// run). Benchmarks report domain metrics (races, ops) via b.ReportMetric
+// alongside the usual ns/op.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"webracer/internal/hb"
+	"webracer/internal/loader"
+	"webracer/internal/race"
+	"webracer/internal/report"
+	"webracer/internal/sitegen"
+)
+
+// corpusSize keeps the corpus benchmarks affordable per iteration while
+// exercising every pattern (the full 100-site run is cmd/experiments).
+const corpusSize = 25
+
+func corpusGen(seed int64) func(int) *loader.Site {
+	return func(i int) *loader.Site { return sitegen.Generate(sitegen.SpecFor(seed, i)) }
+}
+
+// BenchmarkTable1 regenerates experiment E1: raw race counts over the
+// synthetic corpus, no filters (paper Table 1).
+func BenchmarkTable1(b *testing.B) {
+	races := 0
+	var t1 report.Table1
+	for i := 0; i < b.N; i++ {
+		results := RunCorpus(corpusSize, corpusGen(1), DefaultConfig(1))
+		counts := make([]report.Counts, len(results))
+		races = 0
+		for j, r := range results {
+			counts[j] = r.RawCounts
+			races += r.RawCounts.Total()
+		}
+		t1 = report.BuildTable1(counts)
+	}
+	b.ReportMetric(float64(races), "races")
+	b.ReportMetric(t1.Rows["All"].Mean, "mean-races/site")
+}
+
+// BenchmarkTable2 regenerates experiment E2: filtered races plus the
+// adversarial-replay harm oracle (paper Table 2).
+func BenchmarkTable2(b *testing.B) {
+	kept, harmful := 0, 0
+	for i := 0; i < b.N; i++ {
+		kept, harmful = 0, 0
+		cfg := DefaultConfig(1)
+		cfg.Filters = true
+		for s := 0; s < corpusSize; s++ {
+			site := corpusGen(1)(s)
+			c := cfg
+			c.Seed = cfg.Seed + int64(s)*101
+			res := Run(site, c)
+			h := ClassifyHarmful(site, c, res)
+			kept += len(res.Reports)
+			harmful += h.Total()
+		}
+	}
+	b.ReportMetric(float64(kept), "filtered-races")
+	b.ReportMetric(float64(harmful), "harmful-races")
+}
+
+// cpuPage is the SunSpider-flavoured CPU-bound workload of experiment E3.
+const cpuPage = `
+<script>
+function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+function work() {
+  var acc = 0;
+  for (var i = 0; i < 300; i++) { acc = acc + i * i % 7; }
+  var s = "";
+  for (var j = 0; j < 80; j++) { s = s + "x" + j; }
+  var arr = [];
+  for (var k = 0; k < 150; k++) { arr.push(k); }
+  var sum = 0;
+  for (var m = 0; m < arr.length; m++) { sum += arr[m]; }
+  return acc + s.length + sum + fib(13);
+}
+total = 0;
+for (var r = 0; r < 25; r++) { total = total + work(); }
+</script>`
+
+// BenchmarkOverheadDetectorOn measures the instrumented configuration of
+// experiment E3 (§6 Performance).
+func BenchmarkOverheadDetectorOn(b *testing.B) {
+	site := loader.NewSite("cpu").Add("index.html", cpuPage)
+	cfg := DefaultConfig(1)
+	cfg.Explore = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(site, cfg)
+	}
+}
+
+// BenchmarkOverheadDetectorOff is E3's baseline: the same interpreter and
+// browser with instrumentation disabled entirely (no hooks, no detector).
+func BenchmarkOverheadDetectorOff(b *testing.B) {
+	site := loader.NewSite("cpu").Add("index.html", cpuPage)
+	cfg := DefaultConfig(1)
+	cfg.Explore = false
+	cfg.Browser.NoInstrument = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(site, cfg)
+	}
+}
+
+// recordedCorpus runs a slice of the corpus once with trace recording, for
+// the replay ablations.
+func recordedCorpus(b *testing.B) []*Result {
+	b.Helper()
+	cfg := DefaultConfig(1)
+	cfg.RecordTrace = true
+	return RunCorpus(10, corpusGen(1), cfg)
+}
+
+// BenchmarkDetectorGraph is experiment E4's first arm: replaying recorded
+// traces against the paper's graph-reachability happens-before.
+func BenchmarkDetectorGraph(b *testing.B) {
+	results := recordedCorpus(b)
+	b.ResetTimer()
+	races := 0
+	for i := 0; i < b.N; i++ {
+		races = 0
+		for _, res := range results {
+			d := race.NewPairwise(res.Browser.HB)
+			races += len(race.Replay(res.Browser.Trace(), d))
+		}
+	}
+	b.ReportMetric(float64(races), "races")
+}
+
+// BenchmarkDetectorVC is E4's second arm: the vector-clock representation
+// the paper names as future work (construction included).
+func BenchmarkDetectorVC(b *testing.B) {
+	results := recordedCorpus(b)
+	b.ResetTimer()
+	races := 0
+	for i := 0; i < b.N; i++ {
+		races = 0
+		for _, res := range results {
+			clocks := hb.NewClocks(res.Browser.HB)
+			d := race.NewPairwise(clocks)
+			races += len(race.Replay(res.Browser.Trace(), d))
+		}
+	}
+	b.ReportMetric(float64(races), "races")
+}
+
+// BenchmarkDetectorLiveVC is E4's online arm: the whole pipeline running
+// with the incremental vector-clock oracle instead of the graph.
+func BenchmarkDetectorLiveVC(b *testing.B) {
+	races := 0
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(1)
+		cfg.Detector = DetectorPairwiseVC
+		races = 0
+		for s := 0; s < 10; s++ {
+			races += len(Run(corpusGen(1)(s), cfg).RawReports)
+		}
+	}
+	b.ReportMetric(float64(races), "races")
+}
+
+// BenchmarkDetectorLiveGraph is the matching graph-oracle arm over the
+// same 10 sites, full pipeline.
+func BenchmarkDetectorLiveGraph(b *testing.B) {
+	races := 0
+	for i := 0; i < b.N; i++ {
+		races = 0
+		for s := 0; s < 10; s++ {
+			races += len(Run(corpusGen(1)(s), DefaultConfig(1)).RawReports)
+		}
+	}
+	b.ReportMetric(float64(races), "races")
+}
+
+// BenchmarkDetectorAccessSet is experiment E5: the full-history detector
+// that fixes the §5.1 miss, on the same traces.
+func BenchmarkDetectorAccessSet(b *testing.B) {
+	results := recordedCorpus(b)
+	b.ResetTimer()
+	races := 0
+	for i := 0; i < b.N; i++ {
+		races = 0
+		for _, res := range results {
+			d := race.NewAccessSet(res.Browser.HB)
+			d.OnePerLoc = true
+			races += len(race.Replay(res.Browser.Trace(), d))
+		}
+	}
+	b.ReportMetric(float64(races), "races")
+}
+
+// figureBench runs one of the paper's figure pages end to end (F1–F5).
+func figureBench(b *testing.B, site *loader.Site, want report.Type) {
+	found := 0
+	for i := 0; i < b.N; i++ {
+		res := Run(site, DefaultConfig(1))
+		found = 0
+		for _, r := range res.Reports {
+			if report.Classify(r) == want {
+				found++
+			}
+		}
+		if found == 0 {
+			b.Fatalf("figure race not detected")
+		}
+	}
+	b.ReportMetric(float64(found), "races")
+}
+
+func BenchmarkFigure1IframeVariable(b *testing.B) {
+	figureBench(b, loader.NewSite("fig1").
+		Add("index.html", `<script>x = 1;</script>
+<iframe src="a.html"></iframe><iframe src="b.html"></iframe>`).
+		Add("a.html", `<script>x = 2;</script>`).
+		Add("b.html", `<script>alert(x);</script>`), report.Variable)
+}
+
+func BenchmarkFigure2FormValue(b *testing.B) {
+	figureBench(b, loader.NewSite("fig2").
+		Add("index.html", `<input type="text" id="depart" />
+<script>document.getElementById("depart").value = "City of Departure";</script>`),
+		report.Variable)
+}
+
+func BenchmarkFigure3HTML(b *testing.B) {
+	figureBench(b, loader.NewSite("fig3").
+		Add("index.html", `
+<script>function show() { var v = document.getElementById("dw"); v.style.display = "block"; }</script>
+<a href="javascript:show()">Send Email</a>
+<div id="dw" style="display:none"></div>`), report.HTML)
+}
+
+func BenchmarkFigure4Function(b *testing.B) {
+	figureBench(b, loader.NewSite("fig4").
+		Add("index.html", `
+<iframe id="i" src="sub.html" onload="setTimeout(doNextStep, 20)"></iframe>
+<script>function doNextStep() { done = 1; }</script>`).
+		Add("sub.html", `<p>sub</p>`), report.Function)
+}
+
+func BenchmarkFigure5EventDispatch(b *testing.B) {
+	figureBench(b, loader.NewSite("fig5").
+		Add("index.html", `
+<iframe id="i" src="a.html"></iframe>
+<script>document.getElementById("i").onload = function() { ran = 1; };</script>`).
+		Add("a.html", `<p>nested</p>`), report.EventDispatch)
+}
+
+// BenchmarkPageLoad measures raw simulated-browser throughput on a mid-size
+// synthetic page (ops/sec context for the §6 "tens of thousands of
+// operations in less than a minute" claim).
+func BenchmarkPageLoad(b *testing.B) {
+	site := sitegen.Generate(sitegen.SpecFor(1, 11)) // the Ford outlier: busiest page
+	cfg := DefaultConfig(1)
+	cfg.Explore = false
+	ops := 0
+	for i := 0; i < b.N; i++ {
+		res := Run(site, cfg)
+		ops = res.Ops
+	}
+	b.ReportMetric(float64(ops), "ops/page")
+}
+
+// BenchmarkExploration isolates the automatic-exploration pass (§5.2.2).
+func BenchmarkExploration(b *testing.B) {
+	site := sitegen.Generate(sitegen.SpecFor(1, 41)) // delayed-menu heavy page
+	for i := 0; i < b.N; i++ {
+		res := Run(site, DefaultConfig(1))
+		if res.ExploreStats.EventsDispatched == 0 {
+			b.Fatal("exploration dispatched nothing")
+		}
+	}
+}
+
+// BenchmarkExplorationExhaustive measures the Artemis-style feedback-
+// directed mode on the same page (deeper coverage, more rounds).
+func BenchmarkExplorationExhaustive(b *testing.B) {
+	site := sitegen.Generate(sitegen.SpecFor(1, 41))
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(1)
+		cfg.Exhaustive = true
+		res := Run(site, cfg)
+		rounds = res.ExploreStats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkAppendixAOrdering is the Appendix A design-choice ablation: the
+// paper leaves same-(phase,target) handlers unordered to expose more races;
+// this measures how many corpus races that choice accounts for.
+func BenchmarkAppendixAOrdering(b *testing.B) {
+	unordered, ordered := 0, 0
+	for i := 0; i < b.N; i++ {
+		unordered, ordered = 0, 0
+		for s := 0; s < 10; s++ {
+			site := corpusGen(1)(s)
+			cfg := DefaultConfig(1)
+			resU := Run(site, cfg)
+			unordered += len(resU.RawReports)
+			cfg.Browser.OrderSameTargetHandlers = true
+			resO := Run(site, cfg)
+			ordered += len(resO.RawReports)
+		}
+	}
+	b.ReportMetric(float64(unordered), "races-unordered")
+	b.ReportMetric(float64(ordered), "races-ordered")
+}
+
+// BenchmarkTimerClearExtension measures the §7 extension's cost and yield.
+func BenchmarkTimerClearExtension(b *testing.B) {
+	extra := 0
+	for i := 0; i < b.N; i++ {
+		extra = 0
+		for s := 0; s < 10; s++ {
+			site := corpusGen(1)(s)
+			cfg := DefaultConfig(1)
+			base := len(Run(site, cfg).RawReports)
+			cfg.Browser.InstrumentTimerClears = true
+			ext := len(Run(site, cfg).RawReports)
+			extra += ext - base
+		}
+	}
+	b.ReportMetric(float64(extra), "extra-races")
+}
+
+// BenchmarkSeedSweep measures multi-schedule aggregation (5 seeds over one
+// busy site) and reports schedule stability.
+func BenchmarkSeedSweep(b *testing.B) {
+	site := sitegen.Generate(sitegen.SpecFor(1, 40))
+	stable, flaky := 0, 0
+	for i := 0; i < b.N; i++ {
+		sweep := RunSeeds(site, DefaultConfig(1), 5)
+		s, f := sweep.Stable()
+		stable, flaky = len(s), len(f)
+	}
+	b.ReportMetric(float64(stable), "stable-locs")
+	b.ReportMetric(float64(flaky), "flaky-locs")
+}
+
+// BenchmarkHarmOracle isolates the adversarial-replay classification.
+func BenchmarkHarmOracle(b *testing.B) {
+	site := sitegen.Generate(sitegen.SpecFor(1, 7)) // Gomez archetype
+	cfg := DefaultConfig(1)
+	cfg.Filters = true
+	res := Run(site, cfg)
+	b.ResetTimer()
+	harmful := 0
+	for i := 0; i < b.N; i++ {
+		h := ClassifyHarmful(site, cfg, res)
+		harmful = h.Total()
+	}
+	b.ReportMetric(float64(harmful), "harmful")
+}

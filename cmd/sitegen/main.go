@@ -1,0 +1,67 @@
+// Command sitegen writes synthetic corpus sites to disk so they can be
+// inspected, edited, or fed back through cmd/webracer.
+//
+// Usage:
+//
+//	sitegen [-seed 1] [-sites 5] [-out ./corpus]
+//
+// Each site lands in <out>/site<NNN>/ with its index.html and external
+// resources; a SPEC.txt records the planted race patterns (the ground
+// truth the detector should find).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"webracer/internal/sitegen"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "corpus seed")
+		sites = flag.Int("sites", 5, "number of sites to emit")
+		out   = flag.String("out", "corpus", "output directory")
+	)
+	flag.Parse()
+	for i := 0; i < *sites; i++ {
+		spec := sitegen.SpecFor(*seed, i)
+		site := sitegen.Generate(spec)
+		dir := filepath.Join(*out, fmt.Sprintf("site%03d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := site.WriteDir(dir); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "SPEC.txt"), []byte(describe(spec)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%s)\n", dir, spec.Name)
+	}
+}
+
+func describe(s sitegen.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "site:            %s\n", s.Name)
+	fmt.Fprintf(&b, "HTML harmful:    %d (Fig. 3 unguarded lookups)\n", s.HTMLHarmful)
+	fmt.Fprintf(&b, "HTML benign:     %d (guarded delayed lookups)\n", s.HTMLBenign)
+	fmt.Fprintf(&b, "Ford polls:      %d (§6.3 benign poll pattern)\n", s.FordPolls)
+	fmt.Fprintf(&b, "func harmful:    %d (Fig. 4 handler → async decl)\n", s.FuncHarmful)
+	fmt.Fprintf(&b, "func benign:     %d (typeof-guarded)\n", s.FuncBenign)
+	fmt.Fprintf(&b, "form harmful:    %d (Fig. 2 hint overwrite)\n", s.FormHarmful)
+	fmt.Fprintf(&b, "form guarded:    %d (read-before-write)\n", s.FormGuarded)
+	fmt.Fprintf(&b, "plain variables: %d (raw-only counter races)\n", s.PlainVars)
+	fmt.Fprintf(&b, "Gomez images:    %d (§6.3 monitor races, harmful)\n", s.GomezImages)
+	fmt.Fprintf(&b, "delayed menus:   %d (benign dispatch races)\n", s.DelayedMenus)
+	fmt.Fprintf(&b, "iframe pairs:    %d (Fig. 1 variable races)\n", s.IframePairs)
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sitegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Command webracer runs the race detector over a web site stored on disk:
+// a directory whose files are the site's resources (index.html plus any
+// scripts, frames and images it references by relative URL).
+//
+// Usage:
+//
+//	webracer [flags] <site-dir>
+//
+//	-entry index.html   entry page
+//	-seed 1             simulation seed
+//	-explore            automatic exploration after load (default true)
+//	-filters            apply the §5.3 report filters
+//	-harm               classify harmful races via the adversarial replay
+//	-detector pairwise  pairwise | accessset
+//	-v                  also print page errors and console output
+//
+// Exit status is 1 when races are found (useful in CI for your own site).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webracer"
+	"webracer/internal/loader"
+	"webracer/internal/report"
+)
+
+func main() {
+	var (
+		entry    = flag.String("entry", "index.html", "entry page within the site directory")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		expl     = flag.Bool("explore", true, "simulate user interactions after load (§5.2.2)")
+		filters  = flag.Bool("filters", false, "apply the §5.3 report filters")
+		harm     = flag.Bool("harm", false, "classify harmful races (adversarial replay)")
+		detector = flag.String("detector", "pairwise", "race detector: pairwise | accessset")
+		verbose  = flag.Bool("v", false, "print page errors and console output")
+		dotFile  = flag.String("dot", "", "write the happens-before graph in Graphviz DOT form to this file")
+		jsonFile = flag.String("json", "", "write the full session (ops, edges, races) as JSON to this file")
+		long     = flag.Bool("long", false, "detailed multi-line report format")
+		advise   = flag.Bool("advise", false, "print a suggested remediation for each race")
+		exhaust  = flag.Bool("exhaustive", false, "feedback-directed exploration rounds (deeper than §5.2.2)")
+		seeds    = flag.Int("seeds", 1, "run under N seeds and report the union of races")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: webracer [flags] <site-dir>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+	site, err := loader.LoadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webracer:", err)
+		os.Exit(2)
+	}
+
+	cfg := webracer.Config{
+		Seed:       *seed,
+		Explore:    *expl,
+		Exhaustive: *exhaust,
+		Filters:    *filters,
+		EntryURL:   *entry,
+	}
+	switch *detector {
+	case "pairwise":
+	case "accessset":
+		cfg.Detector = webracer.DetectorAccessSet
+	default:
+		fmt.Fprintf(os.Stderr, "webracer: unknown detector %q\n", *detector)
+		os.Exit(2)
+	}
+
+	res := webracer.Run(site, cfg)
+	var harmful *webracer.Harm
+	if *harm {
+		harmful = webracer.ClassifyHarmful(site, cfg, res)
+	}
+	if *seeds > 1 {
+		sweep := webracer.RunSeeds(site, cfg, *seeds)
+		stable, flaky := sweep.Stable()
+		fmt.Printf("seed sweep (%d seeds): %d location(s) stable, %d schedule-dependent\n",
+			*seeds, len(stable), len(flaky))
+		for _, loc := range flaky {
+			fmt.Printf("  schedule-dependent: %s (%d/%d seeds)\n",
+				loc, sweep.Locations[loc], sweep.Seeds)
+		}
+	}
+
+	fmt.Printf("%s: %d operations, %d race(s)", dir, res.Ops, len(res.Reports))
+	if *filters {
+		fmt.Printf(" after filtering (%d raw)", len(res.RawReports))
+	}
+	fmt.Println()
+	if *long {
+		var hf []bool
+		if harmful != nil {
+			hf = harmful.Harmful
+		}
+		if err := report.Format(os.Stdout, res.Reports, res.Browser.Ops, hf); err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+		}
+	} else {
+		for i, r := range res.Reports {
+			tag := ""
+			if harmful != nil && harmful.Harmful[i] {
+				tag = "  [HARMFUL]"
+			}
+			fmt.Printf("  %-14s %s%s\n", report.Classify(r).String()+":", r, tag)
+			if *advise {
+				fmt.Printf("     fix: %s\n", report.Advise(r))
+			}
+		}
+	}
+	if *jsonFile != "" {
+		f, err := os.Create(*jsonFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+			os.Exit(2)
+		}
+		sess := webracer.Export(res, *seed, harmful, false)
+		if err := sess.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+		}
+		f.Close()
+		fmt.Printf("session written to %s\n", *jsonFile)
+	}
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+			os.Exit(2)
+		}
+		if err := res.Browser.HB.WriteDOT(f, res.Browser.Ops); err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+		}
+		f.Close()
+		fmt.Printf("happens-before graph written to %s\n", *dotFile)
+	}
+	if harmful != nil {
+		for _, ev := range harmful.Evidence {
+			fmt.Println("  evidence:", ev)
+		}
+	}
+	if *verbose {
+		for _, e := range res.Errors {
+			fmt.Println("  page error:", e)
+		}
+		for _, line := range res.Browser.Console {
+			fmt.Println("  console:", line)
+		}
+		st := res.Browser.Stats()
+		fmt.Printf("  stats: %d ops, %d hb-edges, %d tasks, %.1fms virtual, %d window(s), %d fetch(es)\n",
+			st.Ops, st.Edges, st.TasksRun, st.VirtualTime, st.Windows, st.Fetches)
+	}
+	if len(res.Reports) > 0 {
+		os.Exit(1)
+	}
+}

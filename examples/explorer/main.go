@@ -1,0 +1,70 @@
+// Explorer demonstrates the effect of automatic exploration (§5.2.2): the
+// same page is analyzed twice, once with a passive load and once with
+// simulated user interaction, showing which races only a user can expose —
+// exactly the paper's observation that "our automatic exploration was key
+// to exposing these races."
+//
+//	go run ./examples/explorer
+package main
+
+import (
+	"fmt"
+
+	"webracer"
+	"webracer/internal/loader"
+	"webracer/internal/report"
+)
+
+func site() *loader.Site {
+	return loader.NewSite("interactive-shop").
+		Add("index.html", `
+<html><body>
+  <input type="text" id="q" placeholder="search" />
+  <div id="nav" onmouseover="openDropdown();">Departments</div>
+  <a href="javascript:openCart()">Cart</a>
+
+  <p>featured products ...</p>
+
+  <script src="widgets.js" async="true"></script>
+  <script>
+    function openCart() {
+      var panel = document.getElementById("cartpanel");
+      panel.style.display = "block";
+    }
+    document.getElementById("q").value = "search our store";
+  </script>
+
+  <div id="cartpanel" style="display:none">cart contents</div>
+</body></html>`).
+		Add("widgets.js", `function openDropdown() { dropdownOpen = 1; }`)
+}
+
+func main() {
+	passive := webracer.Config{Seed: 1, Explore: false}
+	active := webracer.DefaultConfig(1)
+
+	quiet := webracer.Run(site(), passive)
+	loud := webracer.Run(site(), active)
+
+	fmt.Printf("passive load:         %d race(s)\n", len(quiet.Reports))
+	for _, r := range quiet.Reports {
+		fmt.Printf("   %-13s %s\n", report.Classify(r), r.Loc)
+	}
+	fmt.Printf("\nwith exploration:     %d race(s)  (%d events, %d links, %d fields)\n",
+		len(loud.Reports), loud.ExploreStats.EventsDispatched,
+		loud.ExploreStats.LinksClicked, loud.ExploreStats.FieldsTyped)
+	for _, r := range loud.Reports {
+		fmt.Printf("   %-13s %s\n", report.Classify(r), r.Loc)
+	}
+
+	fmt.Println("\nraces only user interaction exposes:")
+	seen := map[string]bool{}
+	for _, r := range quiet.Reports {
+		seen[r.Loc.String()] = true
+	}
+	for _, r := range loud.Reports {
+		if !seen[r.Loc.String()] {
+			fmt.Printf("   %-13s %s\n", report.Classify(r), r.Loc)
+		}
+	}
+}

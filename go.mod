@@ -1,0 +1,3 @@
+module webracer
+
+go 1.22

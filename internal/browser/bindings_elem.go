@@ -1,0 +1,600 @@
+package browser
+
+import (
+	"strings"
+
+	"webracer/internal/dom"
+	"webracer/internal/html"
+	"webracer/internal/js"
+	"webracer/internal/mem"
+	"webracer/internal/op"
+)
+
+// NodeValue returns the (cached) script wrapper for a DOM node, or Null.
+func (w *Window) NodeValue(n *dom.Node) js.Value {
+	if n == nil {
+		return js.Null
+	}
+	if v, ok := w.elemObjs[n]; ok {
+		return v
+	}
+	o := w.It.NewObject("HTMLElement")
+	o.Host = &elemHost{w: w, n: n}
+	v := js.ObjectVal(o)
+	w.elemObjs[n] = v
+	return v
+}
+
+// elemHost gives DOM node wrappers their live behavior: reflected
+// attributes, form field state, handler slots, structural accessors and
+// mutation methods — each instrumented per the §4 memory model.
+type elemHost struct {
+	w *Window
+	n *dom.Node
+	// style caches the style sub-object.
+	style js.Value
+}
+
+// reflectedAttrs are attributes exposed 1:1 as properties.
+var reflectedAttrs = map[string]bool{
+	"id": true, "src": true, "href": true, "name": true, "type": true,
+	"title": true, "alt": true, "rel": true, "action": true, "method": true,
+	"placeholder": true, "content": true,
+}
+
+func (h *elemHost) HostGet(it *js.Interp, name string) (js.Value, bool, error) {
+	w, n, b := h.w, h.n, h.w.b
+	switch name {
+	case "value":
+		if n.IsFormField() {
+			b.Access(mem.Read, mem.VarLoc(n.Serial, "value"), mem.CtxFormField, n.String()+".value")
+			return js.Str(n.Value), true, nil
+		}
+		return js.Str(n.Attrs["value"]), true, nil
+	case "checked":
+		b.Access(mem.Read, mem.VarLoc(n.Serial, "checked"), mem.CtxFormField, n.String()+".checked")
+		return js.Boolean(n.Checked), true, nil
+	case "style":
+		if h.style.Kind == js.KindUndefined {
+			so := it.NewObject("CSSStyleDeclaration")
+			so.Host = &styleHost{w: w, n: n}
+			h.style = js.ObjectVal(so)
+		}
+		return h.style, true, nil
+	case "parentNode", "parentElement":
+		b.Access(mem.Read, mem.VarLoc(n.Serial, "parentNode"), mem.CtxPlain, n.String()+".parentNode")
+		return w.NodeValue(n.Parent), true, nil
+	case "childNodes", "children":
+		b.Access(mem.Read, mem.VarLoc(n.Serial, "childNodes"), mem.CtxPlain, n.String()+".childNodes")
+		arr := it.NewArray()
+		for _, k := range n.Kids {
+			if name == "children" && k.Tag == "#text" {
+				continue
+			}
+			arr.Elems = append(arr.Elems, w.NodeValue(k))
+		}
+		return js.ObjectVal(arr), true, nil
+	case "firstChild":
+		b.Access(mem.Read, mem.VarLoc(n.Serial, "childNodes"), mem.CtxPlain, n.String()+".firstChild")
+		if len(n.Kids) == 0 {
+			return js.Null, true, nil
+		}
+		return w.NodeValue(n.Kids[0]), true, nil
+	case "lastChild":
+		b.Access(mem.Read, mem.VarLoc(n.Serial, "childNodes"), mem.CtxPlain, n.String()+".lastChild")
+		if len(n.Kids) == 0 {
+			return js.Null, true, nil
+		}
+		return w.NodeValue(n.Kids[len(n.Kids)-1]), true, nil
+	case "tagName", "nodeName":
+		return js.Str(strings.ToUpper(n.Tag)), true, nil
+	case "nodeType":
+		if n.Tag == "#text" {
+			return js.Number(3), true, nil
+		}
+		return js.Number(1), true, nil
+	case "data", "nodeValue":
+		if n.Tag == "#text" {
+			return js.Str(n.Text), true, nil
+		}
+		return js.Null, true, nil
+	case "innerHTML":
+		b.Access(mem.Read, mem.VarLoc(n.Serial, "childNodes"), mem.CtxPlain, n.String()+".innerHTML")
+		var sb strings.Builder
+		for _, k := range n.Kids {
+			sb.WriteString(k.OuterHTML())
+		}
+		return js.Str(sb.String()), true, nil
+	case "textContent", "innerText":
+		b.Access(mem.Read, mem.VarLoc(n.Serial, "childNodes"), mem.CtxPlain, n.String()+".textContent")
+		var sb strings.Builder
+		n.Walk(func(m *dom.Node) {
+			if m.Tag == "#text" {
+				sb.WriteString(m.Text)
+			}
+		})
+		return js.Str(sb.String()), true, nil
+	case "ownerDocument":
+		return w.docObj, true, nil
+	case "contentWindow", "contentDocument":
+		if n.Tag != "iframe" {
+			return js.Undefined, false, nil
+		}
+		child := w.b.windowForFrame(n)
+		if child == nil {
+			return js.Null, true, nil
+		}
+		if name == "contentWindow" {
+			return child.winObj, true, nil
+		}
+		return child.docObj, true, nil
+	case "offsetWidth", "offsetHeight", "clientWidth", "clientHeight", "scrollTop", "scrollLeft":
+		return js.Number(0), true, nil
+	case "className":
+		b.Access(mem.Read, mem.VarLoc(n.Serial, "className"), mem.CtxPlain, n.String()+".className")
+		return js.Str(n.Attrs["class"]), true, nil
+	case "appendChild":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			child, err := argNode(w, args, 0, "appendChild")
+			if err != nil {
+				return js.Undefined, err
+			}
+			w.insertChild(n, child, nil)
+			return w.NodeValue(child), nil
+		}), true, nil
+	case "insertBefore":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			child, err := argNode(w, args, 0, "insertBefore")
+			if err != nil {
+				return js.Undefined, err
+			}
+			var ref *dom.Node
+			if len(args) > 1 && !args[1].IsNullish() {
+				ref, err = argNode(w, args, 1, "insertBefore")
+				if err != nil {
+					return js.Undefined, err
+				}
+			}
+			w.insertChild(n, child, ref)
+			return w.NodeValue(child), nil
+		}), true, nil
+	case "removeChild":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			child, err := argNode(w, args, 0, "removeChild")
+			if err != nil {
+				return js.Undefined, err
+			}
+			wasInDoc := child.InDoc
+			if n.RemoveChild(child) >= 0 && wasInDoc {
+				w.instrumentRemove(child, n)
+			}
+			return w.NodeValue(child), nil
+		}), true, nil
+	case "setAttribute":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			if len(args) < 2 {
+				return js.Undefined, nil
+			}
+			w.setElemProp(n, args[0].ToString(), args[1])
+			return js.Undefined, nil
+		}), true, nil
+	case "getAttribute":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			if len(args) < 1 {
+				return js.Null, nil
+			}
+			an := args[0].ToString()
+			b.Access(mem.Read, mem.VarLoc(n.Serial, an), mem.CtxPlain, n.String()+"."+an)
+			if v, ok := n.Attrs[an]; ok {
+				return js.Str(v), nil
+			}
+			return js.Null, nil
+		}), true, nil
+	case "hasAttribute":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			if len(args) < 1 {
+				return js.False, nil
+			}
+			_, ok := n.Attrs[args[0].ToString()]
+			return js.Boolean(ok), nil
+		}), true, nil
+	case "addEventListener":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			w.addEventListener(n, args)
+			return js.Undefined, nil
+		}), true, nil
+	case "removeEventListener":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			w.removeEventListener(n, args)
+			return js.Undefined, nil
+		}), true, nil
+	case "click", "focus", "blur":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			// Inline event dispatch: splits the current operation
+			// (Appendix A).
+			res := w.InlineDispatch(n, name, DispatchOpts{Detail: "inline"})
+			if name == "click" && !res.DefaultPrevented {
+				w.runDefaultAction(n, "click")
+			}
+			return js.Undefined, nil
+		}), true, nil
+	case "dispatchEvent":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			if len(args) == 0 {
+				return js.False, nil
+			}
+			ev := "custom"
+			if args[0].Kind == js.KindString {
+				ev = args[0].Str
+			} else if args[0].Kind == js.KindObject {
+				if t, ok := args[0].Obj.GetProp("type"); ok {
+					ev = t.ToString()
+				}
+			}
+			w.InlineDispatch(n, ev, DispatchOpts{Detail: "dispatchEvent"})
+			return js.True, nil
+		}), true, nil
+	case "cloneNode":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			deep := len(args) > 0 && args[0].Truthy()
+			clone := cloneNode(w, n, deep)
+			w.b.createOps[clone] = w.b.curOp
+			return w.NodeValue(clone), nil
+		}), true, nil
+	case "getElementsByTagName":
+		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			if len(args) == 0 {
+				return js.ObjectVal(it.NewArray()), nil
+			}
+			tag := strings.ToLower(args[0].ToString())
+			arr := it.NewArray()
+			n.Walk(func(m *dom.Node) {
+				if m != n && m.Tag == tag {
+					b.Access(mem.Read, w.elemLoc(m), mem.CtxElemLookup, "getElementsByTagName")
+					arr.Elems = append(arr.Elems, w.NodeValue(m))
+				}
+			})
+			return js.ObjectVal(arr), nil
+		}), true, nil
+	}
+	if strings.HasPrefix(name, "on") && len(name) > 2 {
+		event := name[2:]
+		b.Access(mem.Read, mem.HandlerLoc(n.Serial, event, 0), mem.CtxHandlerFire, n.String()+"."+name)
+		for _, l := range n.Listeners(event) {
+			if l.HandlerID == 0 {
+				if v, ok := l.Fn.(js.Value); ok {
+					return v, true, nil
+				}
+				if s, ok := l.Fn.(string); ok {
+					return js.Str(s), true, nil
+				}
+			}
+		}
+		return js.Null, true, nil
+	}
+	if reflectedAttrs[name] {
+		b.Access(mem.Read, mem.VarLoc(n.Serial, name), mem.CtxPlain, n.String()+"."+name)
+		return js.Str(n.Attrs[name]), true, nil
+	}
+	return js.Undefined, false, nil
+}
+
+func (h *elemHost) HostSet(it *js.Interp, name string, v js.Value) (bool, error) {
+	w, n := h.w, h.n
+	switch name {
+	case "value":
+		if n.IsFormField() {
+			w.b.Access(mem.Write, mem.VarLoc(n.Serial, "value"), mem.CtxFormField, n.String()+".value=")
+			n.Value = v.ToString()
+			return true, nil
+		}
+	case "checked":
+		w.b.Access(mem.Write, mem.VarLoc(n.Serial, "checked"), mem.CtxFormField, n.String()+".checked=")
+		n.Checked = v.Truthy()
+		return true, nil
+	case "innerHTML":
+		w.setInnerHTML(n, v.ToString())
+		return true, nil
+	case "textContent", "innerText":
+		w.b.Access(mem.Write, mem.VarLoc(n.Serial, "childNodes"), mem.CtxPlain, n.String()+".textContent=")
+		for len(n.Kids) > 0 {
+			n.RemoveChild(n.Kids[0])
+		}
+		n.AppendChild(n.Doc.NewText(v.ToString()))
+		return true, nil
+	case "className":
+		w.b.Access(mem.Write, mem.VarLoc(n.Serial, "className"), mem.CtxPlain, n.String()+".className=")
+		n.Attrs["class"] = v.ToString()
+		return true, nil
+	}
+	if strings.HasPrefix(name, "on") && len(name) > 2 {
+		w.setHandlerSlot(n, name[2:], v)
+		return true, nil
+	}
+	if reflectedAttrs[name] {
+		w.setElemProp(n, name, v)
+		return true, nil
+	}
+	return false, nil
+}
+
+// setHandlerSlot assigns the on-event property: the §4.3 slot-0 write.
+func (w *Window) setHandlerSlot(n *dom.Node, event string, v js.Value) {
+	target := n
+	if n.Tag == "body" && (event == "load" || event == "unload") {
+		target = w.winNode
+	}
+	w.b.Access(mem.Write, mem.HandlerLoc(target.Serial, event, 0), mem.CtxHandlerAdd,
+		n.String()+".on"+event+"=")
+	var fn any
+	if v.IsCallable() {
+		fn = v
+	} else if v.Kind == js.KindString {
+		fn = v.Str
+	} else {
+		fn = nil
+	}
+	target.AddListener(event, &dom.Listener{HandlerID: 0, Fn: fn})
+}
+
+// setElemProp writes a reflected attribute, triggering resource activation
+// when src is set on script/img/iframe elements.
+func (w *Window) setElemProp(n *dom.Node, name string, v js.Value) {
+	b := w.b
+	if strings.HasPrefix(name, "on") && len(name) > 2 {
+		// setAttribute("onclick", "code")
+		b.Access(mem.Write, mem.HandlerLoc(n.Serial, name[2:], 0), mem.CtxHandlerAdd,
+			"setAttribute "+name)
+		n.AddListener(name[2:], &dom.Listener{HandlerID: 0, Fn: v.ToString()})
+		return
+	}
+	b.Access(mem.Write, mem.VarLoc(n.Serial, name), mem.CtxPlain, n.String()+"."+name+"=")
+	if name == "id" {
+		w.reindexID(n, v.ToString())
+	} else {
+		n.Attrs[name] = v.ToString()
+	}
+	if name == "src" {
+		w.activateBySrc(n)
+	}
+}
+
+// reindexID updates the id attribute, keeping getElementById consistent.
+func (w *Window) reindexID(n *dom.Node, id string) {
+	if n.InDoc && n.Parent != nil {
+		parent := n.Parent
+		idx := parent.Index(n)
+		parent.RemoveChild(n)
+		n.Attrs["id"] = id
+		var ref *dom.Node
+		if idx < len(parent.Kids) {
+			ref = parent.Kids[idx]
+		}
+		parent.InsertBefore(n, ref)
+		return
+	}
+	n.Attrs["id"] = id
+}
+
+// insertChild performs a dynamic insertion (appendChild/insertBefore):
+// the §4.2 element write plus structural property writes, then resource
+// activation for scripts, images and iframes in the inserted subtree.
+// Moving an in-document node counts as remove + insert, which is why moves
+// can race with lookups (§7 discusses this very choice).
+func (w *Window) insertChild(parent, child *dom.Node, ref *dom.Node) {
+	if child.InDoc && child.Parent != nil {
+		old := child.Parent
+		old.RemoveChild(child)
+		w.instrumentRemove(child, old)
+	}
+	parent.InsertBefore(child, ref)
+	if child.InDoc {
+		child.Walk(func(m *dom.Node) { m.Inserted = false })
+		w.instrumentInsert(child, parent)
+		w.activateSubtree(child)
+	} else {
+		// Insertion into a detached tree still writes structure.
+		w.b.Access(mem.Write, mem.VarLoc(parent.Serial, "childNodes"), mem.CtxPlain, "insert detached")
+		w.b.Access(mem.Write, mem.VarLoc(child.Serial, "parentNode"), mem.CtxPlain, "insert detached")
+	}
+}
+
+// activateSubtree triggers loading behavior for scripts, images and iframes
+// that just entered the document.
+func (w *Window) activateSubtree(root *dom.Node) {
+	var pending []*dom.Node
+	root.Walk(func(m *dom.Node) {
+		switch m.Tag {
+		case "script", "img", "iframe":
+			pending = append(pending, m)
+		}
+	})
+	for _, m := range pending {
+		w.activateBySrc(m)
+	}
+}
+
+// activateBySrc starts the load behavior of a script/img/iframe node when
+// its src is available. Scripts run at most once.
+func (w *Window) activateBySrc(n *dom.Node) {
+	b := w.b
+	switch n.Tag {
+	case "script":
+		if n.Attrs["__ran__"] != "" {
+			return
+		}
+		src := n.Attrs["src"]
+		inline := scriptText(n)
+		switch {
+		case src != "" && n.InDoc:
+			n.Attrs["__ran__"] = "1"
+			w.loadInsertedScript(n, src)
+		case src == "" && inline != "" && n.InDoc:
+			// Script-inserted inline scripts execute synchronously
+			// within the inserting operation (§3.3): no new op.
+			n.Attrs["__ran__"] = "1"
+			w.runScript(inline, "script-inserted inline")
+		}
+	case "img":
+		w.maybeLoadImage(n, b.curOp)
+	case "iframe":
+		if src := n.Attrs["src"]; src != "" && n.InDoc && n.Attrs["__loading__"] == "" {
+			n.Attrs["__loading__"] = "1"
+			w.handleIframe(n, b.curOp)
+		}
+	}
+}
+
+// loadInsertedScript loads and runs a script-inserted external script:
+// asynchronous semantics (§3.3 — ordered only by rules 2, 3 and 15).
+func (w *Window) loadInsertedScript(n *dom.Node, src string) {
+	b := w.b
+	creator := b.curOp
+	blocking := !w.loadFired
+	if blocking {
+		w.blockers++
+	}
+	w.fetchScript(n, src, func(body string, ok bool) {
+		if !ok {
+			if blocking {
+				w.resourceDone(op.None)
+			}
+			return
+		}
+		exe := b.newOp(op.KindScript, "exe inserted "+src)
+		b.HB.Edge(creator, exe) // HB rule 2: create(E) ⇝ exe(E)
+		b.withOp(exe, func() { w.runScript(body, src) })
+		ld := w.fireScriptLoad(n, exe)
+		if blocking {
+			w.resourceDone(ld.Last)
+		}
+	})
+}
+
+// setInnerHTML replaces a node's children with parsed markup. Scripts
+// inserted via innerHTML do not execute (matching real browsers); images
+// and iframes do load.
+func (w *Window) setInnerHTML(n *dom.Node, markup string) {
+	b := w.b
+	b.Access(mem.Write, mem.VarLoc(n.Serial, "childNodes"), mem.CtxPlain, n.String()+".innerHTML=")
+	for len(n.Kids) > 0 {
+		child := n.Kids[0]
+		wasInDoc := child.InDoc
+		n.RemoveChild(child)
+		if wasInDoc {
+			w.instrumentRemove(child, n)
+		}
+	}
+	for _, frag := range html.ParseFragment(w.Doc, markup) {
+		n.AppendChild(frag)
+		if n.InDoc {
+			w.instrumentInsert(frag, n)
+			frag.Walk(func(m *dom.Node) {
+				if m.Tag == "img" || m.Tag == "iframe" {
+					w.activateBySrc(m)
+				}
+			})
+		}
+	}
+}
+
+func argNode(w *Window, args []js.Value, i int, what string) (*dom.Node, error) {
+	if i >= len(args) || args[i].Kind != js.KindObject {
+		return nil, jsTypeError(what + ": argument is not a node")
+	}
+	h, ok := args[i].Obj.Host.(*elemHost)
+	if !ok {
+		return nil, jsTypeError(what + ": argument is not a node")
+	}
+	return h.n, nil
+}
+
+func jsTypeError(msg string) error { return &js.Error{Kind: "TypeError", Msg: msg} }
+
+// cloneNode copies a node (detached). Listeners do not transfer, matching
+// the DOM specification; the clone re-enters instrumentation only when it
+// is inserted.
+func cloneNode(w *Window, n *dom.Node, deep bool) *dom.Node {
+	c := w.Doc.NewNode(n.Tag)
+	if n.Tag == "#text" {
+		c.Text = n.Text
+	}
+	for k, v := range n.Attrs {
+		if strings.HasPrefix(k, "__") {
+			continue // internal bookkeeping attrs stay behind
+		}
+		c.Attrs[k] = v
+	}
+	c.Value, c.Checked = n.Value, n.Checked
+	if deep {
+		for _, kid := range n.Kids {
+			c.AppendChild(cloneNode(w, kid, true))
+		}
+	}
+	return c
+}
+
+// scriptText returns a script element's source: the Text the parser stored,
+// or the concatenated text children for dynamically built scripts.
+func scriptText(n *dom.Node) string {
+	if n.Text != "" {
+		return n.Text
+	}
+	var sb strings.Builder
+	for _, k := range n.Kids {
+		if k.Tag == "#text" {
+			sb.WriteString(k.Text)
+		}
+	}
+	return sb.String()
+}
+
+// addEventListener implements the §4.3 (el, e, h) write for explicit
+// listener registration.
+func (w *Window) addEventListener(n *dom.Node, args []js.Value) {
+	if len(args) < 2 || !args[1].IsCallable() {
+		return
+	}
+	event := args[0].ToString()
+	capture := len(args) > 2 && args[2].Truthy()
+	fn := args[1]
+	h := fn.Obj.Fn.Serial
+	target := n
+	w.b.Access(mem.Write, mem.HandlerLoc(target.Serial, event, h), mem.CtxHandlerAdd,
+		"addEventListener "+event)
+	target.AddListener(event, &dom.Listener{HandlerID: h, Fn: fn, Capture: capture})
+}
+
+func (w *Window) removeEventListener(n *dom.Node, args []js.Value) {
+	if len(args) < 2 || !args[1].IsCallable() {
+		return
+	}
+	event := args[0].ToString()
+	h := args[1].Obj.Fn.Serial
+	w.b.Access(mem.Write, mem.HandlerLoc(n.Serial, event, h), mem.CtxHandlerRemove,
+		"removeEventListener "+event)
+	n.RemoveListener(event, h)
+}
+
+// styleHost instruments style.* accesses as properties of the element
+// (style.display is the load-bearing one: Fig. 3 flips it to show a form).
+type styleHost struct {
+	w *Window
+	n *dom.Node
+}
+
+func (h *styleHost) HostGet(it *js.Interp, name string) (js.Value, bool, error) {
+	h.w.b.Access(mem.Read, mem.VarLoc(h.n.Serial, "style."+name), mem.CtxPlain,
+		h.n.String()+".style."+name)
+	if v, ok := h.n.Attrs["style."+name]; ok {
+		return js.Str(v), true, nil
+	}
+	return js.Str(""), true, nil
+}
+
+func (h *styleHost) HostSet(it *js.Interp, name string, v js.Value) (bool, error) {
+	h.w.b.Access(mem.Write, mem.VarLoc(h.n.Serial, "style."+name), mem.CtxPlain,
+		h.n.String()+".style."+name+"=")
+	h.n.Attrs["style."+name] = v.ToString()
+	return true, nil
+}

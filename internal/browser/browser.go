@@ -1,0 +1,382 @@
+// Package browser is the simulated single-threaded browser WebRacer
+// instruments: an event loop over virtual time that interleaves incremental
+// HTML parsing, script execution, timer callbacks, simulated network
+// completions and (simulated) user events — the environmental asynchrony
+// that produces the paper's races (§2.1).
+//
+// The browser is where the happens-before rules of §3.3 are materialized:
+// every operation the page performs is registered in an op.Table, the rules
+// add edges to an hb.Graph at the named sites below (grep "HB rule"), and
+// every shared-memory access of §4 is forwarded to the race detector
+// stamped with the current operation.
+package browser
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"webracer/internal/dom"
+	"webracer/internal/hb"
+	"webracer/internal/loader"
+	"webracer/internal/mem"
+	"webracer/internal/op"
+	"webracer/internal/race"
+)
+
+// Config tunes a simulated browsing session.
+type Config struct {
+	// Seed drives every random choice (network latencies, Math.random).
+	Seed int64
+	// Latency is the network model; zero value means loader.DefaultLatency.
+	Latency loader.Latency
+	// ParseStepCost is the virtual milliseconds consumed parsing one
+	// element (models CPU speed; default 0.2).
+	ParseStepCost float64
+	// MaxTasks bounds event-loop turns (runaway guard; default 200000).
+	MaxTasks int
+	// MaxVirtualTime stops the session after this many virtual ms
+	// (default 120000).
+	MaxVirtualTime float64
+	// MaxIntervalTicks bounds how many times one setInterval fires
+	// (real pages poll forever; WebRacer's operator closed the page —
+	// default 25).
+	MaxIntervalTicks int
+	// SharedFrameGlobals makes the global variables of nested frames
+	// share the parent's logical location space, matching the paper's
+	// Fig. 1 model of cross-frame variable races. Default true; see
+	// DESIGN.md.
+	SharedFrameGlobals bool
+	// ReportAll disables the at-most-one-race-per-location cap.
+	ReportAll bool
+	// NoInstrument disables memory-access instrumentation entirely
+	// (the interpreter runs without hooks and the browser performs no
+	// detector work). It is the uninstrumented baseline of the §6
+	// performance experiment; races cannot be detected in this mode.
+	NoInstrument bool
+	// InstrumentTimerClears enables the extension the paper leaves as
+	// future work (§7): clearTimeout/clearInterval may race with the
+	// execution of the handler they try to cancel. When set, each timer
+	// gets a logical location written by setTimeout/clear* and read by
+	// the callback's execution, so a concurrent clear is reported.
+	InstrumentTimerClears bool
+	// OrderSameTargetHandlers adds happens-before edges between handlers
+	// of the same (phase, target) group within one dispatch, in their
+	// execution order. The paper leaves them unordered ("with fewer
+	// happens-before edges, more possible races are exposed"); this flag
+	// is the other side of that Appendix A design choice, exposed for
+	// the ablation experiment.
+	OrderSameTargetHandlers bool
+	// RecordTrace captures the access trace for replay (experiment E4).
+	RecordTrace bool
+	// Detector overrides the default Pairwise detector. It receives the
+	// browser's happens-before graph.
+	Detector func(*hb.Graph) race.Detector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Latency.Base == 0 && c.Latency.Jitter == 0 && c.Latency.PerURL == nil {
+		c.Latency = loader.DefaultLatency()
+	}
+	if c.ParseStepCost == 0 {
+		c.ParseStepCost = 0.2
+	}
+	if c.MaxTasks == 0 {
+		c.MaxTasks = 200_000
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = 120_000
+	}
+	if c.MaxIntervalTicks == 0 {
+		c.MaxIntervalTicks = 25
+	}
+	return c
+}
+
+// PageError is a script crash or load failure observed during the session.
+// Hidden crashes are first-class data (§2.3): the harm oracle classifies
+// HTML and function races by the crashes they cause.
+type PageError struct {
+	Op    op.ID
+	Where string
+	Err   error
+}
+
+func (e PageError) String() string { return fmt.Sprintf("[op#%d %s] %v", e.Op, e.Where, e.Err) }
+
+// Browser is one simulated browsing session over one site.
+type Browser struct {
+	Ops     *op.Table
+	HB      *hb.Graph
+	Serials *dom.Serials
+	Loader  *loader.Loader
+
+	// Errors collects script crashes and resource failures.
+	Errors []PageError
+	// Console collects console.log/alert output.
+	Console []string
+
+	cfg      Config
+	rng      *rand.Rand
+	clock    float64
+	tasks    taskHeap
+	seq      int64
+	tasksRun int
+
+	detector race.Detector
+	recorder *race.Recorder
+
+	top     *Window
+	windows []*Window
+
+	curOp  op.ID
+	initOp op.ID
+	// createOps maps DOM nodes to the operation that inserted them
+	// (create(E) in the rules).
+	createOps map[*dom.Node]op.ID
+	// userSeq orders synthetic user operations (rule 9 for user events is
+	// handled per (event,target) in the window's dispatch state).
+	quiesced bool
+}
+
+// New creates a browser session over site.
+func New(site *loader.Site, cfg Config) *Browser {
+	cfg = cfg.withDefaults()
+	b := &Browser{
+		Ops:       &op.Table{},
+		HB:        hb.NewGraph(),
+		Serials:   &dom.Serials{},
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		createOps: map[*dom.Node]op.ID{},
+	}
+	b.Loader = loader.New(site, cfg.Latency, cfg.Seed+1)
+	if cfg.Detector != nil {
+		b.detector = cfg.Detector(b.HB)
+	} else {
+		p := race.NewPairwise(b.HB)
+		p.ReportAll = cfg.ReportAll
+		b.detector = p
+	}
+	if cfg.RecordTrace {
+		b.recorder = &race.Recorder{Inner: b.detector}
+		b.detector = b.recorder
+	}
+	b.initOp = b.newOp(op.KindInit, "session")
+	b.Ops.Began(b.initOp)
+	b.curOp = b.initOp
+	return b
+}
+
+// Detector returns the active race detector.
+func (b *Browser) Detector() race.Detector { return b.detector }
+
+// Reports returns the races found so far.
+func (b *Browser) Reports() []race.Report { return b.detector.Reports() }
+
+// Trace returns the recorded access trace (RecordTrace must be set).
+func (b *Browser) Trace() []race.Access {
+	if b.recorder == nil {
+		return nil
+	}
+	return b.recorder.Trace
+}
+
+// Top returns the top-level window (nil before LoadPage).
+func (b *Browser) Top() *Window { return b.top }
+
+// Windows returns every window (top and frames) in creation order.
+func (b *Browser) Windows() []*Window { return b.windows }
+
+// windowForFrame resolves the child window loaded into an iframe element.
+func (b *Browser) windowForFrame(frame *dom.Node) *Window {
+	for _, w := range b.windows {
+		if w.frameElem == frame {
+			return w
+		}
+	}
+	return nil
+}
+
+// Clock returns the current virtual time in milliseconds.
+func (b *Browser) Clock() float64 { return b.clock }
+
+// Stats summarizes a finished session.
+type Stats struct {
+	Ops         int
+	OpsByKind   map[string]int
+	Edges       int
+	TasksRun    int
+	VirtualTime float64
+	Windows     int
+	Fetches     int
+	Errors      int
+}
+
+// Stats computes the session summary.
+func (b *Browser) Stats() Stats {
+	byKind := map[string]int{}
+	for i := 1; i <= b.Ops.Len(); i++ {
+		byKind[b.Ops.Get(op.ID(i)).Kind.String()]++
+	}
+	return Stats{
+		Ops:         b.Ops.Len(),
+		OpsByKind:   byKind,
+		Edges:       b.HB.Edges(),
+		TasksRun:    b.tasksRun,
+		VirtualTime: b.clock,
+		Windows:     len(b.windows),
+		Fetches:     b.Loader.Fetches(),
+		Errors:      len(b.Errors),
+	}
+}
+
+// Config returns the active (defaulted) configuration.
+func (b *Browser) Config() Config { return b.cfg }
+
+// ---- operations & instrumentation ----
+
+// newOp registers an operation and its happens-before node.
+func (b *Browser) newOp(kind op.Kind, label string) op.ID {
+	id := b.Ops.New(kind, label)
+	b.HB.AddNode(id)
+	return id
+}
+
+// withOp runs f with id as the current operation.
+func (b *Browser) withOp(id op.ID, f func()) {
+	prev := b.curOp
+	b.curOp = id
+	b.Ops.Began(id)
+	f()
+	b.curOp = prev
+}
+
+// CurrentOp exposes the op being executed (tests and the explore package).
+func (b *Browser) CurrentOp() op.ID { return b.curOp }
+
+// Access implements js.Hooks: every shared-memory access of the interpreter
+// reaches the detector stamped with the current operation.
+func (b *Browser) Access(kind mem.AccessKind, loc mem.Loc, ctx mem.Context, desc string) {
+	if b.cfg.NoInstrument {
+		return
+	}
+	b.detector.OnAccess(race.Access{Kind: kind, Loc: loc, Op: b.curOp, Ctx: ctx, Desc: desc})
+}
+
+// pageError records a script crash or load failure.
+func (b *Browser) pageError(where string, err error) {
+	b.Errors = append(b.Errors, PageError{Op: b.curOp, Where: where, Err: err})
+}
+
+// scriptError records a crash AND notifies the page via the window error
+// event (window.onerror), as real browsers do for uncaught exceptions. The
+// dispatch is itself an operation: pages that install onerror late race
+// with early crashes, a detectable event dispatch race.
+func (w *Window) scriptError(where string, err error) {
+	b := w.b
+	b.pageError(where, err)
+	crashOp := b.curOp
+	b.schedule(0, func() {
+		w.Dispatch(w.winNode, "error", DispatchOpts{
+			ExtraPreds: []op.ID{crashOp},
+			Detail:     where,
+		})
+	})
+}
+
+// ---- event loop ----
+
+type task struct {
+	at   float64
+	seq  int64
+	weak bool // weak tasks (interval ticks) don't keep the loop alive alone
+	run  func()
+}
+
+type taskHeap []*task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*task)) }
+func (h *taskHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+func (b *Browser) now() float64  { return b.clock }
+func (b *Browser) schedule(delay float64, run func()) *task {
+	return b.scheduleTask(delay, false, run)
+}
+
+func (b *Browser) scheduleTask(delay float64, weak bool, run func()) *task {
+	if delay < 0 {
+		delay = 0
+	}
+	b.seq++
+	t := &task{at: b.clock + delay, seq: b.seq, weak: weak, run: run}
+	heap.Push(&b.tasks, t)
+	return t
+}
+
+// ScheduleUserAction queues f to run as an event-loop task delay virtual
+// milliseconds from now. The explore package and the harm oracle use it to
+// inject user interactions at chosen points of the page load.
+func (b *Browser) ScheduleUserAction(delay float64, f func()) {
+	b.schedule(delay, f)
+}
+
+// weakGraceTurns is how many weak-only turns the loop grants before
+// quiescing, so a polling interval can observe results produced by the last
+// strong task (e.g. an XHR completion) before the session ends.
+const weakGraceTurns = 8
+
+// Run drains the event loop until quiescence (no tasks, or only weak tasks
+// remain after a short grace budget) or a safety bound trips. It can be
+// called repeatedly: LoadPage runs it once, automatic exploration queues
+// more work and runs it again.
+func (b *Browser) Run() {
+	grace := weakGraceTurns
+	for len(b.tasks) > 0 {
+		if b.tasksRun >= b.cfg.MaxTasks || b.clock > b.cfg.MaxVirtualTime {
+			return
+		}
+		if b.onlyWeakTasks() {
+			if grace <= 0 {
+				return
+			}
+			grace--
+		}
+		t := heap.Pop(&b.tasks).(*task)
+		if t.run == nil {
+			continue // cancelled
+		}
+		if !t.weak {
+			grace = weakGraceTurns
+		}
+		if t.at > b.clock {
+			b.clock = t.at
+		}
+		b.tasksRun++
+		t.run()
+	}
+	b.quiesced = true
+}
+
+func (b *Browser) onlyWeakTasks() bool {
+	for _, t := range b.tasks {
+		if !t.weak && t.run != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// cancel neutralizes a scheduled task (clearTimeout/clearInterval).
+func cancel(t *task) {
+	if t != nil {
+		t.run = nil
+	}
+}

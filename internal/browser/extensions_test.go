@@ -1,0 +1,464 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/js"
+	"webracer/internal/loader"
+	"webracer/internal/mem"
+	"webracer/internal/report"
+)
+
+// TestTimerClearRace exercises the §7 extension: clearing a timer from a
+// concurrent callback races with the timer's execution.
+func TestTimerClearRace(t *testing.T) {
+	site := loader.NewSite("clear").Add("index.html", `
+<script>
+var t1 = setTimeout(function() { ran = 1; }, 10);
+setTimeout(function() { clearTimeout(t1); }, 20);
+</script>`)
+	cfg := Config{Seed: 1, SharedFrameGlobals: true, InstrumentTimerClears: true,
+		Latency: fixedLatency(nil)}
+	b := New(site, cfg)
+	b.LoadPage("index.html")
+	found := false
+	for _, r := range b.Reports() {
+		if r.Loc.Kind == mem.Handler && r.Loc.Name == "timer" {
+			found = true
+			// The pair must be the fire-read and the clear-write.
+			ctxs := r.Prior.Ctx.String() + "/" + r.Current.Ctx.String()
+			if !strings.Contains(ctxs, "handler-fire") || !strings.Contains(ctxs, "handler-remove") {
+				t.Errorf("unexpected racing pair contexts: %s", ctxs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("timer-clear race not reported; reports: %v", b.Reports())
+	}
+}
+
+// TestTimerClearNoRaceWhenOrdered: a callback clearing its own later timer
+// chain is ordered (rule 16/17 edges), so no race.
+func TestTimerClearNoRaceWhenOrdered(t *testing.T) {
+	site := loader.NewSite("clearok").Add("index.html", `
+<script>
+var t1 = setTimeout(function() { ran = 1; }, 40);
+clearTimeout(t1);
+</script>`)
+	cfg := Config{Seed: 1, SharedFrameGlobals: true, InstrumentTimerClears: true,
+		Latency: fixedLatency(nil)}
+	b := New(site, cfg)
+	b.LoadPage("index.html")
+	for _, r := range b.Reports() {
+		if r.Loc.Kind == mem.Handler && r.Loc.Name == "timer" {
+			t.Errorf("same-operation clear reported as race: %v", r)
+		}
+	}
+	// And the timer must actually have been cancelled.
+	if _, ok := b.Top().It.LookupGlobal("ran"); ok {
+		t.Error("cleared timer still fired")
+	}
+}
+
+// TestTimerClearsOffByDefault: without the extension flag, no timer
+// locations exist (faithful to the paper's §7 statement).
+func TestTimerClearsOffByDefault(t *testing.T) {
+	site := loader.NewSite("cleardef").Add("index.html", `
+<script>
+var t1 = setTimeout(function() { ran = 1; }, 10);
+setTimeout(function() { clearTimeout(t1); }, 20);
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	for _, r := range b.Reports() {
+		if r.Loc.Kind == mem.Handler && r.Loc.Name == "timer" {
+			t.Errorf("timer race reported without the extension: %v", r)
+		}
+	}
+}
+
+// TestStopPropagation: a target handler stopping propagation prevents the
+// bubble-phase handler from running.
+func TestStopPropagation(t *testing.T) {
+	site := loader.NewSite("stopprop").Add("index.html", `
+<div id="outer"><button id="inner"></button></div>
+<script>
+log = "";
+document.getElementById("inner").addEventListener("click", function(ev) {
+  log = log + "T";
+  ev.stopPropagation();
+});
+document.getElementById("outer").addEventListener("click", function() { log = log + "B"; });
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("inner"), "click")
+	b.Run()
+	if got := globalStr(t, b, "log"); got != "T" {
+		t.Errorf("log = %q, want T (bubble suppressed)", got)
+	}
+}
+
+// TestStopImmediatePropagation: later handlers on the same target are
+// skipped too.
+func TestStopImmediatePropagation(t *testing.T) {
+	site := loader.NewSite("stopimm").Add("index.html", `
+<button id="b"></button>
+<script>
+log = "";
+var el = document.getElementById("b");
+el.addEventListener("click", function(ev) { log = log + "1"; ev.stopImmediatePropagation(); });
+el.addEventListener("click", function() { log = log + "2"; });
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("b"), "click")
+	b.Run()
+	if got := globalStr(t, b, "log"); got != "1" {
+		t.Errorf("log = %q, want 1", got)
+	}
+}
+
+// TestPreventDefaultSuppressesLinkAction: preventDefault on a javascript:
+// link click suppresses the default navigation (the href code).
+func TestPreventDefaultSuppressesLinkAction(t *testing.T) {
+	site := loader.NewSite("prevent").Add("index.html", `
+<a id="l" href="javascript:navigated = 1;">go</a>
+<script>
+document.getElementById("l").addEventListener("click", function(ev) {
+  handled = 1;
+  ev.preventDefault();
+});
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("l"), "click")
+	b.Run()
+	if globalNum(t, b, "handled") != 1 {
+		t.Fatal("handler did not run")
+	}
+	if _, ok := b.Top().It.LookupGlobal("navigated"); ok {
+		t.Error("default action ran despite preventDefault")
+	}
+}
+
+// TestDefaultActionRunsWithoutPrevent: the same link without preventDefault
+// executes its href.
+func TestDefaultActionRunsWithoutPrevent(t *testing.T) {
+	site := loader.NewSite("noprevent").Add("index.html", `
+<a id="l" href="javascript:navigated = 1;">go</a>`)
+	b := runSite(t, site, Config{Seed: 1})
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("l"), "click")
+	b.Run()
+	if globalNum(t, b, "navigated") != 1 {
+		t.Error("default action did not run")
+	}
+}
+
+// TestOrderSameTargetHandlersAblation: with the Appendix A alternate
+// semantics, two handlers on one (event, target) no longer race; with the
+// paper's default they do (see TestEventHandlersSameTargetUnordered).
+func TestOrderSameTargetHandlersAblation(t *testing.T) {
+	site := loader.NewSite("ordered").Add("index.html", `
+<button id="b"></button>
+<script>
+var el = document.getElementById("b");
+el.addEventListener("click", function() { shared = 1; });
+el.addEventListener("click", function() { shared = 2; });
+</script>`)
+	b := runSite(t, site, Config{Seed: 1, OrderSameTargetHandlers: true})
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("b"), "click")
+	b.Run()
+	for _, r := range b.Reports() {
+		if r.Loc.Name == "shared" {
+			t.Errorf("same-group handlers raced despite the ordering flag: %v", r)
+		}
+	}
+}
+
+// TestCheckboxClickToggles: the click default action toggles checked (a
+// CtxUserInput write, §4.1), dispatches change, and races with a script
+// that sets the checkbox state concurrently.
+func TestCheckboxClickToggles(t *testing.T) {
+	site := loader.NewSite("checkbox").Add("index.html", `
+<input type="checkbox" id="opt" />
+<script>
+document.getElementById("opt").onchange = function() { changed = 1; };
+document.getElementById("opt").checked = true;
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	w := b.Top()
+	box := w.Doc.GetElementByID("opt")
+	if !box.Checked {
+		t.Fatal("script set checked=true")
+	}
+	w.UserDispatch(box, "click")
+	b.Run()
+	if box.Checked {
+		t.Error("click did not toggle the checkbox")
+	}
+	if globalNum(t, b, "changed") != 1 {
+		t.Error("change event did not fire after the toggle")
+	}
+	// The script's checked write races with the user toggle.
+	found := false
+	for _, r := range b.Reports() {
+		if r.Loc.Name == "checked" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no race on checked; reports: %v", b.Reports())
+	}
+}
+
+// TestQuerySelector exercises the selector bindings, including the
+// id-keyed miss instrumentation that lets a failed querySelector("#x")
+// race with the later parse of #x, exactly like getElementById.
+func TestQuerySelector(t *testing.T) {
+	site := loader.NewSite("qs").Add("index.html", `
+<div id="nav" class="menu"><a class="item">one</a><a class="item">two</a></div>
+<script>
+items = document.querySelectorAll(".menu .item").length;
+first = document.querySelector("a.item") !== null ? 1 : 0;
+// A timer callback is unordered with the later parse (unlike this inline
+// script, which rule 1b chains before it).
+setTimeout(function() {
+  missing = document.querySelector("#late") === null ? 1 : 0;
+}, 1);
+</script>
+<div id="late"></div>`)
+	b := runSite(t, site, Config{Seed: 1, ParseStepCost: 5})
+	if globalNum(t, b, "items") != 2 {
+		t.Error("querySelectorAll count wrong")
+	}
+	if globalNum(t, b, "first") != 1 {
+		t.Error("querySelector miss on existing element")
+	}
+	if _, ok := b.Top().It.LookupGlobal("missing"); !ok {
+		t.Fatal("timer never ran")
+	}
+	// The failed #late lookup races with the later parse.
+	if raceOnName(racesOfType(b, report.HTML), "late") == nil {
+		t.Errorf("querySelector miss did not produce the HTML race; reports: %v", b.Reports())
+	}
+}
+
+// TestCloneNode: clones are detached copies without listeners; inserting a
+// clone instruments the insertion as usual.
+func TestCloneNode(t *testing.T) {
+	site := loader.NewSite("clone").Add("index.html", `
+<div id="proto" class="card"><span>body</span></div>
+<div id="host"></div>
+<script>
+var c = document.getElementById("proto").cloneNode(true);
+c.id = "copy";
+document.getElementById("host").appendChild(c);
+found = document.getElementById("copy") !== null ? 1 : 0;
+kids = document.getElementById("copy").childNodes.length;
+shallow = document.getElementById("proto").cloneNode(false).childNodes.length;
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalNum(t, b, "found") != 1 {
+		t.Error("deep clone not insertable/findable")
+	}
+	if globalNum(t, b, "kids") != 1 {
+		t.Error("deep clone lost children")
+	}
+	if globalNum(t, b, "shallow") != 0 {
+		t.Error("shallow clone kept children")
+	}
+	// The original is untouched.
+	if proto := b.Top().Doc.GetElementByID("proto"); proto == nil || len(proto.Kids) != 1 {
+		t.Error("clone mutated the original")
+	}
+}
+
+// TestWindowOnError: an uncaught script exception dispatches the window
+// error event, so a registered onerror handler observes hidden crashes.
+func TestWindowOnError(t *testing.T) {
+	site := loader.NewSite("onerror").Add("index.html", `
+<script>
+window.onerror = function() { caught = (typeof caught == 'undefined') ? 1 : caught + 1; };
+</script>
+<script>
+boom.crash = 1;
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalNum(t, b, "caught") != 1 {
+		t.Fatalf("onerror did not fire; errors: %v", b.Errors)
+	}
+	if len(b.Errors) == 0 {
+		t.Error("crash not recorded as page error")
+	}
+}
+
+// TestWindowOnErrorRace: registering onerror *after* a crash can miss it —
+// the dispatch's slot read races with the late registration.
+func TestWindowOnErrorRace(t *testing.T) {
+	site := loader.NewSite("onerror-late").Add("index.html", `
+<script>boom.crash = 1;</script>
+<script src="monitor.js" async="true"></script>`).
+		Add("monitor.js", `window.onerror = function() { caught = 1; };`)
+	b := runSite(t, site, Config{Seed: 1})
+	found := false
+	for _, r := range b.Reports() {
+		if r.Loc.Kind == mem.Handler && r.Loc.Name == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("late onerror registration should race with the crash dispatch; reports: %v", b.Reports())
+	}
+}
+
+// TestLocalStorage: basic semantics plus races — two unordered callbacks
+// writing one key race; distinct keys do not interfere.
+func TestLocalStorage(t *testing.T) {
+	site := loader.NewSite("storage").Add("index.html", `
+<script>
+localStorage.setItem("stable", "1");
+got = localStorage.getItem("stable");
+missing = localStorage.getItem("nope") === null ? 1 : 0;
+setTimeout(function() { localStorage.setItem("contended", "a"); }, 10);
+setTimeout(function() { localStorage.setItem("contended", "b"); }, 10);
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalStr(t, b, "got") != "1" {
+		t.Error("getItem after setItem failed")
+	}
+	if globalNum(t, b, "missing") != 1 {
+		t.Error("missing key should be null")
+	}
+	foundContended, foundStable := false, false
+	for _, r := range b.Reports() {
+		switch r.Loc.Name {
+		case "contended":
+			foundContended = true
+		case "stable":
+			foundStable = true
+		}
+	}
+	if !foundContended {
+		t.Errorf("unordered writes to one storage key should race; reports: %v", b.Reports())
+	}
+	if foundStable {
+		t.Error("single-writer key raced")
+	}
+}
+
+// TestLocalStorageSharedAcrossFrames: frames share the origin's store.
+func TestLocalStorageSharedAcrossFrames(t *testing.T) {
+	site := loader.NewSite("sharedstore").
+		Add("index.html", `
+<script>localStorage.setItem("k", "top");</script>
+<iframe src="child.html"></iframe>`).
+		Add("child.html", `<script>seen = localStorage.getItem("k");</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	child := b.Windows()[1]
+	v, ok := child.It.LookupGlobal("seen")
+	if !ok || v.ToString() != "top" {
+		t.Errorf("frame did not see the top window's storage: %v %v", v, ok)
+	}
+}
+
+// TestWindowGlobalAliases: window.foo reads and writes the global foo and
+// both directions are instrumented as the same location.
+func TestWindowGlobalAliases(t *testing.T) {
+	site := loader.NewSite("alias").Add("index.html", `
+<script>
+direct = 1;
+viaWindow = window.direct;
+window.assigned = 7;
+viaDirect = assigned;
+</script>`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	if globalNum(t, b, "viaWindow") != 1 || globalNum(t, b, "viaDirect") != 7 {
+		t.Fatal("window.* aliasing broken")
+	}
+	// window.x in a timer vs bare x in another timer share a location →
+	// they race.
+	site2 := loader.NewSite("alias2").Add("index.html", `
+<script>
+setTimeout(function() { window.shared = 1; }, 10);
+setTimeout(function() { shared = 2; }, 10);
+</script>`)
+	b2 := runSite(t, site2, Config{Seed: 1})
+	if raceOnName(b2.Reports(), "shared") == nil {
+		t.Errorf("window.shared and bare shared should collide; reports: %v", b2.Reports())
+	}
+}
+
+// TestWindowFrameRelations: parent/top/frameElement resolve correctly in a
+// nested frame.
+func TestWindowFrameRelations(t *testing.T) {
+	site := loader.NewSite("frames").
+		Add("index.html", `<iframe id="f" src="child.html"></iframe>`).
+		Add("child.html", `
+<script>
+isTop = window.top === window.parent ? 1 : 0;
+hasFrameElement = window.frameElement !== null ? 1 : 0;
+feId = window.frameElement.id;
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	child := b.Windows()[1]
+	get := func(name string) js.Value {
+		v, _ := child.It.LookupGlobal(name)
+		return v
+	}
+	if get("isTop").ToNumber() != 1 {
+		t.Error("one-level frame: top should equal parent")
+	}
+	if get("hasFrameElement").ToNumber() != 1 || get("feId").ToString() != "f" {
+		t.Errorf("frameElement wrong: %v %v", get("hasFrameElement"), get("feId"))
+	}
+}
+
+// TestStats: the session summary reflects what the run did.
+func TestStats(t *testing.T) {
+	site := loader.NewSite("stats").
+		Add("index.html", `<script src="a.js"></script><p>x</p><img src="pic.png" />`).
+		Add("a.js", `v = 1;`)
+	b := runSite(t, site, Config{Seed: 1})
+	st := b.Stats()
+	if st.Ops != b.Ops.Len() || st.Ops == 0 {
+		t.Errorf("Ops = %d", st.Ops)
+	}
+	if st.OpsByKind["parse"] == 0 || st.OpsByKind["exe"] == 0 {
+		t.Errorf("OpsByKind = %v", st.OpsByKind)
+	}
+	if st.Edges == 0 || st.TasksRun == 0 {
+		t.Errorf("edges %d tasks %d", st.Edges, st.TasksRun)
+	}
+	if st.Windows != 1 {
+		t.Errorf("windows = %d", st.Windows)
+	}
+	if st.Fetches != 3 { // index.html, a.js, pic.png
+		t.Errorf("fetches = %d, want 3", st.Fetches)
+	}
+	if st.VirtualTime <= 0 {
+		t.Errorf("virtual time = %v", st.VirtualTime)
+	}
+}
+
+// TestDOTExport smoke-checks the happens-before DOT rendering.
+func TestDOTExport(t *testing.T) {
+	site := loader.NewSite("dot").Add("index.html", `<script>x = 1;</script><p>hi</p>`)
+	b := runSite(t, site, Config{Seed: 1})
+	var sb strings.Builder
+	if err := b.HB.WriteDOT(&sb, b.Ops); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph happensbefore {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("not a DOT digraph")
+	}
+	if !strings.Contains(out, "->") {
+		t.Error("no edges rendered")
+	}
+	if !strings.Contains(out, "exe") {
+		t.Error("script op missing from rendering")
+	}
+}

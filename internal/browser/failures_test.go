@@ -1,0 +1,193 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/loader"
+	"webracer/internal/mem"
+)
+
+// Failure-path coverage: missing resources, fetch errors, runaway pages.
+// A detector meant for real sites must degrade gracefully when the page
+// does not.
+
+func TestMissingEntryPage(t *testing.T) {
+	b := New(loader.NewSite("empty"), Config{Seed: 1, Latency: fixedLatency(nil)})
+	w := b.LoadPage("index.html")
+	if w == nil {
+		t.Fatal("LoadPage returned nil window")
+	}
+	if len(b.Errors) == 0 {
+		t.Error("missing entry page produced no error")
+	}
+}
+
+func TestMissingExternalScript(t *testing.T) {
+	site := loader.NewSite("missing-js").Add("index.html", `
+<script src="gone.js"></script>
+<script>after = 1;</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalNum(t, b, "after") != 1 {
+		t.Error("parsing did not resume after a failed synchronous script fetch")
+	}
+	found := false
+	for _, e := range b.Errors {
+		if strings.Contains(e.Err.Error(), "gone.js") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fetch failure not recorded: %v", b.Errors)
+	}
+	if !b.Top().Loaded() {
+		t.Error("window load never fired despite the failed script")
+	}
+}
+
+func TestMissingAsyncAndDeferScripts(t *testing.T) {
+	site := loader.NewSite("missing-async").Add("index.html", `
+<script src="a.js" async="true"></script>
+<script src="d.js" defer="true"></script>
+<script>window.onload = function() { loaded = 1; };</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if !b.Top().Loaded() {
+		t.Fatal("window load blocked forever by failed fetches")
+	}
+	if globalNum(t, b, "loaded") != 1 {
+		t.Error("load handler did not run")
+	}
+}
+
+func TestMissingIframe(t *testing.T) {
+	site := loader.NewSite("missing-frame").Add("index.html", `
+<iframe src="void.html"></iframe>
+<script>window.onload = function() { loaded = 1; };</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if !b.Top().Loaded() {
+		t.Fatal("window load blocked by a 404 iframe")
+	}
+}
+
+func TestXHR404(t *testing.T) {
+	site := loader.NewSite("xhr404").Add("index.html", `
+<script>
+var x = new XMLHttpRequest();
+x.onreadystatechange = function() {
+  if (x.readyState == 4) { status = x.status; }
+};
+x.open("GET", "missing.json");
+x.send();
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalNum(t, b, "status") != 404 {
+		t.Errorf("missing XHR resource should deliver status 404")
+	}
+}
+
+func TestRunawayTimeoutLoopBounded(t *testing.T) {
+	// A self-rearming timeout that never terminates: the virtual-time
+	// cap stops the session.
+	site := loader.NewSite("runaway").Add("index.html", `
+<script>
+n = 0;
+function again() { n = n + 1; setTimeout(again, 100); }
+again();
+</script>`)
+	cfg := Config{Seed: 1, SharedFrameGlobals: true, Latency: fixedLatency(nil),
+		MaxVirtualTime: 2_000}
+	b := New(site, cfg)
+	b.LoadPage("index.html")
+	n := globalNum(t, b, "n")
+	if n < 5 || n > 50 {
+		t.Errorf("runaway loop ticked %v times under a 2000ms cap", n)
+	}
+}
+
+func TestIntervalQuiescesOnQuietPage(t *testing.T) {
+	// On a page with nothing else going on, interval ticks become weak
+	// tasks after a few firings and stop keeping the session alive.
+	site := loader.NewSite("everpoll").Add("index.html", `
+<script>
+ticks = 0;
+setInterval(function() { ticks = ticks + 1; }, 5);
+</script>`)
+	cfg := Config{Seed: 1, SharedFrameGlobals: true, Latency: fixedLatency(nil),
+		MaxIntervalTicks: 50}
+	b := New(site, cfg)
+	b.LoadPage("index.html")
+	got := globalNum(t, b, "ticks")
+	// Strong early ticks plus the weak grace budget: the loop must stop
+	// well short of the 50-tick cap.
+	if got < 1 || got > 15 {
+		t.Errorf("quiet-page interval ticked %v times, want a handful (grace-bounded)", got)
+	}
+}
+
+func TestIntervalTickCapOnBusyPage(t *testing.T) {
+	// While other (strong) work keeps the loop alive, the interval runs
+	// up to MaxIntervalTicks and no further.
+	site := loader.NewSite("busypoll").Add("index.html", `
+<script>
+ticks = 0;
+setInterval(function() { ticks = ticks + 1; }, 5);
+busy = 0;
+function churn() { busy = busy + 1; if (busy < 40) setTimeout(churn, 5); }
+churn();
+</script>`)
+	cfg := Config{Seed: 1, SharedFrameGlobals: true, Latency: fixedLatency(nil),
+		MaxIntervalTicks: 7}
+	b := New(site, cfg)
+	b.LoadPage("index.html")
+	if got := globalNum(t, b, "ticks"); got != 7 {
+		t.Errorf("busy-page interval ticked %v times, want exactly the cap (7)", got)
+	}
+}
+
+func TestMaxTasksGuard(t *testing.T) {
+	// Two mutually rearming zero-delay timeouts; the task cap stops it.
+	site := loader.NewSite("taskstorm").Add("index.html", `
+<script>
+n = 0;
+function a() { n = n + 1; setTimeout(a, 0); }
+a();
+</script>`)
+	cfg := Config{Seed: 1, SharedFrameGlobals: true, Latency: fixedLatency(nil),
+		MaxTasks: 500}
+	b := New(site, cfg)
+	b.LoadPage("index.html")
+	if n := globalNum(t, b, "n"); n > 500 {
+		t.Errorf("task cap did not bound the storm: %v turns", n)
+	}
+}
+
+// TestGomezEndToEnd drives the §6.3 Gomez pattern through a full page and
+// checks the single-dispatch race that made Table 2's event dispatch rows.
+func TestGomezEndToEnd(t *testing.T) {
+	site := loader.NewSite("gomez").Add("index.html", `
+<script>
+document.addEventListener("DOMContentLoaded", function() {
+  var mon = setInterval(function() {
+    var imgs = document.getElementsByTagName("img");
+    for (var j = 0; j < imgs.length; j++) {
+      imgs[j].onload = function() { seen = (typeof seen == 'undefined') ? 1 : seen + 1; };
+    }
+  }, 10);
+  setTimeout(function() { clearInterval(mon); }, 200);
+});
+</script>
+<img src="fast.png" />
+<img src="slow.png" />`)
+	b := runSite(t, site, Config{Seed: 1,
+		Latency: fixedLatency(map[string]float64{"fast.png": 1, "slow.png": 400})})
+	// Both images' load slots race with the monitor's writes.
+	count := 0
+	for _, r := range b.Reports() {
+		if r.Loc.Kind == mem.Handler && r.Loc.Name == "load" {
+			count++
+		}
+	}
+	if count < 2 {
+		t.Errorf("Gomez monitor produced %d load-slot races, want 2; reports: %v", count, b.Reports())
+	}
+}

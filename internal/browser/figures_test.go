@@ -1,0 +1,243 @@
+package browser
+
+import (
+	"testing"
+
+	"webracer/internal/js"
+	"webracer/internal/loader"
+	"webracer/internal/mem"
+	"webracer/internal/race"
+	"webracer/internal/report"
+)
+
+// fixedLatency gives every resource the same latency so tests control
+// interleavings precisely via PerURL overrides.
+func fixedLatency(overrides map[string]float64) loader.Latency {
+	return loader.Latency{Base: 10, Jitter: 0, PerURL: overrides}
+}
+
+func runSite(t *testing.T, site *loader.Site, cfg Config) *Browser {
+	t.Helper()
+	if cfg.Latency.Base == 0 && cfg.Latency.PerURL == nil {
+		cfg.Latency = fixedLatency(nil)
+	}
+	cfg.SharedFrameGlobals = true
+	b := New(site, cfg)
+	b.LoadPage("index.html")
+	return b
+}
+
+func racesOfType(b *Browser, t report.Type) []race.Report {
+	var out []race.Report
+	for _, r := range b.Reports() {
+		if report.Classify(r) == t {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func raceOnName(reports []race.Report, name string) *race.Report {
+	for i, r := range reports {
+		if r.Loc.Name == name {
+			return &reports[i]
+		}
+	}
+	return nil
+}
+
+// TestFigure1VariableRace reproduces Fig. 1: two iframes racing on a global
+// variable x. The write in a.html and the read in b.html are unordered; the
+// initial write x=1 in the parent is ordered before both.
+func TestFigure1VariableRace(t *testing.T) {
+	site := loader.NewSite("fig1").
+		Add("index.html", `<script>x = 1;</script>
+<iframe src="a.html"></iframe>
+<iframe src="b.html"></iframe>`).
+		Add("a.html", `<script>x = 2;</script>`).
+		Add("b.html", `<script>alert(x);</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	vars := racesOfType(b, report.Variable)
+	r := raceOnName(vars, "x")
+	if r == nil {
+		t.Fatalf("no variable race on x; races: %v, errors: %v", b.Reports(), b.Errors)
+	}
+	// One side must be a write (x=2 or alert's read partner).
+	if r.Prior.Kind != mem.Write && r.Current.Kind != mem.Write {
+		t.Errorf("race on x has no write side: %v", r)
+	}
+}
+
+// TestFigure1NoRaceOnOrderedWrite checks the paper's accompanying claim:
+// x=1 does not race with x=2, because the parent's inline script always
+// executes before the iframes load (rules 1b, 6).
+func TestFigure1NoRaceOnOrderedWrite(t *testing.T) {
+	site := loader.NewSite("fig1b").
+		Add("index.html", `<script>x = 1;</script>
+<iframe src="a.html"></iframe>`).
+		Add("a.html", `<script>x = 2;</script>`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	if vars := racesOfType(b, report.Variable); len(vars) > 0 {
+		t.Errorf("unexpected variable races between ordered writes: %v", vars)
+	}
+}
+
+// TestFigure3HTMLRace reproduces Fig. 3: clicking a javascript: link whose
+// handler looks up a div that is parsed later in the page. Even when the
+// user clicks after the page finished loading, the lookup and the parse are
+// unordered in the happens-before, so the race is reported.
+func TestFigure3HTMLRace(t *testing.T) {
+	site := loader.NewSite("fig3").
+		Add("index.html", `
+<script>
+function $get(i) { return document.getElementById(i); }
+function show(emailTo) {
+  var v = $get("dw");
+  v.style.display = "block";
+}
+</script>
+<a id="send" href="javascript:show('x@x.com')">Send Email</a>
+<div id="dw" style="display:none">email form</div>`)
+	b := runSite(t, site, Config{Seed: 1})
+	// Simulated user clicks the link after load.
+	w := b.Top()
+	link := w.Doc.GetElementByID("send")
+	if link == nil {
+		t.Fatal("link not parsed")
+	}
+	w.UserDispatch(link, "click")
+	b.Run()
+	htmls := racesOfType(b, report.HTML)
+	if raceOnName(htmls, "dw") == nil {
+		t.Fatalf("no HTML race on dw; reports: %v, errors: %v", b.Reports(), b.Errors)
+	}
+}
+
+// TestFigure3Crash drives the Fig. 3 trace itself: the user clicks before
+// the div exists, the handler dereferences null, and the crash is recorded
+// as a hidden page error while the page keeps loading (§2.3).
+func TestFigure3Crash(t *testing.T) {
+	site := loader.NewSite("fig3crash").
+		Add("index.html", `
+<script>
+function show() { var v = document.getElementById("dw"); v.style.display = "block"; }
+</script>
+<a id="send" href="javascript:show()">Send Email</a>
+<p>a</p><p>b</p><p>c</p><p>d</p><p>e</p><p>f</p><p>g</p><p>h</p>
+<div id="dw" style="display:none">email form</div>`)
+	cfg := Config{Seed: 1, ParseStepCost: 10, SharedFrameGlobals: true, Latency: fixedLatency(nil)}
+	b := New(site, cfg)
+	// Click as soon as the link exists, well before dw parses.
+	var clicked bool
+	var pump func()
+	pump = func() {
+		w := b.Top()
+		if link := w.Doc.GetElementByID("send"); link != nil && !clicked {
+			clicked = true
+			w.UserDispatch(link, "click")
+			return
+		}
+		if !clicked {
+			b.ScheduleUserAction(5, pump)
+		}
+	}
+	b.ScheduleUserAction(5, pump)
+	b.LoadPage("index.html")
+	if !clicked {
+		t.Fatal("user never clicked")
+	}
+	foundCrash := false
+	for _, e := range b.Errors {
+		if jsErrKind(e.Err) == "TypeError" {
+			foundCrash = true
+		}
+	}
+	if !foundCrash {
+		t.Fatalf("expected a TypeError crash from the early click; errors: %v", b.Errors)
+	}
+	if raceOnName(racesOfType(b, report.HTML), "dw") == nil {
+		t.Fatalf("no HTML race on dw; reports: %v", b.Reports())
+	}
+	// The page must have kept loading after the hidden crash.
+	if !b.Top().Loaded() {
+		t.Error("window load never fired after the hidden crash")
+	}
+}
+
+// TestFigure4FunctionRace reproduces Fig. 4: an iframe onload handler
+// schedules doNextStep via setTimeout while the declaring script is parsed
+// independently — a function race.
+func TestFigure4FunctionRace(t *testing.T) {
+	site := loader.NewSite("fig4").
+		Add("index.html", `
+<iframe id="i" src="sub.html" onload="setTimeout(doNextStep, 20)"></iframe>
+<script>
+function doNextStep() { done = 1; }
+</script>`).
+		Add("sub.html", `<p>sub</p>`)
+	b := runSite(t, site, Config{Seed: 1})
+	funcs := racesOfType(b, report.Function)
+	if raceOnName(funcs, "doNextStep") == nil {
+		t.Fatalf("no function race on doNextStep; reports: %v", b.Reports())
+	}
+}
+
+// TestFigure4Fixed moves the script above the iframe; the declaration is
+// then ordered before the handler (rules 1a, 1b, 8) and no race remains.
+func TestFigure4Fixed(t *testing.T) {
+	site := loader.NewSite("fig4fixed").
+		Add("index.html", `
+<script>
+function doNextStep() { done = 1; }
+</script>
+<iframe id="i" src="sub.html" onload="setTimeout(doNextStep, 20)"></iframe>`).
+		Add("sub.html", `<p>sub</p>`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	if funcs := racesOfType(b, report.Function); len(funcs) > 0 {
+		t.Errorf("unexpected function races after the fix: %v", funcs)
+	}
+}
+
+// TestFigure5EventDispatchRace reproduces Fig. 5: setting an iframe's
+// onload from a separate script races with the browser's read of the onload
+// slot when the load event dispatches.
+func TestFigure5EventDispatchRace(t *testing.T) {
+	site := loader.NewSite("fig5").
+		Add("index.html", `
+<iframe id="i" src="a.html"></iframe>
+<script>
+document.getElementById("i").onload = function() { ran = 1; };
+</script>`).
+		Add("a.html", `<p>nested</p>`)
+	b := runSite(t, site, Config{Seed: 1})
+	evs := racesOfType(b, report.EventDispatch)
+	if raceOnName(evs, "load") == nil {
+		t.Fatalf("no event dispatch race on load; reports: %v", b.Reports())
+	}
+}
+
+// TestFigure5NoRaceWithAttribute is the paper's contrast case: when onload
+// is set in the iframe tag itself, the handler write happens at parse(I) =
+// create(I), which rule 8 orders before every dispatch. No race.
+func TestFigure5NoRaceWithAttribute(t *testing.T) {
+	site := loader.NewSite("fig5b").
+		Add("index.html", `<iframe id="i" src="a.html" onload="ran = 1;"></iframe>`).
+		Add("a.html", `<p>nested</p>`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	for _, r := range racesOfType(b, report.EventDispatch) {
+		if r.Loc.Name == "load" {
+			t.Errorf("unexpected event dispatch race with in-tag handler: %v", r)
+		}
+	}
+	// And the handler must actually have run.
+	if v, ok := b.Top().It.LookupGlobal("ran"); !ok || v.Num != 1 {
+		t.Error("in-tag onload handler did not run")
+	}
+}
+
+func jsErrKind(err error) string {
+	if e, ok := err.(*js.Error); ok {
+		return e.Kind
+	}
+	return ""
+}

@@ -1,0 +1,187 @@
+package browser
+
+import (
+	"testing"
+
+	"webracer/internal/loader"
+	"webracer/internal/report"
+)
+
+// This file pins down the §7 "Limitations" behaviours: cases where the
+// paper says WebRacer deliberately reports something debatable (or
+// declines to handle something). We reproduce each choice faithfully.
+
+// TestMoveReportedAsRace: §7 discusses appendChild used to *move* an
+// in-document element — the element existed throughout, yet WebRacer
+// reports a race between the move and a concurrent lookup. We model a move
+// as remove+insert, so the same race appears.
+func TestMoveReportedAsRace(t *testing.T) {
+	site := loader.NewSite("move").Add("index.html", `
+<div id="a"><span id="target"></span></div>
+<div id="b"></div>
+<script>
+setTimeout(function() {
+  // Move target from a to b.
+  document.getElementById("b").appendChild(document.getElementById("target"));
+}, 10);
+setTimeout(function() {
+  // Concurrent lookup of the moved element.
+  var el = document.getElementById("target");
+  if (el != null) { seen = 1; }
+}, 10);
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if raceOnName(racesOfType(b, report.HTML), "target") == nil {
+		t.Fatalf("element move not reported as race (the §7 behaviour); reports: %v", b.Reports())
+	}
+}
+
+// TestHiddenButtonFalsePositive: §7's last limitation — a handler added to
+// an invisible button plus a later user click is reported as a race even
+// though clicks were effectively disabled while hidden. Our happens-before
+// does not consider visibility either, so the (false positive) race is
+// reported; this test documents the deliberate imprecision.
+func TestHiddenButtonFalsePositive(t *testing.T) {
+	site := loader.NewSite("hidden").Add("index.html", `
+<button id="btn" style="display:none"></button>
+<script>
+setTimeout(function() {
+  var b = document.getElementById("btn");
+  b.onclick = function() { clicked = 1; };
+  b.style.display = "block";
+}, 10);
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	// User clicks after load (the button is visible by then).
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("btn"), "click")
+	b.Run()
+	found := false
+	for _, r := range racesOfType(b, report.EventDispatch) {
+		if r.Loc.Name == "click" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hidden-button dispatch race not reported (the §7 false-positive case); reports: %v", b.Reports())
+	}
+}
+
+// TestCookieRace: the Zheng et al. comparison (§8) notes cookie state as a
+// shared resource. document.cookie is instrumented as a property of the
+// document, so two unordered handlers touching it race.
+func TestCookieRace(t *testing.T) {
+	site := loader.NewSite("cookie").
+		Add("index.html", `
+<script>
+var x1 = new XMLHttpRequest();
+x1.onreadystatechange = function() { if (x1.readyState == 4) document.cookie = "a=1"; };
+x1.open("GET", "a.json"); x1.send();
+var x2 = new XMLHttpRequest();
+x2.onreadystatechange = function() { if (x2.readyState == 4) document.cookie = "b=2"; };
+x2.open("GET", "b.json"); x2.send();
+</script>`).
+		Add("a.json", `1`).
+		Add("b.json", `2`)
+	b := runSite(t, site, Config{Seed: 1})
+	if raceOnName(racesOfType(b, report.Variable), "cookie") == nil {
+		t.Fatalf("cookie race not reported; reports: %v", b.Reports())
+	}
+}
+
+// TestNestedIframes: rules 6 and 7 compose through two levels of nesting —
+// the grandchild's load propagates up before each ancestor's load event.
+func TestNestedIframes(t *testing.T) {
+	site := loader.NewSite("nested").
+		Add("index.html", `
+<iframe id="outer" src="mid.html"></iframe>
+<script>window.onload = function() { topLoaded = 1; };</script>`).
+		Add("mid.html", `<iframe id="inner" src="leaf.html"></iframe>`).
+		Add("leaf.html", `<script>leafRan = 1;</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if !b.Top().Loaded() {
+		t.Fatal("top window never loaded")
+	}
+	if len(b.Windows()) != 3 {
+		t.Fatalf("windows = %d, want 3", len(b.Windows()))
+	}
+	// Every nested window loaded before the top's load handler ran.
+	if v, ok := b.Top().It.LookupGlobal("topLoaded"); !ok || v.ToNumber() != 1 {
+		t.Error("top load handler did not run")
+	}
+	for _, w := range b.Windows() {
+		if !w.Loaded() {
+			t.Errorf("window %s never loaded", w.URL)
+		}
+	}
+}
+
+// TestDynamicIframe: an iframe inserted by script loads and participates
+// in happens-before (rule 6 with create(I) being the inserting script op).
+func TestDynamicIframe(t *testing.T) {
+	site := loader.NewSite("dynframe").
+		Add("index.html", `
+<body>
+<script>
+parentMark = 1;
+var f = document.createElement("iframe");
+f.src = "child.html";
+document.body.appendChild(f);
+</script>
+</body>`).
+		Add("child.html", `<script>childRan = 1; parentMark = 2;</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if len(b.Windows()) != 2 {
+		t.Fatalf("windows = %d, want 2", len(b.Windows()))
+	}
+	child := b.Windows()[1]
+	if v, ok := child.It.LookupGlobal("childRan"); !ok || v.ToNumber() != 1 {
+		t.Fatalf("child script did not run (errors %v)", b.Errors)
+	}
+	// The two parentMark writes share a logical location (shared frame
+	// globals) but the inserting op is ordered before the child's script
+	// by rule 6: no race.
+	if r := raceOnName(racesOfType(b, report.Variable), "parentMark"); r != nil {
+		t.Errorf("rule 6 edge missing for dynamic iframe: %v", r)
+	}
+}
+
+// TestRemoveChildRace: removing an element races with a concurrent lookup
+// (§4.2: removal is a write).
+func TestRemoveChildRace(t *testing.T) {
+	site := loader.NewSite("remove").Add("index.html", `
+<div id="host"><span id="victim"></span></div>
+<script>
+setTimeout(function() {
+  var v = document.getElementById("victim");
+  if (v != null) { document.getElementById("host").removeChild(v); }
+}, 10);
+setTimeout(function() {
+  lookup = document.getElementById("victim") != null ? 1 : 0;
+}, 10);
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if raceOnName(racesOfType(b, report.HTML), "victim") == nil {
+		t.Fatalf("removal race not reported; reports: %v", b.Reports())
+	}
+}
+
+// TestRemovedListenerDoesNotRun: removeEventListener takes effect and is
+// itself a handler-location write.
+func TestRemovedListenerDoesNotRun(t *testing.T) {
+	site := loader.NewSite("removelistener").Add("index.html", `
+<button id="b"></button>
+<script>
+var f = function() { ran = 1; };
+var el = document.getElementById("b");
+el.addEventListener("click", f);
+el.removeEventListener("click", f);
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("b"), "click")
+	b.Run()
+	if _, ok := b.Top().It.LookupGlobal("ran"); ok {
+		t.Error("removed listener still ran")
+	}
+}

@@ -1,0 +1,135 @@
+package browser
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"webracer/internal/loader"
+	"webracer/internal/mem"
+	"webracer/internal/op"
+)
+
+// randomSite assembles a random page from a grab-bag of fragments —
+// scripts, timers, frames, handlers — to stress the whole pipeline.
+func randomSite(r *rand.Rand) *loader.Site {
+	site := loader.NewSite("fuzz")
+	var b strings.Builder
+	nfrag := 2 + r.Intn(8)
+	for i := 0; i < nfrag; i++ {
+		switch r.Intn(9) {
+		case 0:
+			fmt.Fprintf(&b, `<p>paragraph %d</p>`+"\n", i)
+		case 1:
+			fmt.Fprintf(&b, `<script>v%d = %d;</script>`+"\n", i, r.Intn(100))
+		case 2:
+			fmt.Fprintf(&b, `<script>setTimeout(function() { s%d = (typeof s%d == 'undefined') ? 1 : s%d + 1; }, %d);</script>`+"\n",
+				i%3, i%3, i%3, r.Intn(30))
+		case 3:
+			fmt.Fprintf(&b, `<div id="d%d" onmouseover="h%d = 1;">hover</div>`+"\n", i, i)
+		case 4:
+			fmt.Fprintf(&b, `<input type="text" id="f%d" />`+"\n", i)
+		case 5:
+			fmt.Fprintf(&b, `<script>var el%d = document.getElementById("d%d"); if (el%d != null) { el%d.className = "x"; }</script>`+"\n",
+				i, r.Intn(nfrag), i, i)
+		case 6:
+			url := fmt.Sprintf("s%d.js", i)
+			site.Add(url, fmt.Sprintf("ext%d = 1;", i))
+			attr := ""
+			if r.Intn(2) == 0 {
+				attr = ` async="true"`
+			}
+			fmt.Fprintf(&b, `<script src=%q%s></script>`+"\n", url, attr)
+		case 7:
+			url := fmt.Sprintf("fr%d.html", i)
+			site.Add(url, fmt.Sprintf(`<script>fx%d = 1;</script>`, i%2))
+			fmt.Fprintf(&b, `<iframe src=%q></iframe>`+"\n", url)
+		case 8:
+			fmt.Fprintf(&b, `<img src="img%d.png" onload="ld%d = 1;" />`+"\n", i, i)
+		}
+	}
+	site.Add("index.html", b.String())
+	return site
+}
+
+// TestFuzzSoundness: across many random pages and seeds, every reported
+// race satisfies the definition of §5.1 — distinct operations, not
+// happens-before ordered (in either direction), at least one write — and
+// both operations actually began executing.
+func TestFuzzSoundness(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		site := randomSite(r)
+		b := New(site, Config{Seed: int64(trial), SharedFrameGlobals: true,
+			Latency: loader.Latency{Base: 3, Jitter: 40}})
+		b.LoadPage("index.html")
+		for _, w := range b.Windows() {
+			for _, n := range w.Doc.ElementsByTag("div") {
+				if len(n.ListenerEvents()) > 0 {
+					w.UserDispatch(n, n.ListenerEvents()[0])
+				}
+			}
+		}
+		b.Run()
+		for _, rep := range b.Reports() {
+			if rep.Prior.Op == rep.Current.Op {
+				t.Fatalf("trial %d: same-op race %v", trial, rep)
+			}
+			if !b.HB.Concurrent(rep.Prior.Op, rep.Current.Op) {
+				t.Fatalf("trial %d: ordered ops reported racing %v", trial, rep)
+			}
+			if rep.Prior.Kind != mem.Write && rep.Current.Kind != mem.Write {
+				t.Fatalf("trial %d: read-read race %v", trial, rep)
+			}
+			if b.Ops.Get(rep.Prior.Op).Seq < 0 || b.Ops.Get(rep.Current.Op).Seq < 0 {
+				t.Fatalf("trial %d: race involves an operation that never ran: %v", trial, rep)
+			}
+		}
+	}
+}
+
+// TestFuzzDeterminism: identical (site, seed) pairs give identical races.
+func TestFuzzDeterminism(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		r1 := rand.New(rand.NewSource(int64(trial)))
+		r2 := rand.New(rand.NewSource(int64(trial)))
+		run := func(r *rand.Rand) []string {
+			site := randomSite(r)
+			b := New(site, Config{Seed: 99, SharedFrameGlobals: true,
+				Latency: loader.Latency{Base: 3, Jitter: 40}})
+			b.LoadPage("index.html")
+			var out []string
+			for _, rep := range b.Reports() {
+				out = append(out, rep.Loc.String())
+			}
+			return out
+		}
+		a, bb := run(r1), run(r2)
+		if len(a) != len(bb) {
+			t.Fatalf("trial %d: %d vs %d races", trial, len(a), len(bb))
+		}
+		for i := range a {
+			if a[i] != bb[i] {
+				t.Fatalf("trial %d: report %d differs: %s vs %s", trial, i, a[i], bb[i])
+			}
+		}
+	}
+}
+
+// TestFuzzOpsConsistency: the happens-before graph covers every operation
+// and never orders an operation before the session init op.
+func TestFuzzOpsConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	site := randomSite(r)
+	b := New(site, Config{Seed: 5, SharedFrameGlobals: true, Latency: loader.Latency{Base: 3}})
+	b.LoadPage("index.html")
+	if b.HB.Len() < b.Ops.Len() {
+		t.Fatalf("graph has %d nodes for %d ops", b.HB.Len(), b.Ops.Len())
+	}
+	for i := 1; i <= b.Ops.Len(); i++ {
+		if b.HB.HappensBefore(op.ID(i), 1) {
+			t.Fatalf("op %d ordered before the init op", i)
+		}
+	}
+}

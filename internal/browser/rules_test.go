@@ -1,0 +1,518 @@
+package browser
+
+import (
+	"testing"
+
+	"webracer/internal/js"
+	"webracer/internal/loader"
+	"webracer/internal/op"
+	"webracer/internal/race"
+	"webracer/internal/report"
+)
+
+// globalNum fetches a numeric global from the top window.
+func globalNum(t *testing.T, b *Browser, name string) float64 {
+	t.Helper()
+	v, ok := b.Top().It.LookupGlobal(name)
+	if !ok {
+		t.Fatalf("global %s not set; errors: %v, console: %v", name, b.Errors, b.Console)
+	}
+	return v.ToNumber()
+}
+
+func globalStr(t *testing.T, b *Browser, name string) string {
+	t.Helper()
+	v, ok := b.Top().It.LookupGlobal(name)
+	if !ok {
+		t.Fatalf("global %s not set; errors: %v, console: %v", name, b.Errors, b.Console)
+	}
+	return v.ToString()
+}
+
+// TestInlineScriptsRunInOrder checks rule 1b: inline scripts execute in
+// document order, interleaved with parsing.
+func TestInlineScriptsRunInOrder(t *testing.T) {
+	site := loader.NewSite("order").Add("index.html", `
+<script>order = "a";</script>
+<p>text</p>
+<script>order = order + "b";</script>
+<script>order = order + "c";</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if got := globalStr(t, b, "order"); got != "abc" {
+		t.Errorf("inline scripts ran out of order: %q", got)
+	}
+}
+
+// TestSyncScriptBlocksParsing checks rule 1c: a synchronous external script
+// executes before any later element is parsed.
+func TestSyncScriptBlocksParsing(t *testing.T) {
+	site := loader.NewSite("sync").
+		Add("index.html", `
+<script src="slow.js"></script>
+<div id="after"></div>
+<script>sawAfter = document.getElementById("after") !== null;</script>`).
+		Add("slow.js", `sawAfterInSlow = document.getElementById("after") !== null;`)
+	b := runSite(t, site, Config{Seed: 1, Latency: fixedLatency(map[string]float64{"slow.js": 500})})
+	if globalNum(t, b, "sawAfterInSlow") != 0 {
+		t.Error("sync script saw elements parsed after it (parsing was not blocked)")
+	}
+	if globalNum(t, b, "sawAfter") != 1 {
+		t.Error("later script did not see the div")
+	}
+}
+
+// TestDeferScriptsRunAfterParseInOrder checks rules 4 and 5.
+func TestDeferScriptsRunAfterParseInOrder(t *testing.T) {
+	site := loader.NewSite("defer").
+		Add("index.html", `
+<script src="d1.js" defer="true"></script>
+<script src="d2.js" defer="true"></script>
+<div id="last"></div>`).
+		Add("d1.js", `order = "1"; sawLast = document.getElementById("last") !== null;`).
+		Add("d2.js", `order = order + "2";`)
+	// d2 arrives before d1; document order must still hold.
+	b := runSite(t, site, Config{Seed: 1,
+		Latency: fixedLatency(map[string]float64{"d1.js": 300, "d2.js": 10})})
+	if got := globalStr(t, b, "order"); got != "12" {
+		t.Errorf("defer scripts ran out of document order: %q", got)
+	}
+	if globalNum(t, b, "sawLast") != 1 {
+		t.Error("defer script ran before static HTML finished parsing")
+	}
+	// No race between the two defer writes to `order` (rule 5 orders them).
+	if r := raceOnName(racesOfType(b, report.Variable), "order"); r != nil {
+		t.Errorf("unexpected race between ordered defer scripts: %v", r)
+	}
+}
+
+// TestAsyncScriptsUnordered checks that two async scripts writing the same
+// global race with each other (only rules 2, 3, 15 govern them).
+func TestAsyncScriptsUnordered(t *testing.T) {
+	site := loader.NewSite("async").
+		Add("index.html", `
+<script src="a1.js" async="true"></script>
+<script src="a2.js" async="true"></script>`).
+		Add("a1.js", `shared = 1;`).
+		Add("a2.js", `shared = 2;`)
+	b := runSite(t, site, Config{Seed: 1})
+	if raceOnName(racesOfType(b, report.Variable), "shared") == nil {
+		t.Fatalf("async scripts should race on shared; reports: %v", b.Reports())
+	}
+}
+
+// TestDOMContentLoadedOrdering checks rules 11-14: DOMContentLoaded sees
+// the whole static DOM, and window load comes after it.
+func TestDOMContentLoadedOrdering(t *testing.T) {
+	site := loader.NewSite("dcl").Add("index.html", `
+<script>
+phases = "";
+document.addEventListener("DOMContentLoaded", function() {
+  phases = phases + "D";
+  sawDiv = document.getElementById("late") !== null;
+});
+window.onload = function() { phases = phases + "L"; };
+</script>
+<div id="late"></div>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if got := globalStr(t, b, "phases"); got != "DL" {
+		t.Errorf("phases = %q, want DL (DOMContentLoaded before load)", got)
+	}
+	if globalNum(t, b, "sawDiv") != 1 {
+		t.Error("DOMContentLoaded fired before static parsing finished")
+	}
+	// Handler registrations during an inline script are ordered before
+	// both dispatches (chain → dcl, chain → load): no dispatch races.
+	if evs := racesOfType(b, report.EventDispatch); len(evs) > 0 {
+		t.Errorf("unexpected event dispatch races: %v", evs)
+	}
+}
+
+// TestWindowLoadWaitsForResources checks rule 15: images and async scripts
+// complete before window load.
+func TestWindowLoadWaitsForResources(t *testing.T) {
+	site := loader.NewSite("loadwait").
+		Add("index.html", `
+<img src="big.png" />
+<script src="a.js" async="true"></script>
+<script>window.onload = function() { asyncDoneAtLoad = asyncDone; };</script>`).
+		Add("a.js", `asyncDone = 1;`)
+	b := runSite(t, site, Config{Seed: 1,
+		Latency: fixedLatency(map[string]float64{"big.png": 800, "a.js": 400})})
+	if !b.Top().Loaded() {
+		t.Fatal("window load never fired")
+	}
+	if globalNum(t, b, "asyncDoneAtLoad") != 1 {
+		t.Error("window load fired before async script executed")
+	}
+}
+
+// TestSetTimeoutEdge checks rule 16: the scheduling operation happens
+// before the callback, so no race between them.
+func TestSetTimeoutEdge(t *testing.T) {
+	site := loader.NewSite("timeout").Add("index.html", `
+<script>
+v = 1;
+setTimeout(function() { v = v + 1; after = v; }, 10);
+</script>`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	if globalNum(t, b, "after") != 2 {
+		t.Error("timeout callback did not run or saw stale state")
+	}
+	if r := raceOnName(racesOfType(b, report.Variable), "v"); r != nil {
+		t.Errorf("rule 16 edge missing: scheduling op races with callback: %v", r)
+	}
+}
+
+// TestTwoTimeoutsRace checks that two independently scheduled callbacks are
+// unordered with each other.
+func TestTwoTimeoutsRace(t *testing.T) {
+	site := loader.NewSite("timeout2").Add("index.html", `
+<script>
+setTimeout(function() { shared = 1; }, 10);
+setTimeout(function() { shared = 2; }, 10);
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if raceOnName(racesOfType(b, report.Variable), "shared") == nil {
+		t.Fatalf("independent timeout callbacks should race; reports: %v", b.Reports())
+	}
+}
+
+// TestSetIntervalChain checks rule 17: consecutive interval callbacks are
+// ordered (cbᵢ ⇝ cbᵢ₊₁), so their writes to one variable do not race.
+func TestSetIntervalChain(t *testing.T) {
+	site := loader.NewSite("interval").Add("index.html", `
+<script>
+count = 0;
+id = setInterval(function() {
+  count = count + 1;
+  if (count >= 3) { clearInterval(id); }
+}, 5);
+</script>`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	if got := globalNum(t, b, "count"); got != 3 {
+		t.Fatalf("interval ran %v times, want 3", got)
+	}
+	if r := raceOnName(racesOfType(b, report.Variable), "count"); r != nil {
+		t.Errorf("rule 17 chain missing: interval ticks race: %v", r)
+	}
+}
+
+// TestXHREdge checks rule 10: send() happens before the readystatechange
+// dispatch, so state shared between them does not race.
+func TestXHREdge(t *testing.T) {
+	site := loader.NewSite("xhr").
+		Add("index.html", `
+<script>
+var xhr = new XMLHttpRequest();
+pending = 1;
+xhr.onreadystatechange = function() {
+  if (xhr.readyState == 4) { pending = 0; got = xhr.responseText; }
+};
+xhr.open("GET", "data.json");
+xhr.send();
+</script>`).
+		Add("data.json", `{"ok":true}`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	if got := globalStr(t, b, "got"); got != `{"ok":true}` {
+		t.Fatalf("XHR response not delivered: %q (errors %v)", got, b.Errors)
+	}
+	if r := raceOnName(racesOfType(b, report.Variable), "pending"); r != nil {
+		t.Errorf("rule 10 edge missing: send op races with handler: %v", r)
+	}
+}
+
+// TestTwoXHRHandlersRace checks that handlers of two different requests are
+// mutually unordered.
+func TestTwoXHRHandlersRace(t *testing.T) {
+	site := loader.NewSite("xhr2").
+		Add("index.html", `
+<script>
+function go(url) {
+  var x = new XMLHttpRequest();
+  x.onreadystatechange = function() { if (x.readyState == 4) winner = url; };
+  x.open("GET", url);
+  x.send();
+}
+go("a.json"); go("b.json");
+</script>`).
+		Add("a.json", `1`).
+		Add("b.json", `2`)
+	b := runSite(t, site, Config{Seed: 1})
+	if raceOnName(racesOfType(b, report.Variable), "winner") == nil {
+		t.Fatalf("AJAX handlers should race on winner; reports: %v", b.Reports())
+	}
+}
+
+// TestInlineDispatchSplit checks Appendix A: code after element.click()
+// runs as a continuation ordered after the inline dispatch's handlers.
+func TestInlineDispatchSplit(t *testing.T) {
+	site := loader.NewSite("inline").Add("index.html", `
+<button id="b"></button>
+<script>
+log = "";
+document.getElementById("b").onclick = function() { log = log + "H"; };
+log = log + "1";
+document.getElementById("b").click();
+log = log + "2";
+</script>`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	if got := globalStr(t, b, "log"); got != "1H2" {
+		t.Fatalf("inline dispatch order = %q, want 1H2", got)
+	}
+	// The continuation is ordered after the handler, so the three writes
+	// to log are all ordered: no race.
+	if r := raceOnName(racesOfType(b, report.Variable), "log"); r != nil {
+		t.Errorf("appendix A split edges missing: %v", r)
+	}
+}
+
+// TestScriptInsertedInlineRunsSynchronously checks the §3.3 note: a
+// script-inserted inline script runs within the inserting operation.
+func TestScriptInsertedInlineRunsSynchronously(t *testing.T) {
+	site := loader.NewSite("insinline").Add("index.html", `
+<body>
+<script>
+var s = document.createElement("script");
+s.appendChild(document.createTextNode("inserted = 1;"));
+document.body.appendChild(s);
+sawImmediately = inserted === 1;
+</script>
+</body>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalNum(t, b, "sawImmediately") != 1 {
+		t.Error("script-inserted inline script did not run synchronously")
+	}
+}
+
+// TestScriptInsertedExternal checks dynamic script loading: the inserted
+// script runs asynchronously, ordered after its inserting operation
+// (rule 2), and blocks window load (rule 15).
+func TestScriptInsertedExternal(t *testing.T) {
+	site := loader.NewSite("insext").
+		Add("index.html", `
+<body>
+<script>
+marker = 1;
+var s = document.createElement("script");
+s.src = "late.js";
+document.body.appendChild(s);
+window.onload = function() { lateAtLoad = lateDone; };
+</script>
+</body>`).
+		Add("late.js", `lateDone = 1; sawMarker = marker;`).
+		Add("index_noop", ``)
+	b := runSite(t, site, Config{Seed: 1,
+		Latency: fixedLatency(map[string]float64{"late.js": 300})})
+	if globalNum(t, b, "lateAtLoad") != 1 {
+		t.Error("window load fired before script-inserted script executed (rule 15)")
+	}
+	if globalNum(t, b, "sawMarker") != 1 {
+		t.Error("rule 2: inserted script should see inserting script's writes")
+	}
+	// marker write (inserting op) is ordered before the read: no race.
+	if r := raceOnName(racesOfType(b, report.Variable), "marker"); r != nil {
+		t.Errorf("rule 2 edge missing for inserted script: %v", r)
+	}
+}
+
+// TestFordPattern reproduces §6.3's canonical benign race: a setTimeout
+// poll that checks for a DOM node before mutating. WebRacer still reports
+// the HTML race (the pattern is synchronization via data dependence, which
+// happens-before cannot see) — the paper counts these as benign.
+func TestFordPattern(t *testing.T) {
+	site := loader.NewSite("ford").
+		Add("index.html", `
+<script>
+function addPopUp() {
+  if (document.getElementById("last") != null) {
+    document.getElementById("target").value = "mutated";
+  } else {
+    setTimeout(addPopUp, 50);
+  }
+}
+addPopUp();
+</script>
+<p>lots</p><p>of</p><p>content</p>
+<input id="target" />
+<div id="last"></div>`)
+	b := runSite(t, site, Config{Seed: 1, ParseStepCost: 30})
+	// The mutation must eventually happen (poll succeeded).
+	if got := b.Top().Doc.GetElementByID("target"); got == nil || got.Value != "mutated" {
+		t.Fatalf("poll never succeeded; errors: %v", b.Errors)
+	}
+	// And the detector reports the HTML race on "last" (benign, but real
+	// per the happens-before).
+	if raceOnName(racesOfType(b, report.HTML), "last") == nil {
+		t.Errorf("expected (benign) HTML race on last; reports: %v", b.Reports())
+	}
+}
+
+// TestEventHandlersSameTargetUnordered checks the paper's conservative
+// choice: two addEventListener handlers for one (event, target) pair are
+// not ordered with each other.
+func TestEventHandlersSameTargetUnordered(t *testing.T) {
+	site := loader.NewSite("sametarget").Add("index.html", `
+<button id="b"></button>
+<script>
+var el = document.getElementById("b");
+el.addEventListener("click", function() { shared = 1; });
+el.addEventListener("click", function() { shared = 2; });
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("b"), "click")
+	b.Run()
+	if raceOnName(racesOfType(b, report.Variable), "shared") == nil {
+		t.Fatalf("same-group handlers should be unordered; reports: %v", b.Reports())
+	}
+}
+
+// TestEventPhasesOrdered checks Appendix A's phase ordering: a capturing
+// handler on an ancestor and an at-target handler are ordered through the
+// group barrier, so they do not race.
+func TestEventPhasesOrdered(t *testing.T) {
+	site := loader.NewSite("phases").Add("index.html", `
+<div id="outer"><button id="inner"></button></div>
+<script>
+order = "";
+document.getElementById("outer").addEventListener("click", function() { order = order + "C"; }, true);
+document.getElementById("inner").addEventListener("click", function() { order = order + "T"; });
+document.getElementById("outer").addEventListener("click", function() { order = order + "B"; });
+</script>`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("inner"), "click")
+	b.Run()
+	if got := globalStr(t, b, "order"); got != "CTB" {
+		t.Fatalf("phase order = %q, want CTB (capture, target, bubble)", got)
+	}
+	// The script's own writes legitimately race with the user click
+	// (registration is unordered with the dispatch), so only races with
+	// BOTH sides inside handler operations would indicate missing
+	// phase-barrier edges.
+	if r := handlerHandlerRace(b, "order"); r != nil {
+		t.Errorf("cross-phase handlers should be ordered: %v", r)
+	}
+}
+
+// TestRepeatDispatchOrdered checks rule 9: two dispatches of the same event
+// on the same target are ordered, so their handlers do not race.
+func TestRepeatDispatchOrdered(t *testing.T) {
+	site := loader.NewSite("repeat").Add("index.html", `
+<button id="b"></button>
+<script>
+clicks = 0;
+document.getElementById("b").onclick = function() { clicks = clicks + 1; };
+</script>`)
+	b := runSite(t, site, Config{Seed: 1, ReportAll: true})
+	w := b.Top()
+	btn := w.Doc.GetElementByID("b")
+	w.UserDispatch(btn, "click")
+	w.UserDispatch(btn, "click")
+	b.Run()
+	if globalNum(t, b, "clicks") != 2 {
+		t.Fatal("handler did not run twice")
+	}
+	// Only a race between the two handler executions would indicate a
+	// missing rule 9 edge; the script's initializing write races with
+	// the click by design.
+	if r := handlerHandlerRace(b, "clicks"); r != nil {
+		t.Errorf("rule 9 missing: repeat dispatches race: %v", r)
+	}
+}
+
+// TestSouthwestFormRace reproduces Fig. 2: the user types into the box
+// while the page is still loading; a later script overwrites the value.
+func TestSouthwestFormRace(t *testing.T) {
+	site := loader.NewSite("southwest").Add("index.html", `
+<input type="text" id="depart" />
+<p>a</p><p>b</p><p>c</p><p>d</p>
+<script>
+document.getElementById("depart").value = "City of Departure";
+</script>`)
+	cfg := Config{Seed: 1, ParseStepCost: 20, SharedFrameGlobals: true, Latency: fixedLatency(nil)}
+	b := New(site, cfg)
+	typed := false
+	var typeIn func()
+	typeIn = func() {
+		w := b.Top()
+		if box := w.Doc.GetElementByID("depart"); box != nil && !typed {
+			typed = true
+			w.SimulateTyping(box, "SFO")
+			return
+		}
+		if !typed {
+			b.ScheduleUserAction(5, typeIn)
+		}
+	}
+	b.ScheduleUserAction(5, typeIn)
+	b.LoadPage("index.html")
+	if !typed {
+		t.Fatal("user never typed")
+	}
+	r := raceOnName(racesOfType(b, report.Variable), "value")
+	if r == nil {
+		t.Fatalf("no variable race on the form value; reports: %v", b.Reports())
+	}
+	// The user's input was erased by the script.
+	if box := b.Top().Doc.GetElementByID("depart"); box.Value != "City of Departure" {
+		t.Logf("note: script write landed before typing (value %q)", box.Value)
+	}
+}
+
+// TestSharedFrameGlobalsOff checks the realistic isolation mode: with
+// SharedFrameGlobals off, frame globals live in distinct location spaces
+// and Fig. 1 reports no variable race.
+func TestSharedFrameGlobalsOff(t *testing.T) {
+	site := loader.NewSite("isolated").
+		Add("index.html", `<iframe src="a.html"></iframe><iframe src="b.html"></iframe>`).
+		Add("a.html", `<script>x = 2;</script>`).
+		Add("b.html", `<script>y = x;</script>`)
+	b := New(site, Config{Seed: 1, Latency: fixedLatency(nil)})
+	b.LoadPage("index.html")
+	if r := raceOnName(racesOfType(b, report.Variable), "x"); r != nil {
+		t.Errorf("isolated frames should not race on globals: %v", r)
+	}
+}
+
+// TestConsoleAndAlert checks output capture.
+func TestConsoleAndAlert(t *testing.T) {
+	site := loader.NewSite("console").Add("index.html",
+		`<script>console.log("hello", 42); alert("hi");</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if len(b.Console) != 2 || b.Console[0] != "log: hello 42" || b.Console[1] != "alert: hi" {
+		t.Errorf("console capture = %v", b.Console)
+	}
+}
+
+// TestInnerHTML checks dynamic markup insertion with element writes.
+func TestInnerHTML(t *testing.T) {
+	site := loader.NewSite("innerhtml").Add("index.html", `
+<div id="host"></div>
+<script>
+document.getElementById("host").innerHTML = "<span id='kid'>x</span>";
+found = document.getElementById("kid") !== null;
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalNum(t, b, "found") != 1 {
+		t.Errorf("innerHTML children not reachable by id; errors: %v", b.Errors)
+	}
+}
+
+// handlerHandlerRace returns a race on the named variable whose two sides
+// are both event-handler operations, or nil.
+func handlerHandlerRace(b *Browser, name string) *race.Report {
+	for i, r := range b.Reports() {
+		if r.Loc.Name != name {
+			continue
+		}
+		pk := b.Ops.Get(r.Prior.Op).Kind
+		ck := b.Ops.Get(r.Current.Op).Kind
+		if pk == op.KindHandler && ck == op.KindHandler {
+			return &b.Reports()[i]
+		}
+	}
+	return nil
+}
+
+var _ = js.Undefined // keep the import when helpers churn

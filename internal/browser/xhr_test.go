@@ -1,0 +1,104 @@
+package browser
+
+import (
+	"testing"
+
+	"webracer/internal/loader"
+	"webracer/internal/report"
+)
+
+func TestXHRAddEventListener(t *testing.T) {
+	site := loader.NewSite("xhrlisten").
+		Add("index.html", `
+<script>
+var x = new XMLHttpRequest();
+x.addEventListener("readystatechange", function() {
+  if (x.readyState == 4) { viaListener = 1; }
+});
+x.open("GET", "d.json");
+x.send();
+</script>`).
+		Add("d.json", `ok`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalNum(t, b, "viaListener") != 1 {
+		t.Fatalf("addEventListener on XHR did not fire; errors: %v", b.Errors)
+	}
+}
+
+func TestXHRSendWithoutOpen(t *testing.T) {
+	site := loader.NewSite("xhrnoopen").Add("index.html", `
+<script>
+var x = new XMLHttpRequest();
+x.send(); // no URL: must be a harmless no-op
+after = 1;
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalNum(t, b, "after") != 1 {
+		t.Error("send without open crashed the script")
+	}
+}
+
+func TestXHRDoubleSendIgnored(t *testing.T) {
+	site := loader.NewSite("xhrdouble").
+		Add("index.html", `
+<script>
+hits = 0;
+var x = new XMLHttpRequest();
+x.onreadystatechange = function() { if (x.readyState == 4) hits = hits + 1; };
+x.open("GET", "d.json");
+x.send();
+x.send();
+</script>`).
+		Add("d.json", `ok`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalNum(t, b, "hits") != 1 {
+		t.Errorf("double send produced %v completions, want 1", globalNum(t, b, "hits"))
+	}
+}
+
+// TestXHRStateReadDuringFlight: polling readyState from a timer while the
+// request is in flight races with the network write of readyState.
+func TestXHRStateReadDuringFlight(t *testing.T) {
+	site := loader.NewSite("xhrpoll").
+		Add("index.html", `
+<script>
+var x = new XMLHttpRequest();
+x.open("GET", "slow.json");
+x.send();
+var poll = setInterval(function() {
+  if (x.readyState == 4) { clearInterval(poll); done = 1; }
+}, 10);
+</script>`).
+		Add("slow.json", `ok`)
+	b := runSite(t, site, Config{Seed: 1,
+		Latency: fixedLatency(map[string]float64{"slow.json": 55})})
+	if globalNum(t, b, "done") != 1 {
+		t.Fatalf("poll never completed; errors: %v", b.Errors)
+	}
+	// The poll's readyState read races with the response's write.
+	if raceOnName(racesOfType(b, report.Variable), "readyState") == nil {
+		t.Errorf("readyState polling race not reported; reports: %v", b.Reports())
+	}
+}
+
+// TestSelectElementChange: select is a form field; change dispatch and
+// value writes behave like inputs.
+func TestSelectElementChange(t *testing.T) {
+	site := loader.NewSite("select").Add("index.html", `
+<select id="s"></select>
+<script>
+document.getElementById("s").onchange = function() { changed = 1; };
+document.getElementById("s").value = "b";
+v = document.getElementById("s").value;
+</script>`)
+	b := runSite(t, site, Config{Seed: 1})
+	if globalStr(t, b, "v") != "b" {
+		t.Error("select value round trip broken")
+	}
+	w := b.Top()
+	w.UserDispatch(w.Doc.GetElementByID("s"), "change")
+	b.Run()
+	if globalNum(t, b, "changed") != 1 {
+		t.Error("change handler did not run")
+	}
+}

@@ -1,0 +1,128 @@
+package dom
+
+import "strings"
+
+// Selector is a parsed CSS selector of the subset real pages use for
+// lookups: a compound selector (tag, #id, .class in any combination)
+// optionally chained with descendant combinators, e.g.
+// "div.menu #item", "input.large", "#nav a".
+type Selector struct {
+	parts []simpleSelector
+}
+
+type simpleSelector struct {
+	tag     string
+	id      string
+	classes []string
+}
+
+// ParseSelector parses the selector subset. It returns ok=false for syntax
+// this subset does not support (attribute selectors, pseudo-classes,
+// child/sibling combinators).
+func ParseSelector(src string) (Selector, bool) {
+	src = strings.TrimSpace(src)
+	if src == "" || strings.ContainsAny(src, "[]:>+~,*") {
+		return Selector{}, false
+	}
+	var sel Selector
+	for _, field := range strings.Fields(src) {
+		var s simpleSelector
+		rest := field
+		// Leading tag name.
+		i := 0
+		for i < len(rest) && rest[i] != '#' && rest[i] != '.' {
+			i++
+		}
+		s.tag = strings.ToLower(rest[:i])
+		rest = rest[i:]
+		for rest != "" {
+			marker := rest[0]
+			rest = rest[1:]
+			j := 0
+			for j < len(rest) && rest[j] != '#' && rest[j] != '.' {
+				j++
+			}
+			name := rest[:j]
+			rest = rest[j:]
+			if name == "" {
+				return Selector{}, false
+			}
+			switch marker {
+			case '#':
+				s.id = name
+			case '.':
+				s.classes = append(s.classes, name)
+			}
+		}
+		sel.parts = append(sel.parts, s)
+	}
+	if len(sel.parts) == 0 {
+		return Selector{}, false
+	}
+	return sel, true
+}
+
+// matches reports whether node n satisfies the simple selector.
+func (s simpleSelector) matches(n *Node) bool {
+	if n.Tag == "#text" || n.Tag == "#document" {
+		return false
+	}
+	if s.tag != "" && n.Tag != s.tag {
+		return false
+	}
+	if s.id != "" && n.ID() != s.id {
+		return false
+	}
+	if len(s.classes) > 0 {
+		have := strings.Fields(n.Attrs["class"])
+		for _, want := range s.classes {
+			found := false
+			for _, h := range have {
+				if h == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Select returns the in-document nodes under root matching the selector,
+// in tree order.
+func (sel Selector) Select(root *Node) []*Node {
+	if len(sel.parts) == 0 {
+		return nil
+	}
+	// Match the final simple selector, then verify ancestors for the
+	// descendant chain.
+	last := sel.parts[len(sel.parts)-1]
+	var out []*Node
+	root.Walk(func(n *Node) {
+		if n == root || !last.matches(n) {
+			return
+		}
+		if sel.ancestorsSatisfy(n, root) {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// ancestorsSatisfy checks the descendant chain sel.parts[:len-1] against
+// n's ancestors (each part must match some strictly closer ancestor, in
+// order).
+func (sel Selector) ancestorsSatisfy(n *Node, root *Node) bool {
+	need := len(sel.parts) - 2
+	anc := n.Parent
+	for need >= 0 && anc != nil && anc != root.Parent {
+		if sel.parts[need].matches(anc) {
+			need--
+		}
+		anc = anc.Parent
+	}
+	return need < 0
+}

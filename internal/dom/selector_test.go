@@ -1,0 +1,115 @@
+package dom
+
+import "testing"
+
+// buildTestTree makes:
+//
+//	<div id="nav" class="menu top">
+//	  <a class="item">x</a>
+//	  <span><a id="deep" class="item active"></a></span>
+//	</div>
+//	<a class="item"></a>
+func buildTestTree() (*Document, *Node, *Node, *Node) {
+	d := NewDocument("t", &Serials{})
+	nav := d.NewNode("div")
+	nav.Attrs["id"] = "nav"
+	nav.Attrs["class"] = "menu top"
+	a1 := d.NewNode("a")
+	a1.Attrs["class"] = "item"
+	span := d.NewNode("span")
+	deep := d.NewNode("a")
+	deep.Attrs["id"] = "deep"
+	deep.Attrs["class"] = "item active"
+	outside := d.NewNode("a")
+	outside.Attrs["class"] = "item"
+	d.Root.AppendChild(nav)
+	nav.AppendChild(a1)
+	nav.AppendChild(span)
+	span.AppendChild(deep)
+	d.Root.AppendChild(outside)
+	return d, nav, deep, outside
+}
+
+func selCount(t *testing.T, d *Document, src string) int {
+	t.Helper()
+	sel, ok := ParseSelector(src)
+	if !ok {
+		t.Fatalf("ParseSelector(%q) rejected", src)
+	}
+	return len(sel.Select(d.Root))
+}
+
+func TestSelectorByTag(t *testing.T) {
+	d, _, _, _ := buildTestTree()
+	if got := selCount(t, d, "a"); got != 3 {
+		t.Errorf("a → %d, want 3", got)
+	}
+	if got := selCount(t, d, "div"); got != 1 {
+		t.Errorf("div → %d, want 1", got)
+	}
+}
+
+func TestSelectorByID(t *testing.T) {
+	d, nav, _, _ := buildTestTree()
+	sel, _ := ParseSelector("#nav")
+	got := sel.Select(d.Root)
+	if len(got) != 1 || got[0] != nav {
+		t.Errorf("#nav → %v", got)
+	}
+}
+
+func TestSelectorByClass(t *testing.T) {
+	d, _, _, _ := buildTestTree()
+	if got := selCount(t, d, ".item"); got != 3 {
+		t.Errorf(".item → %d, want 3", got)
+	}
+	if got := selCount(t, d, ".active"); got != 1 {
+		t.Errorf(".active → %d, want 1", got)
+	}
+	if got := selCount(t, d, ".menu"); got != 1 {
+		t.Errorf(".menu → %d, want 1 (multi-class attribute)", got)
+	}
+}
+
+func TestSelectorCompound(t *testing.T) {
+	d, _, deep, _ := buildTestTree()
+	sel, _ := ParseSelector("a.item.active")
+	got := sel.Select(d.Root)
+	if len(got) != 1 || got[0] != deep {
+		t.Errorf("a.item.active → %v", got)
+	}
+	if got := selCount(t, d, "a#deep"); got != 1 {
+		t.Errorf("a#deep → %d", got)
+	}
+	if got := selCount(t, d, "div.item"); got != 0 {
+		t.Errorf("div.item → %d, want 0", got)
+	}
+}
+
+func TestSelectorDescendant(t *testing.T) {
+	d, _, _, _ := buildTestTree()
+	// Only the two <a> under #nav, not the outside one.
+	if got := selCount(t, d, "#nav a"); got != 2 {
+		t.Errorf("#nav a → %d, want 2", got)
+	}
+	// Through an intermediate span.
+	if got := selCount(t, d, "div span a"); got != 1 {
+		t.Errorf("div span a → %d, want 1", got)
+	}
+	// Chain that skips levels still matches (descendant, not child).
+	if got := selCount(t, d, ".menu .active"); got != 1 {
+		t.Errorf(".menu .active → %d, want 1", got)
+	}
+	// Unsatisfiable chain.
+	if got := selCount(t, d, "span div a"); got != 0 {
+		t.Errorf("span div a → %d, want 0", got)
+	}
+}
+
+func TestSelectorUnsupported(t *testing.T) {
+	for _, src := range []string{"", "a > b", "a:hover", "[data-x]", "a, b", "*", "a..b", "#"} {
+		if _, ok := ParseSelector(src); ok {
+			t.Errorf("ParseSelector(%q) accepted, want rejection", src)
+		}
+	}
+}

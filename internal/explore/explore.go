@@ -1,0 +1,291 @@
+// Package explore implements WebRacer's automatic exploration (§5.2.2):
+// after the window load event, it systematically dispatches the user-action
+// events for which the page registered handlers, clicks links whose href
+// uses the javascript: protocol, and simulates typing into text boxes and
+// input fields so that races on form values (Fig. 2) are exposed.
+//
+// Doing all automatic dispatch after window load mirrors the paper's
+// choice ("simplifying reasoning about WEBRACER's output, since all
+// automatically-dispatched events are together"). An additional eager mode
+// injects the same interactions *during* the page load; the harm oracle
+// uses it to provoke the crashes and lost inputs that make a race harmful.
+package explore
+
+import (
+	"sort"
+	"strings"
+
+	"webracer/internal/browser"
+	"webracer/internal/dom"
+)
+
+// AutoEvents are the event types automatic exploration dispatches, exactly
+// the paper's list.
+var AutoEvents = []string{
+	"mouseover", "mousemove", "mouseout", "mouseup", "mousedown",
+	"keydown", "keyup", "keypress", "change", "input", "focus", "blur",
+}
+
+// Options tunes exploration.
+type Options struct {
+	// Events overrides AutoEvents when non-nil.
+	Events []string
+	// ClickJSLinks clicks <a href="javascript:..."> links (default on
+	// via Default()).
+	ClickJSLinks bool
+	// TypeIntoFields simulates typing into text boxes and input fields.
+	TypeIntoFields bool
+	// ClickButtons clicks elements with click handlers.
+	ClickButtons bool
+	// EagerDelay is the injection period of EagerLoad in virtual ms.
+	EagerDelay float64
+	// TypedText is the text typed into fields.
+	TypedText string
+}
+
+// Default returns the configuration matching §5.2.2.
+func Default() Options {
+	return Options{
+		ClickJSLinks:   true,
+		TypeIntoFields: true,
+		ClickButtons:   true,
+		TypedText:      "user input",
+	}
+}
+
+// Stats summarizes one exploration pass.
+type Stats struct {
+	EventsDispatched int
+	LinksClicked     int
+	FieldsTyped      int
+	// Rounds counts feedback-directed rounds (Exhaustive only).
+	Rounds int
+}
+
+// Run performs automatic exploration over every window of b and then drains
+// the event loop. Call it after LoadPage (the paper's post-load mode). For
+// eager injection during the load itself, use EagerLoad.
+func Run(b *browser.Browser, opts Options) Stats {
+	if opts.TypedText == "" {
+		opts.TypedText = "user input"
+	}
+	var st Stats
+	seen := map[*dom.Node]bool{}
+	for _, w := range b.Windows() {
+		st.add(explodeWindow(w, opts, seen))
+	}
+	b.Run()
+	return st
+}
+
+// Exhaustive performs feedback-directed exploration in the spirit of the
+// Artemis system the paper compares against (§8): after each interaction
+// round it rescans for handlers that earlier rounds *registered* (menus
+// that build sub-menus on hover, handlers attached from other handlers) and
+// keeps going until a round discovers nothing new or MaxRounds is hit.
+// WebRacer itself explores one round ("a shallower exploration than
+// Artemis, sufficient for exposing many races"); this is the deeper mode.
+func Exhaustive(b *browser.Browser, opts Options, maxRounds int) Stats {
+	if maxRounds <= 0 {
+		maxRounds = 8
+	}
+	if opts.TypedText == "" {
+		opts.TypedText = "user input"
+	}
+	var total Stats
+	exercised := map[exerciseKey]bool{}
+	for round := 0; round < maxRounds; round++ {
+		var st Stats
+		for _, w := range b.Windows() {
+			st.add(exerciseNew(w, opts, exercised))
+		}
+		b.Run()
+		total.add(st)
+		total.Rounds++
+		if st.EventsDispatched+st.LinksClicked+st.FieldsTyped == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// exerciseKey identifies one (node, event) interaction so later rounds only
+// dispatch events whose handlers are new.
+type exerciseKey struct {
+	n  *dom.Node
+	ev string
+}
+
+// exerciseNew dispatches interactions not yet performed, including events
+// whose handlers appeared since the previous round.
+func exerciseNew(w *browser.Window, opts Options, done map[exerciseKey]bool) Stats {
+	var st Stats
+	events := opts.Events
+	if events == nil {
+		events = AutoEvents
+	}
+	var targets []*dom.Node
+	w.Doc.Root.Walk(func(n *dom.Node) {
+		if n.Tag != "#text" {
+			targets = append(targets, n)
+		}
+	})
+	targets = append(targets, w.WindowNode())
+	for _, n := range targets {
+		registered := n.ListenerEvents()
+		for _, ev := range registered {
+			if !contains(sortedCopy(events), ev) && !(opts.ClickButtons && ev == "click") {
+				continue
+			}
+			k := exerciseKey{n, ev}
+			if done[k] {
+				continue
+			}
+			done[k] = true
+			w.UserDispatch(n, ev)
+			st.EventsDispatched++
+		}
+		if opts.ClickJSLinks && n.Tag == "a" &&
+			strings.HasPrefix(strings.TrimSpace(n.Attrs["href"]), "javascript:") {
+			k := exerciseKey{n, "click+href"}
+			if !done[k] {
+				done[k] = true
+				w.UserDispatch(n, "click")
+				st.LinksClicked++
+			}
+		}
+		if opts.TypeIntoFields && isTextField(n) {
+			k := exerciseKey{n, "typing"}
+			if !done[k] {
+				done[k] = true
+				w.SimulateTyping(n, opts.TypedText)
+				st.FieldsTyped++
+			}
+		}
+	}
+	return st
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+// EagerLoad loads url while injecting user interactions during the load
+// (every EagerDelay virtual ms until every window has loaded). The harm
+// oracle uses this mode to provoke the behaviours that make races harmful:
+// early clicks crash on missing elements (Fig. 3), early typing gets
+// erased (Fig. 2).
+func EagerLoad(b *browser.Browser, url string, opts Options) Stats {
+	if opts.TypedText == "" {
+		opts.TypedText = "user input"
+	}
+	delay := opts.EagerDelay
+	if delay <= 0 {
+		delay = 5
+	}
+	var st Stats
+	seen := map[*dom.Node]bool{}
+	var tick func()
+	tick = func() {
+		for _, w := range b.Windows() {
+			st.add(explodeWindow(w, opts, seen))
+		}
+		if !allLoaded(b) {
+			b.ScheduleUserAction(delay, tick)
+		}
+	}
+	b.ScheduleUserAction(delay, tick)
+	b.LoadPage(url)
+	// One final pass after load so late-registered handlers are covered.
+	for _, w := range b.Windows() {
+		st.add(explodeWindow(w, opts, seen))
+	}
+	b.Run()
+	return st
+}
+
+func (s *Stats) add(o Stats) {
+	s.EventsDispatched += o.EventsDispatched
+	s.LinksClicked += o.LinksClicked
+	s.FieldsTyped += o.FieldsTyped
+}
+
+func allLoaded(b *browser.Browser) bool {
+	for _, w := range b.Windows() {
+		if !w.Loaded() {
+			return false
+		}
+	}
+	return true
+}
+
+// explodeWindow dispatches interactions in one window, skipping nodes
+// already exercised (relevant for the eager mode's repeated scans).
+func explodeWindow(w *browser.Window, opts Options, seen map[*dom.Node]bool) Stats {
+	var st Stats
+	events := opts.Events
+	if events == nil {
+		events = AutoEvents
+	}
+	var targets []*dom.Node
+	w.Doc.Root.Walk(func(n *dom.Node) {
+		if n.Tag == "#text" || seen[n] {
+			return
+		}
+		targets = append(targets, n)
+	})
+	// Window-level targets (handlers on window for key events etc.).
+	if !seen[w.WindowNode()] {
+		targets = append(targets, w.WindowNode())
+	}
+	for _, n := range targets {
+		seen[n] = true
+		// Generate only events the page listens for (§5.2.2:
+		// "generating any event of certain types for which an event
+		// handler was registered").
+		registered := n.ListenerEvents()
+		for _, ev := range events {
+			if !contains(registered, ev) {
+				continue
+			}
+			w.UserDispatch(n, ev)
+			st.EventsDispatched++
+		}
+		if opts.ClickButtons && contains(registered, "click") {
+			w.UserDispatch(n, "click")
+			st.EventsDispatched++
+		}
+		if opts.ClickJSLinks && n.Tag == "a" &&
+			strings.HasPrefix(strings.TrimSpace(n.Attrs["href"]), "javascript:") {
+			w.UserDispatch(n, "click")
+			st.LinksClicked++
+		}
+		if opts.TypeIntoFields && isTextField(n) {
+			w.SimulateTyping(n, opts.TypedText)
+			st.FieldsTyped++
+		}
+	}
+	return st
+}
+
+func isTextField(n *dom.Node) bool {
+	if n.Tag == "textarea" {
+		return true
+	}
+	if n.Tag != "input" {
+		return false
+	}
+	switch n.Attrs["type"] {
+	case "", "text", "search", "email", "url", "tel", "password":
+		return true
+	default:
+		return false
+	}
+}
+
+func contains(sorted []string, s string) bool {
+	i := sort.SearchStrings(sorted, s)
+	return i < len(sorted) && sorted[i] == s
+}

@@ -1,0 +1,194 @@
+package explore
+
+import (
+	"testing"
+
+	"webracer/internal/browser"
+	"webracer/internal/loader"
+	"webracer/internal/race"
+	"webracer/internal/report"
+)
+
+func load(t *testing.T, site *loader.Site, cfg browser.Config) *browser.Browser {
+	t.Helper()
+	cfg.SharedFrameGlobals = true
+	if cfg.Latency.Base == 0 && cfg.Latency.PerURL == nil {
+		cfg.Latency = loader.Latency{Base: 10}
+	}
+	b := browser.New(site, cfg)
+	b.LoadPage("index.html")
+	return b
+}
+
+func raceOn(reports []race.Report, name string) *race.Report {
+	for i, r := range reports {
+		if r.Loc.Name == name {
+			return &reports[i]
+		}
+	}
+	return nil
+}
+
+// TestExploreDispatchesRegisteredEvents: only events with handlers fire.
+func TestExploreDispatchesRegisteredEvents(t *testing.T) {
+	site := loader.NewSite("reg").Add("index.html", `
+<div id="a" onmouseover="overs = (typeof overs === 'undefined' ? 0 : overs) + 1;"></div>
+<div id="b"></div>`)
+	b := load(t, site, browser.Config{Seed: 1})
+	st := Run(b, Default())
+	if st.EventsDispatched != 1 {
+		t.Errorf("dispatched %d events, want 1 (only the registered mouseover)", st.EventsDispatched)
+	}
+	v, ok := b.Top().It.LookupGlobal("overs")
+	if !ok || v.ToNumber() != 1 {
+		t.Errorf("mouseover handler did not run: %v %v", v, ok)
+	}
+}
+
+// TestExploreClicksJavascriptLinks: Fig. 3's Send Email link is exercised.
+func TestExploreClicksJavascriptLinks(t *testing.T) {
+	site := loader.NewSite("links").Add("index.html", `
+<script>
+function show() { var v = document.getElementById("dw"); v.style.display = "block"; }
+</script>
+<a href="javascript:show()">Send Email</a>
+<div id="dw" style="display:none"></div>`)
+	b := load(t, site, browser.Config{Seed: 1})
+	st := Run(b, Default())
+	if st.LinksClicked != 1 {
+		t.Fatalf("clicked %d links, want 1", st.LinksClicked)
+	}
+	htmls := []race.Report{}
+	for _, r := range b.Reports() {
+		if report.Classify(r) == report.HTML {
+			htmls = append(htmls, r)
+		}
+	}
+	if raceOn(htmls, "dw") == nil {
+		t.Fatalf("exploration did not expose the HTML race; reports: %v", b.Reports())
+	}
+}
+
+// TestExploreTypesIntoFields: the Fig. 2 form-value race is exposed by
+// typing simulation even after load.
+func TestExploreTypesIntoFields(t *testing.T) {
+	site := loader.NewSite("form").Add("index.html", `
+<input type="text" id="depart" />
+<script>document.getElementById("depart").value = "City of Departure";</script>`)
+	b := load(t, site, browser.Config{Seed: 1})
+	st := Run(b, Default())
+	if st.FieldsTyped != 1 {
+		t.Fatalf("typed into %d fields, want 1", st.FieldsTyped)
+	}
+	if raceOn(b.Reports(), "value") == nil {
+		t.Fatalf("typing did not expose the form race; reports: %v", b.Reports())
+	}
+}
+
+// TestExploreFunctionRaceViaClick reproduces §6.3's observation that
+// harmful function races were exposed by simulated clicks: the click
+// handler calls a function declared in a later-loading script.
+func TestExploreFunctionRaceViaClick(t *testing.T) {
+	site := loader.NewSite("fnclick").
+		Add("index.html", `
+<div id="menu" onmouseover="openMenu();"></div>
+<script src="widgets.js" async="true"></script>`).
+		Add("widgets.js", `function openMenu() { opened = 1; }`)
+	b := load(t, site, browser.Config{Seed: 1})
+	Run(b, Default())
+	funcs := []race.Report{}
+	for _, r := range b.Reports() {
+		if report.Classify(r) == report.Function {
+			funcs = append(funcs, r)
+		}
+	}
+	if raceOn(funcs, "openMenu") == nil {
+		t.Fatalf("no function race on openMenu; reports: %v", b.Reports())
+	}
+}
+
+// TestEagerExploration injects interactions during load so the lost-input
+// behaviour actually occurs (used by the harm oracle).
+func TestEagerExploration(t *testing.T) {
+	site := loader.NewSite("eager").Add("index.html", `
+<input type="text" id="box" />
+<p>a</p><p>b</p><p>c</p><p>d</p><p>e</p><p>f</p>
+<script>document.getElementById("box").value = "hint";</script>`)
+	cfg := browser.Config{Seed: 1, ParseStepCost: 15, SharedFrameGlobals: true,
+		Latency: loader.Latency{Base: 10}}
+	b := browser.New(site, cfg)
+	opts := Default()
+	opts.TypedText = "SFO"
+	st := EagerLoad(b, "index.html", opts)
+	if st.FieldsTyped == 0 {
+		t.Fatal("eager exploration never typed")
+	}
+	// The user's input was overwritten by the hint script: lost input.
+	if box := b.Top().Doc.GetElementByID("box"); box == nil || box.Value != "hint" {
+		t.Fatalf("expected script to overwrite eager typing; value=%q", boxValue(b))
+	}
+	if raceOn(b.Reports(), "value") == nil {
+		t.Fatalf("no race on the form value; reports: %v", b.Reports())
+	}
+}
+
+// TestExhaustiveDiscoversNestedHandlers: a hover handler registers a
+// sub-menu click handler; only feedback-directed rounds reach it.
+func TestExhaustiveDiscoversNestedHandlers(t *testing.T) {
+	// The submenu precedes the menu in tree order, so a single linear
+	// exploration pass visits it before its handler exists.
+	site := loader.NewSite("nested").Add("index.html", `
+<div id="submenu"></div>
+<div id="menu"></div>
+<script>
+document.getElementById("menu").onmouseover = function() {
+  document.getElementById("submenu").onclick = function() { subClicked = 1; };
+};
+</script>`)
+	// One-round exploration registers the sub-handler but never fires it.
+	b1 := load(t, site, browser.Config{Seed: 1})
+	Run(b1, Default())
+	if _, ok := b1.Top().It.LookupGlobal("subClicked"); ok {
+		t.Fatal("single round should not reach the nested handler")
+	}
+	// Exhaustive exploration reaches it in round 2.
+	b2 := load(t, site, browser.Config{Seed: 1})
+	st := Exhaustive(b2, Default(), 5)
+	if v, ok := b2.Top().It.LookupGlobal("subClicked"); !ok || v.ToNumber() != 1 {
+		t.Fatalf("exhaustive exploration missed the nested handler (rounds=%d)", st.Rounds)
+	}
+	if st.Rounds < 2 {
+		t.Errorf("rounds = %d, want >= 2", st.Rounds)
+	}
+}
+
+// TestExhaustiveTerminates: exploration converges even when handlers
+// re-register themselves.
+func TestExhaustiveTerminates(t *testing.T) {
+	site := loader.NewSite("selfreg").Add("index.html", `
+<div id="d"></div>
+<script>
+count = 0;
+function arm() {
+  document.getElementById("d").onmouseover = function() { count = count + 1; arm(); };
+}
+arm();
+</script>`)
+	b := load(t, site, browser.Config{Seed: 1})
+	st := Exhaustive(b, Default(), 50)
+	// The same (node, event) pair is never re-dispatched, so this stops
+	// after the second round finds nothing new.
+	if st.Rounds > 3 {
+		t.Errorf("exploration did not converge: %d rounds", st.Rounds)
+	}
+	if v, _ := b.Top().It.LookupGlobal("count"); v.ToNumber() != 1 {
+		t.Errorf("handler ran %v times, want 1", v.ToNumber())
+	}
+}
+
+func boxValue(b *browser.Browser) string {
+	if box := b.Top().Doc.GetElementByID("box"); box != nil {
+		return box.Value
+	}
+	return "<missing>"
+}

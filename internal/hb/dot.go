@@ -1,0 +1,64 @@
+package hb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"webracer/internal/op"
+)
+
+// WriteDOT renders the happens-before graph in Graphviz DOT form, one node
+// per operation labeled with its kind and description. Synthetic barrier
+// operations (anchors and joins) are drawn small and grey so the real
+// operations stand out. Useful for debugging a page's ordering and for
+// documentation:
+//
+//	webracer -dot page.dot ./mysite && dot -Tsvg page.dot > page.svg
+func (g *Graph) WriteDOT(w io.Writer, ops *op.Table) error {
+	if _, err := fmt.Fprintln(w, "digraph happensbefore {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [fontname=\"monospace\", fontsize=10];")
+	for i := 1; i <= g.Len(); i++ {
+		id := op.ID(i)
+		if int(id) > ops.Len() {
+			break
+		}
+		o := ops.Get(id)
+		label := fmt.Sprintf("#%d %s\\n%s", o.ID, o.Kind, escapeDOT(o.Label))
+		switch o.Kind {
+		case op.KindAnchor, op.KindJoin:
+			fmt.Fprintf(w, "  n%d [label=\"%s\", shape=point, color=grey, xlabel=\"%s\"];\n",
+				id, escapeDOT(o.Kind.String()), escapeDOT(truncate(o.Label, 24)))
+		case op.KindParse:
+			fmt.Fprintf(w, "  n%d [label=\"%s\", shape=box, color=\"#888888\"];\n", id, label)
+		case op.KindScript, op.KindHandler, op.KindTimeout, op.KindInterval, op.KindContinuation:
+			fmt.Fprintf(w, "  n%d [label=\"%s\", shape=box, style=bold];\n", id, label)
+		default:
+			fmt.Fprintf(w, "  n%d [label=\"%s\", shape=ellipse];\n", id, label)
+		}
+	}
+	for i := 1; i <= g.Len(); i++ {
+		for _, s := range g.Succs(op.ID(i)) {
+			fmt.Fprintf(w, "  n%d -> n%d;\n", i, s)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

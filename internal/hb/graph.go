@@ -1,0 +1,220 @@
+// Package hb implements the happens-before relation of §3 of "Race
+// Detection for Web Applications" (PLDI 2012).
+//
+// The relation is represented, as in the paper's implementation (§5.2.1),
+// "rather directly as a graph structure": operations are nodes and each of
+// the rules of §3.3 contributes directed edges. The relation itself is the
+// transitive closure of the edge set. Two query engines are provided:
+//
+//   - Graph.HappensBefore answers reachability using memoized per-node
+//     bitset closures (the paper's graph-traversal approach, but with each
+//     node's ancestor set cached so repeated queries are O(n/64) words).
+//
+//   - Clocks assigns every operation a vector clock over a greedy chain
+//     decomposition of the DAG — the "more efficient vector-clock
+//     representation" the paper names as future work. Ordering queries are
+//     then a single array lookup.
+//
+// Both engines answer exactly the same relation; package race exploits that
+// in an ablation, and property tests in this package check the equivalence
+// on random DAGs.
+package hb
+
+import (
+	"fmt"
+
+	"webracer/internal/op"
+)
+
+// Graph is a happens-before DAG over operation IDs. The zero value is ready
+// to use. Graph is not safe for concurrent use; the simulated browser is
+// single-threaded, mirroring the web platform (§2.1).
+type Graph struct {
+	preds   [][]op.ID // preds[i] = direct predecessors of ID(i+1)
+	succs   [][]op.ID
+	closure []bitset // closure[i] = ancestor set of ID(i+1); nil if stale/unset
+	edges   int
+
+	// Mirror, when set, receives every AddNode/Edge call — the hook the
+	// browser uses to keep a LiveClocks oracle in lock-step with the
+	// graph (experiment E4's online arm).
+	Mirror *LiveClocks
+}
+
+// NewGraph returns an empty happens-before graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode makes room for the operation; it must be called (directly or via
+// Edge's implicit growth) before querying the node. Nodes are cheap.
+func (g *Graph) AddNode(id op.ID) {
+	g.grow(id)
+	if g.Mirror != nil {
+		g.Mirror.AddNode(id)
+	}
+}
+
+func (g *Graph) grow(id op.ID) {
+	for len(g.preds) < int(id) {
+		g.preds = append(g.preds, nil)
+		g.succs = append(g.succs, nil)
+		g.closure = append(g.closure, nil)
+	}
+}
+
+// Edge records a ⇝ b (a happens before b). Self edges and duplicate edges
+// are ignored. Adding an edge invalidates the memoized closures of b and
+// its descendants, so interleaving edge insertion with queries stays
+// correct (the browser mostly adds edges into operations that have not been
+// queried yet, so invalidation is rarely triggered in practice).
+func (g *Graph) Edge(a, b op.ID) {
+	if a == b || a == op.None || b == op.None {
+		return
+	}
+	g.grow(max(a, b))
+	for _, p := range g.preds[b-1] {
+		if p == a {
+			return
+		}
+	}
+	g.preds[b-1] = append(g.preds[b-1], a)
+	g.succs[a-1] = append(g.succs[a-1], b)
+	g.invalidate(b)
+	g.edges++
+	if g.Mirror != nil {
+		g.Mirror.Edge(a, b)
+	}
+}
+
+// invalidate clears cached closures of id and all descendants. Closures are
+// computed ancestors-first, so a node whose closure is nil has only
+// nil-closure descendants; the walk prunes there.
+func (g *Graph) invalidate(id op.ID) {
+	if g.closure[id-1] == nil {
+		return
+	}
+	g.closure[id-1] = nil
+	for _, s := range g.succs[id-1] {
+		g.invalidate(s)
+	}
+}
+
+// Len reports the number of nodes the graph has room for.
+func (g *Graph) Len() int { return len(g.preds) }
+
+// Edges reports the number of distinct edges added.
+func (g *Graph) Edges() int { return g.edges }
+
+// MemoryBytes estimates the memory held by memoized ancestor closures —
+// the quantity the vector-clock representation trades away (it grows with
+// the square of the operation count; clocks grow with ops × chains).
+func (g *Graph) MemoryBytes() int {
+	total := 0
+	for _, c := range g.closure {
+		total += len(c) * 8
+	}
+	return total
+}
+
+// Preds returns the direct predecessors of id (shared slice; do not mutate).
+func (g *Graph) Preds(id op.ID) []op.ID {
+	if id == op.None || int(id) > len(g.preds) {
+		return nil
+	}
+	return g.preds[id-1]
+}
+
+// Succs returns the direct successors of id (shared slice; do not mutate).
+func (g *Graph) Succs(id op.ID) []op.ID {
+	if id == op.None || int(id) > len(g.succs) {
+		return nil
+	}
+	return g.succs[id-1]
+}
+
+// HappensBefore reports whether a ⇝ b in the transitive closure. An
+// operation does not happen before itself.
+func (g *Graph) HappensBefore(a, b op.ID) bool {
+	if a == b || a == op.None || b == op.None {
+		return false
+	}
+	if int(a) > len(g.preds) || int(b) > len(g.preds) {
+		return false
+	}
+	return g.ancestors(b).has(uint(a - 1))
+}
+
+// Concurrent reports whether two operations can happen concurrently
+// (CHC in §5.1): both are real operations and neither happens before the
+// other. Concurrent(a, a) is false.
+func (g *Graph) Concurrent(a, b op.ID) bool {
+	if a == op.None || b == op.None || a == b {
+		return false
+	}
+	return !g.HappensBefore(a, b) && !g.HappensBefore(b, a)
+}
+
+// ancestors returns (computing and memoizing if needed) the ancestor bitset
+// of id. The recursion is converted to an explicit stack: pages can produce
+// long parse chains that would overflow the goroutine stack.
+func (g *Graph) ancestors(id op.ID) bitset {
+	if c := g.closure[id-1]; c != nil {
+		return c
+	}
+	words := (len(g.preds) + 63) / 64
+	// Iterative post-order over the not-yet-memoized ancestors.
+	type frame struct {
+		id   op.ID
+		next int // next predecessor index to visit
+	}
+	stack := []frame{{id: id}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ps := g.preds[f.id-1]
+		advanced := false
+		for f.next < len(ps) {
+			p := ps[f.next]
+			f.next++
+			if g.closure[p-1] == nil {
+				stack = append(stack, frame{id: p})
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		// All predecessors memoized: build this node's closure.
+		c := make(bitset, words)
+		for _, p := range ps {
+			c.set(uint(p - 1))
+			c.or(g.closure[p-1])
+		}
+		g.closure[f.id-1] = c
+		stack = stack[:len(stack)-1]
+	}
+	return g.closure[id-1]
+}
+
+// bitset is a fixed-capacity bit vector.
+type bitset []uint64
+
+func (b bitset) set(i uint) { b[i/64] |= 1 << (i % 64) }
+
+func (b bitset) has(i uint) bool {
+	w := i / 64
+	if int(w) >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(i%64)) != 0
+}
+
+// or folds other into b. other may be shorter than b (it was built when the
+// graph was smaller); never longer, since ancestor IDs precede the node.
+func (b bitset) or(other bitset) {
+	if len(other) > len(b) {
+		panic(fmt.Sprintf("hb: closure wider than graph (%d > %d words)", len(other), len(b)))
+	}
+	for i, w := range other {
+		b[i] |= w
+	}
+}

@@ -1,0 +1,185 @@
+package hb
+
+import (
+	"fmt"
+
+	"webracer/internal/op"
+)
+
+// LiveClocks is an incremental vector-clock happens-before engine usable as
+// the browser's oracle *during* detection — the production form of the
+// "more efficient vector-clock representation" the paper plans (§5.2.1).
+// Where Graph memoizes O(n/64)-word ancestor bitsets per operation,
+// LiveClocks stores one O(chains)-entry clock per operation: memory scales
+// with the execution's logical width instead of its length.
+//
+// Operations and edges arrive incrementally. An operation's clock is
+// finalized lazily at its first query, joining its predecessors' clocks;
+// the browser's registration discipline (all in-edges of an operation are
+// recorded before the operation begins executing, and only executing
+// operations perform memory accesses) guarantees predecessors are final by
+// then. Edges into an already-finalized operation invalidate it and its
+// finalized descendants, mirroring Graph's behaviour, so the two engines
+// are interchangeable (package tests check equivalence on random DAGs).
+type LiveClocks struct {
+	preds [][]op.ID
+	succs [][]op.ID
+	chain []int32
+	pos   []int32
+	clock [][]int32 // nil until finalized
+	tails []op.ID   // chain tails
+}
+
+// NewLiveClocks returns an empty incremental engine.
+func NewLiveClocks() *LiveClocks { return &LiveClocks{} }
+
+var _ Oracle = (*LiveClocks)(nil)
+
+// AddNode makes room for id.
+func (c *LiveClocks) AddNode(id op.ID) { c.grow(id) }
+
+func (c *LiveClocks) grow(id op.ID) {
+	for len(c.preds) < int(id) {
+		c.preds = append(c.preds, nil)
+		c.succs = append(c.succs, nil)
+		c.chain = append(c.chain, -1)
+		c.pos = append(c.pos, 0)
+		c.clock = append(c.clock, nil)
+	}
+}
+
+// Edge records a ⇝ b.
+func (c *LiveClocks) Edge(a, b op.ID) {
+	if a == b || a == op.None || b == op.None {
+		return
+	}
+	c.grow(max(a, b))
+	for _, p := range c.preds[b-1] {
+		if p == a {
+			return
+		}
+	}
+	c.preds[b-1] = append(c.preds[b-1], a)
+	c.succs[a-1] = append(c.succs[a-1], b)
+	c.invalidate(b)
+}
+
+// invalidate clears finalized state of id and finalized descendants.
+// Chain assignments are rolled back conservatively by truncating nothing:
+// a re-finalized node simply starts a fresh chain, which costs clock width
+// but preserves correctness.
+func (c *LiveClocks) invalidate(id op.ID) {
+	if c.clock[id-1] == nil {
+		return
+	}
+	c.clock[id-1] = nil
+	c.chain[id-1] = -1
+	for _, s := range c.succs[id-1] {
+		c.invalidate(s)
+	}
+}
+
+// finalize assigns id's chain and clock (iteratively, ancestors first).
+func (c *LiveClocks) finalize(id op.ID) {
+	if c.clock[id-1] != nil {
+		return
+	}
+	type frame struct {
+		id   op.ID
+		next int
+	}
+	stack := []frame{{id: id}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ps := c.preds[f.id-1]
+		descended := false
+		for f.next < len(ps) {
+			p := ps[f.next]
+			f.next++
+			if p >= f.id {
+				panic(fmt.Sprintf("hb: live edge %d→%d violates topological ID order", p, f.id))
+			}
+			if c.clock[p-1] == nil {
+				stack = append(stack, frame{id: p})
+				descended = true
+				break
+			}
+		}
+		if descended {
+			continue
+		}
+		c.assign(f.id)
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// assign computes chain membership and the joined clock for id; all
+// predecessors are finalized.
+func (c *LiveClocks) assign(id op.ID) {
+	i := id - 1
+	ci := int32(-1)
+	for _, p := range c.preds[i] {
+		pc := c.chain[p-1]
+		if pc >= 0 && c.tails[pc] == p {
+			ci = pc
+			break
+		}
+	}
+	if ci < 0 {
+		ci = int32(len(c.tails))
+		c.tails = append(c.tails, op.None)
+	}
+	c.chain[i] = ci
+	if c.tails[ci] == op.None {
+		c.pos[i] = 0
+	} else {
+		c.pos[i] = c.pos[c.tails[ci]-1] + 1
+	}
+	c.tails[ci] = id
+	clk := make([]int32, len(c.tails))
+	for j := range clk {
+		clk[j] = -1
+	}
+	for _, p := range c.preds[i] {
+		for j, v := range c.clock[p-1] {
+			if v > clk[j] {
+				clk[j] = v
+			}
+		}
+	}
+	clk[ci] = c.pos[i]
+	c.clock[i] = clk
+}
+
+// HappensBefore reports a ⇝ b.
+func (c *LiveClocks) HappensBefore(a, b op.ID) bool {
+	if a == b || a == op.None || b == op.None ||
+		int(a) > len(c.preds) || int(b) > len(c.preds) {
+		return false
+	}
+	c.finalize(a)
+	c.finalize(b)
+	ca := c.chain[a-1]
+	clk := c.clock[b-1]
+	return int(ca) < len(clk) && clk[ca] >= c.pos[a-1]
+}
+
+// Concurrent reports CHC(a, b).
+func (c *LiveClocks) Concurrent(a, b op.ID) bool {
+	if a == op.None || b == op.None || a == b {
+		return false
+	}
+	return !c.HappensBefore(a, b) && !c.HappensBefore(b, a)
+}
+
+// Chains reports the current chain count (clock width).
+func (c *LiveClocks) Chains() int { return len(c.tails) }
+
+// MemoryBytes estimates the memory held by finalized clocks.
+func (c *LiveClocks) MemoryBytes() int {
+	total := 0
+	for _, clk := range c.clock {
+		total += len(clk) * 4
+	}
+	return total
+}

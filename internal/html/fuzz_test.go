@@ -1,0 +1,53 @@
+package html
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/dom"
+)
+
+// FuzzParseHTML: the tokenizer/parser must terminate without panicking on
+// arbitrary bytes, and every node it builds must be reachable and well
+// formed (parent pointers consistent).
+//
+//	go test -fuzz=FuzzParseHTML ./internal/html
+func FuzzParseHTML(f *testing.F) {
+	seeds := []string{
+		"<p>hello</p>",
+		"<div id=a><script>x<1</script></div>",
+		"<!-- c --><!doctype html><b><i></b></i>",
+		"<input value='a b' checked>",
+		"<iframe src=x.html /><img src=y.png>",
+		"<script>unterminated",
+		"</only-close>",
+		"&amp;&#39;&bogus;",
+		strings.Repeat("<div>", 64),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			return
+		}
+		doc := dom.NewDocument("fuzz", &dom.Serials{})
+		p := NewParser(doc, src)
+		for i := 0; ; i++ {
+			if i > 200_000 {
+				t.Fatalf("parser did not terminate")
+			}
+			if ev := p.Next(); ev.Kind == EventDone {
+				break
+			}
+		}
+		// Structural invariant: every child's parent pointer is right.
+		doc.Root.Walk(func(n *dom.Node) {
+			for _, k := range n.Kids {
+				if k.Parent != n {
+					t.Fatalf("parent pointer broken at %v", k)
+				}
+			}
+		})
+	})
+}

@@ -1,0 +1,263 @@
+package html
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/dom"
+)
+
+func tokens(src string) []Token {
+	tk := NewTokenizer(src)
+	var out []Token
+	for {
+		t := tk.Next()
+		out = append(out, t)
+		if t.Kind == TokenEOF {
+			return out
+		}
+	}
+}
+
+func TestTokenizeSimple(t *testing.T) {
+	toks := tokens(`<p class="big">hi</p>`)
+	if toks[0].Kind != TokenStartTag || toks[0].Name != "p" {
+		t.Fatalf("start tag: %+v", toks[0])
+	}
+	if len(toks[0].Attrs) != 1 || toks[0].Attrs[0].Name != "class" || toks[0].Attrs[0].Value != "big" {
+		t.Errorf("attrs: %+v", toks[0].Attrs)
+	}
+	if toks[1].Kind != TokenText || toks[1].Text != "hi" {
+		t.Errorf("text: %+v", toks[1])
+	}
+	if toks[2].Kind != TokenEndTag || toks[2].Name != "p" {
+		t.Errorf("end tag: %+v", toks[2])
+	}
+}
+
+func TestTokenizeAttrVariants(t *testing.T) {
+	toks := tokens(`<input type=text checked value='a b' data-x="1">`)
+	attrs := toks[0].Attrs
+	want := map[string]string{"type": "text", "checked": "", "value": "a b", "data-x": "1"}
+	if len(attrs) != len(want) {
+		t.Fatalf("attrs = %+v", attrs)
+	}
+	for _, a := range attrs {
+		if want[a.Name] != a.Value {
+			t.Errorf("attr %s = %q, want %q", a.Name, a.Value, want[a.Name])
+		}
+	}
+}
+
+func TestTokenizeSelfClose(t *testing.T) {
+	toks := tokens(`<iframe src="a.html" />`)
+	if !toks[0].SelfClose {
+		t.Error("self-close not detected")
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks := tokens(`a<!-- <p>ignored</p> -->b<!doctype html>c`)
+	var texts []string
+	for _, tk := range toks {
+		if tk.Kind == TokenText {
+			texts = append(texts, tk.Text)
+		}
+	}
+	if strings.Join(texts, "|") != "a|b|c" {
+		t.Errorf("texts = %v", texts)
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	toks := tokens(`<script>if (a < b) { x = "</div>"; }</script><p>after</p>`)
+	if toks[0].Kind != TokenStartTag || toks[0].Name != "script" {
+		t.Fatalf("toks[0] = %+v", toks[0])
+	}
+	if toks[1].Kind != TokenText || !strings.Contains(toks[1].Text, "a < b") {
+		t.Fatalf("script body not raw: %+v", toks[1])
+	}
+	// The "</div>" inside the string must not have closed the script...
+	if !strings.Contains(toks[1].Text, `</div>`) {
+		t.Errorf("script body lost its content: %q", toks[1].Text)
+	}
+	if toks[2].Kind != TokenStartTag || toks[2].Name != "p" {
+		t.Errorf("parsing did not resume after </script>: %+v", toks[2])
+	}
+}
+
+func TestEntities(t *testing.T) {
+	toks := tokens(`<p title="a&amp;b">x &lt; y &amp; z</p>`)
+	if toks[0].Attrs[0].Value != "a&b" {
+		t.Errorf("attr entity: %q", toks[0].Attrs[0].Value)
+	}
+	if toks[1].Text != "x < y & z" {
+		t.Errorf("text entity: %q", toks[1].Text)
+	}
+}
+
+func TestStrayLt(t *testing.T) {
+	toks := tokens(`1 < 2 <p>ok</p>`)
+	// The stray '<' is literal text; the <p> still parses.
+	foundP := false
+	for _, tk := range toks {
+		if tk.Kind == TokenStartTag && tk.Name == "p" {
+			foundP = true
+		}
+	}
+	if !foundP {
+		t.Error("stray < broke subsequent tag parsing")
+	}
+}
+
+// ---- parser ----
+
+func parseAll(t *testing.T, src string) *dom.Document {
+	t.Helper()
+	doc := dom.NewDocument("t.html", &dom.Serials{})
+	p := NewParser(doc, src)
+	for {
+		if ev := p.Next(); ev.Kind == EventDone {
+			break
+		}
+	}
+	return doc
+}
+
+func TestParseTree(t *testing.T) {
+	doc := parseAll(t, `<div id="outer"><p>one</p><p>two</p></div><span id="s"></span>`)
+	outer := doc.GetElementByID("outer")
+	if outer == nil || len(outer.Kids) != 2 {
+		t.Fatalf("outer = %v", outer)
+	}
+	if doc.GetElementByID("s") == nil {
+		t.Error("sibling not parsed")
+	}
+	if outer.Kids[0].Kids[0].Text != "one" {
+		t.Errorf("text content: %v", outer.Kids[0].Kids[0])
+	}
+}
+
+func TestParseVoidElements(t *testing.T) {
+	doc := parseAll(t, `<div id="d"><br><img src="x.png"><input type="text"></div>`)
+	d := doc.GetElementByID("d")
+	if len(d.Kids) != 3 {
+		t.Fatalf("void elements nested wrongly: %v", d.Kids)
+	}
+}
+
+func TestParseScriptComplete(t *testing.T) {
+	doc := dom.NewDocument("t.html", &dom.Serials{})
+	p := NewParser(doc, `<script>x = 1;</script>`)
+	ev := p.Next()
+	if ev.Kind != EventOpen || !ev.Complete {
+		t.Fatalf("script event: %+v", ev)
+	}
+	if ev.Node.Text != "x = 1;" {
+		t.Errorf("script source = %q", ev.Node.Text)
+	}
+}
+
+func TestParserYieldsIncrementally(t *testing.T) {
+	doc := dom.NewDocument("t.html", &dom.Serials{})
+	p := NewParser(doc, `<p>a</p><p>b</p><p>c</p>`)
+	ev1 := p.Next()
+	if ev1.Kind != EventOpen || ev1.Node.Tag != "p" {
+		t.Fatalf("first event: %+v", ev1)
+	}
+	// After one event, only the first <p> exists.
+	if got := len(doc.ElementsByTag("p")); got != 1 {
+		t.Errorf("parser not incremental: %d p's after one event", got)
+	}
+}
+
+func TestParseUnmatchedClose(t *testing.T) {
+	doc := parseAll(t, `<div id="d">text</span></div>`)
+	if doc.GetElementByID("d") == nil {
+		t.Error("unmatched close tag broke parsing")
+	}
+}
+
+func TestParseUnclosedAtEOF(t *testing.T) {
+	doc := parseAll(t, `<div id="a"><p>unclosed`)
+	if doc.GetElementByID("a") == nil {
+		t.Error("unclosed elements dropped at EOF")
+	}
+}
+
+func TestParseInputValue(t *testing.T) {
+	doc := parseAll(t, `<input id="i" value="prefilled" checked>`)
+	n := doc.GetElementByID("i")
+	if n.Value != "prefilled" || !n.Checked {
+		t.Errorf("input state: value=%q checked=%v", n.Value, n.Checked)
+	}
+}
+
+func TestParseWhitespaceSkipped(t *testing.T) {
+	doc := parseAll(t, "<div id=\"d\">\n   \n</div>")
+	d := doc.GetElementByID("d")
+	if len(d.Kids) != 0 {
+		t.Errorf("whitespace-only text node kept: %v", d.Kids)
+	}
+}
+
+func TestParseFragment(t *testing.T) {
+	doc := dom.NewDocument("t.html", &dom.Serials{})
+	nodes := ParseFragment(doc, `<span id="a">x</span><b>y</b>`)
+	if len(nodes) != 2 {
+		t.Fatalf("fragment nodes = %d, want 2", len(nodes))
+	}
+	if nodes[0].Tag != "span" || nodes[1].Tag != "b" {
+		t.Errorf("fragment tags: %v %v", nodes[0], nodes[1])
+	}
+	if nodes[0].InDoc {
+		t.Error("fragment nodes must be detached")
+	}
+	// Fragment ids must not pollute the document index.
+	if doc.GetElementByID("a") != nil {
+		t.Error("fragment node indexed in document")
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	var b strings.Builder
+	const depth = 50
+	for i := 0; i < depth; i++ {
+		b.WriteString("<div>")
+	}
+	b.WriteString(`<span id="deep"></span>`)
+	for i := 0; i < depth; i++ {
+		b.WriteString("</div>")
+	}
+	doc := parseAll(t, b.String())
+	n := doc.GetElementByID("deep")
+	if n == nil {
+		t.Fatal("deep node missing")
+	}
+	if len(n.Path()) != depth+2 {
+		t.Errorf("depth = %d, want %d", len(n.Path()), depth+2)
+	}
+}
+
+func TestEventParentAndIndex(t *testing.T) {
+	doc := dom.NewDocument("t.html", &dom.Serials{})
+	p := NewParser(doc, `<div><a></a><b></b></div>`)
+	var events []Event
+	for {
+		ev := p.Next()
+		if ev.Kind == EventDone {
+			break
+		}
+		events = append(events, ev)
+	}
+	// div(open), a(open), b(open), div(close) — a and b carry indexes.
+	var bEv *Event
+	for i := range events {
+		if events[i].Kind == EventOpen && events[i].Node.Tag == "b" {
+			bEv = &events[i]
+		}
+	}
+	if bEv == nil || bEv.Index != 1 || bEv.Parent.Tag != "div" {
+		t.Errorf("b event: %+v", bEv)
+	}
+}

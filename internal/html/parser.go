@@ -1,0 +1,170 @@
+package html
+
+import (
+	"strings"
+
+	"webracer/internal/dom"
+)
+
+// EventKind discriminates parser events.
+type EventKind uint8
+
+const (
+	// EventOpen reports a new element created and inserted into the tree.
+	// For raw-text elements (script, style) and void/self-closing
+	// elements the element is already complete, including its text
+	// content; Complete is set.
+	EventOpen EventKind = iota
+	// EventClose reports that an element's subtree finished parsing.
+	EventClose
+	// EventText reports a text node inserted into the tree (whitespace-
+	// only text is skipped).
+	EventText
+	// EventDone reports end of input; all elements are closed.
+	EventDone
+)
+
+// Event is one step of incremental parsing.
+type Event struct {
+	Kind EventKind
+	Node *dom.Node
+	// Parent and Index locate the insertion (valid for Open and Text) so
+	// the browser can instrument the childNodes/parentNode writes of
+	// §4.1 without re-deriving them.
+	Parent *dom.Node
+	Index  int
+	// Complete marks an Open whose element needs no Close event.
+	Complete bool
+}
+
+// voidElements never have children (HTML5 void elements plus <param>).
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// Parser builds a DOM tree from HTML source one element at a time. The
+// caller (the browser's page loader) decides when to pull the next event,
+// which is what lets parsing interleave with timers, network completions
+// and user events.
+type Parser struct {
+	doc  *dom.Document
+	tok  *Tokenizer
+	open []*dom.Node // open element stack; open[0] is doc.Root
+	done bool
+}
+
+// NewParser parses src into doc, appending under doc.Root.
+func NewParser(doc *dom.Document, src string) *Parser {
+	return &Parser{doc: doc, tok: NewTokenizer(src), open: []*dom.Node{doc.Root}}
+}
+
+// Next returns the next parse event. After EventDone it keeps returning
+// EventDone.
+func (p *Parser) Next() Event {
+	if p.done {
+		return Event{Kind: EventDone}
+	}
+	for {
+		t := p.tok.Next()
+		switch t.Kind {
+		case TokenEOF:
+			p.done = true
+			p.open = p.open[:1]
+			return Event{Kind: EventDone}
+		case TokenComment:
+			continue
+		case TokenText:
+			if strings.TrimSpace(t.Text) == "" {
+				continue
+			}
+			parent := p.top()
+			n := p.doc.NewText(t.Text)
+			idx := parent.AppendChild(n)
+			return Event{Kind: EventText, Node: n, Parent: parent, Index: idx}
+		case TokenEndTag:
+			if n := p.popTo(t.Name); n != nil {
+				return Event{Kind: EventClose, Node: n}
+			}
+			continue // unmatched close tag: ignored
+		case TokenStartTag:
+			return p.openElement(t)
+		}
+	}
+}
+
+func (p *Parser) openElement(t Token) Event {
+	n := p.doc.NewNode(t.Name)
+	for _, a := range t.Attrs {
+		n.Attrs[a.Name] = a.Value
+	}
+	if n.Tag == "input" {
+		n.Value = n.Attrs["value"]
+		n.Checked = hasAttr(t.Attrs, "checked")
+	}
+	parent := p.top()
+	idx := parent.AppendChild(n)
+	complete := t.SelfClose || voidElements[t.Name]
+	if !complete && isRawText(t.Name) {
+		// The tokenizer is now in raw-text mode: pull the body and the
+		// close tag eagerly so the element is delivered whole (the
+		// browser needs full script source before executing it).
+		body := p.tok.Next()
+		if body.Kind == TokenText && body.Text != "" {
+			n.AppendChild(p.doc.NewText(body.Text))
+			n.Text = body.Text
+		}
+		complete = true
+	}
+	if !complete {
+		p.open = append(p.open, n)
+	}
+	return Event{Kind: EventOpen, Node: n, Parent: parent, Index: idx, Complete: complete}
+}
+
+// popTo closes elements up to and including the nearest open element with
+// the given tag; it returns that element or nil when no such element is
+// open (the intermediate elements stay closed either way, matching browser
+// recovery for misnested tags well enough for our inputs).
+func (p *Parser) popTo(tag string) *dom.Node {
+	for i := len(p.open) - 1; i >= 1; i-- {
+		if p.open[i].Tag == tag {
+			n := p.open[i]
+			p.open = p.open[:i]
+			return n
+		}
+	}
+	return nil
+}
+
+func (p *Parser) top() *dom.Node { return p.open[len(p.open)-1] }
+
+// Done reports whether parsing reached end of input.
+func (p *Parser) Done() bool { return p.done }
+
+func hasAttr(attrs []Attr, name string) bool {
+	for _, a := range attrs {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseFragment parses src synchronously into a detached container node —
+// used for innerHTML-style dynamic insertion by scripts.
+func ParseFragment(doc *dom.Document, src string) []*dom.Node {
+	frag := doc.NewNode("#fragment")
+	p := &Parser{doc: doc, tok: NewTokenizer(src), open: []*dom.Node{frag}}
+	for {
+		if ev := p.Next(); ev.Kind == EventDone {
+			break
+		}
+	}
+	kids := append([]*dom.Node(nil), frag.Kids...)
+	for _, k := range kids {
+		frag.RemoveChild(k)
+	}
+	return kids
+}

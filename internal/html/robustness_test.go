@@ -1,0 +1,123 @@
+package html
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/dom"
+)
+
+// Real pages are hostile: truncated tags, duplicated attributes, weird
+// quoting, deeply misnested markup. The tokenizer and parser must never
+// panic or loop; the detector's value depends on surviving whatever a
+// Fortune-100 home page serves.
+
+func mustParse(t *testing.T, src string) *dom.Document {
+	t.Helper()
+	doc := dom.NewDocument("r.html", &dom.Serials{})
+	p := NewParser(doc, src)
+	for steps := 0; ; steps++ {
+		if steps > 100_000 {
+			t.Fatalf("parser did not terminate on %q", truncateFor(src))
+		}
+		if ev := p.Next(); ev.Kind == EventDone {
+			return doc
+		}
+	}
+}
+
+func truncateFor(s string) string {
+	if len(s) > 60 {
+		return s[:60] + "…"
+	}
+	return s
+}
+
+func TestRobustnessNoPanicsOrHangs(t *testing.T) {
+	cases := []string{
+		"",
+		"<",
+		"<!",
+		"<!--",
+		"<!-- unterminated comment",
+		"</>",
+		"</closeonly>",
+		"<div",
+		"<div id=",
+		`<div id="unterminated`,
+		"<div id='mixed\">x</div>",
+		"<div //>x",
+		"<div / id=a>",
+		"<a b c d e f>",
+		"<p><p><p><p>",
+		"</p></p></p>",
+		"<b><i></b></i>",
+		"<script>",
+		"<script>unterminated",
+		"<script src=></script>",
+		"<style>p { content: '</div>' }</style><p id='after'></p>",
+		"<DIV ID=CAPS>x</DIV>",
+		"<div\nid\n=\na\n>x</div>",
+		"< div>not a tag</ div>",
+		"<div id=\"a\" id=\"b\">dup</div>",
+		"&amp;&bogus;&#39;&",
+		strings.Repeat("<div>", 500),
+		strings.Repeat("</div>", 500),
+		"<img src=x.png<p>",
+		"<iframe src='a.html'<div>",
+		"<input value=' spaced ' checked x>",
+	}
+	for _, src := range cases {
+		src := src
+		t.Run(truncateFor(src), func(t *testing.T) {
+			mustParse(t, src)
+		})
+	}
+}
+
+func TestRobustnessCapsTags(t *testing.T) {
+	doc := mustParse(t, `<DIV ID="caps"><SCRIPT>x = 1;</SCRIPT></DIV>`)
+	if doc.GetElementByID("caps") == nil {
+		t.Error("upper-case markup not normalized")
+	}
+	if len(doc.ElementsByTag("script")) != 1 {
+		t.Error("upper-case script not found")
+	}
+}
+
+func TestRobustnessDuplicateAttrLastWins(t *testing.T) {
+	doc := mustParse(t, `<div id="a" id="b">x</div>`)
+	// Either policy is defensible; pin the current one (last wins) so a
+	// change is deliberate.
+	if doc.GetElementByID("b") == nil {
+		t.Error("duplicate attribute policy changed (expected last-wins)")
+	}
+}
+
+func TestRobustnessMisnestedStillIndexes(t *testing.T) {
+	doc := mustParse(t, `<b><i id="inner"></b>text</i><p id="after"></p>`)
+	if doc.GetElementByID("inner") == nil || doc.GetElementByID("after") == nil {
+		t.Error("misnesting broke indexing")
+	}
+}
+
+func TestRobustnessScriptNeverSwallowsPage(t *testing.T) {
+	doc := mustParse(t, `<script>var s = "<p>not real</p>";</script><p id="real"></p>`)
+	if doc.GetElementByID("real") == nil {
+		t.Error("markup inside script string leaked into the tree or ate the page")
+	}
+	if got := len(doc.ElementsByTag("p")); got != 1 {
+		t.Errorf("p count = %d, want 1", got)
+	}
+}
+
+func TestRobustnessHugeFlatPage(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 5000; i++ {
+		b.WriteString("<p>x</p>")
+	}
+	doc := mustParse(t, b.String())
+	if got := len(doc.ElementsByTag("p")); got != 5000 {
+		t.Errorf("p count = %d, want 5000", got)
+	}
+}

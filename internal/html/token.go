@@ -1,0 +1,316 @@
+// Package html provides a good-enough HTML tokenizer and an incremental
+// tree parser for the simulated browser. The parser is deliberately
+// incremental — it hands back one element at a time — because the paper's
+// races fundamentally depend on the browser interleaving HTML parsing with
+// script execution and user events (partial page rendering, §2.1). Each
+// element the parser yields becomes one parse(E) operation (§3.2).
+//
+// The dialect is the subset real pages in the paper's examples use: nested
+// elements, quoted/unquoted/boolean attributes, comments, doctype, raw-text
+// script/style bodies, void and self-closing elements, and a handful of
+// character entities. It does not implement the HTML5 error-recovery
+// algorithm (adoption agency, implied tags): the detector never depends on
+// those, and sitegen emits well-formed markup.
+package html
+
+import (
+	"strings"
+)
+
+// TokenKind discriminates tokenizer output.
+type TokenKind uint8
+
+const (
+	// TokenText is character data between tags.
+	TokenText TokenKind = iota
+	// TokenStartTag is <name attr=...> (SelfClose marks <name/>).
+	TokenStartTag
+	// TokenEndTag is </name>.
+	TokenEndTag
+	// TokenComment is <!-- ... --> (content not preserved).
+	TokenComment
+	// TokenEOF marks end of input.
+	TokenEOF
+)
+
+// Attr is one attribute as written, name lower-cased.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one lexical item.
+type Token struct {
+	Kind      TokenKind
+	Name      string // tag name, lower-cased
+	Attrs     []Attr
+	Text      string // TokenText content, entity-decoded
+	SelfClose bool
+}
+
+// Tokenizer scans HTML source. The zero value is not usable; use
+// NewTokenizer.
+type Tokenizer struct {
+	src string
+	pos int
+	// rawUntil, when non-empty, makes the tokenizer consume everything
+	// up to the matching close tag as a single text token (script/style
+	// bodies).
+	rawUntil string
+}
+
+// NewTokenizer returns a tokenizer over src.
+func NewTokenizer(src string) *Tokenizer { return &Tokenizer{src: src} }
+
+// Next returns the next token. After TokenEOF it keeps returning TokenEOF.
+func (t *Tokenizer) Next() Token {
+	if t.rawUntil != "" {
+		return t.rawText()
+	}
+	if t.pos >= len(t.src) {
+		return Token{Kind: TokenEOF}
+	}
+	if t.src[t.pos] != '<' {
+		return t.text()
+	}
+	rest := t.src[t.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		return t.comment()
+	case strings.HasPrefix(rest, "<!"), strings.HasPrefix(rest, "<?"):
+		return t.markupDecl()
+	case strings.HasPrefix(rest, "</"):
+		return t.endTag()
+	case len(rest) > 1 && isNameStart(rest[1]):
+		return t.startTag()
+	default:
+		// A lone '<' that starts no tag: literal text.
+		return t.textFrom(t.pos + 1)
+	}
+}
+
+func (t *Tokenizer) rawText() Token {
+	close := "</" + t.rawUntil
+	// Byte-wise ASCII case folding: strings.ToLower would replace
+	// invalid UTF-8 bytes with multi-byte replacement runes and
+	// desynchronize the match index from the source offsets.
+	idx := asciiIndexFold(t.src[t.pos:], close)
+	var body string
+	if idx < 0 {
+		body = t.src[t.pos:]
+		t.pos = len(t.src)
+	} else {
+		body = t.src[t.pos : t.pos+idx]
+		// Skip "</name" plus anything up to '>'.
+		end := t.pos + idx + len(close)
+		for end < len(t.src) && t.src[end] != '>' {
+			end++
+		}
+		if end < len(t.src) {
+			end++
+		}
+		t.pos = end
+	}
+	t.rawUntil = ""
+	return Token{Kind: TokenText, Text: body}
+}
+
+func (t *Tokenizer) text() Token { return t.textFrom(t.pos) }
+
+func (t *Tokenizer) textFrom(scanFrom int) Token {
+	start := t.pos
+	idx := strings.IndexByte(t.src[scanFrom:], '<')
+	if idx < 0 {
+		t.pos = len(t.src)
+	} else {
+		t.pos = scanFrom + idx
+	}
+	return Token{Kind: TokenText, Text: decodeEntities(t.src[start:t.pos])}
+}
+
+func (t *Tokenizer) comment() Token {
+	end := strings.Index(t.src[t.pos+4:], "-->")
+	if end < 0 {
+		t.pos = len(t.src)
+	} else {
+		t.pos += 4 + end + 3
+	}
+	return Token{Kind: TokenComment}
+}
+
+func (t *Tokenizer) markupDecl() Token {
+	end := strings.IndexByte(t.src[t.pos:], '>')
+	if end < 0 {
+		t.pos = len(t.src)
+	} else {
+		t.pos += end + 1
+	}
+	return Token{Kind: TokenComment}
+}
+
+func (t *Tokenizer) endTag() Token {
+	t.pos += 2
+	name := t.name()
+	t.skipUntilGt()
+	return Token{Kind: TokenEndTag, Name: name}
+}
+
+func (t *Tokenizer) startTag() Token {
+	t.pos++
+	tok := Token{Kind: TokenStartTag, Name: t.name()}
+	for {
+		t.skipSpace()
+		if t.pos >= len(t.src) {
+			break
+		}
+		c := t.src[t.pos]
+		if c == '>' {
+			t.pos++
+			break
+		}
+		if c == '/' {
+			t.pos++
+			t.skipSpace()
+			if t.pos < len(t.src) && t.src[t.pos] == '>' {
+				t.pos++
+				tok.SelfClose = true
+			}
+			break
+		}
+		attr := t.attr()
+		if attr.Name == "" {
+			if t.pos < len(t.src) {
+				t.pos++ // stray character; skip to avoid looping
+			}
+			continue
+		}
+		tok.Attrs = append(tok.Attrs, attr)
+	}
+	if !tok.SelfClose && isRawText(tok.Name) {
+		t.rawUntil = tok.Name
+	}
+	return tok
+}
+
+func (t *Tokenizer) attr() Attr {
+	name := t.attrName()
+	t.skipSpace()
+	if t.pos >= len(t.src) || t.src[t.pos] != '=' {
+		return Attr{Name: name} // boolean attribute
+	}
+	t.pos++
+	t.skipSpace()
+	if t.pos >= len(t.src) {
+		return Attr{Name: name}
+	}
+	var val string
+	switch q := t.src[t.pos]; q {
+	case '"', '\'':
+		t.pos++
+		end := strings.IndexByte(t.src[t.pos:], q)
+		if end < 0 {
+			val = t.src[t.pos:]
+			t.pos = len(t.src)
+		} else {
+			val = t.src[t.pos : t.pos+end]
+			t.pos += end + 1
+		}
+	default:
+		start := t.pos
+		for t.pos < len(t.src) && !isSpace(t.src[t.pos]) && t.src[t.pos] != '>' {
+			t.pos++
+		}
+		val = t.src[start:t.pos]
+	}
+	return Attr{Name: name, Value: decodeEntities(val)}
+}
+
+func (t *Tokenizer) name() string {
+	start := t.pos
+	for t.pos < len(t.src) && isNameChar(t.src[t.pos]) {
+		t.pos++
+	}
+	return strings.ToLower(t.src[start:t.pos])
+}
+
+func (t *Tokenizer) attrName() string {
+	start := t.pos
+	for t.pos < len(t.src) {
+		c := t.src[t.pos]
+		if isSpace(c) || c == '=' || c == '>' || c == '/' {
+			break
+		}
+		t.pos++
+	}
+	return strings.ToLower(t.src[start:t.pos])
+}
+
+func (t *Tokenizer) skipSpace() {
+	for t.pos < len(t.src) && isSpace(t.src[t.pos]) {
+		t.pos++
+	}
+}
+
+func (t *Tokenizer) skipUntilGt() {
+	for t.pos < len(t.src) && t.src[t.pos] != '>' {
+		t.pos++
+	}
+	if t.pos < len(t.src) {
+		t.pos++
+	}
+}
+
+// asciiIndexFold returns the byte index of the first occurrence of needle
+// in haystack under ASCII-only case folding (needle must be lower-case),
+// or -1. Indexes are byte offsets into haystack regardless of encoding.
+func asciiIndexFold(haystack, needle string) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := 0; j < len(needle); j++ {
+			c := haystack[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' }
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '_' || c == ':'
+}
+
+func isRawText(tag string) bool { return tag == "script" || tag == "style" }
+
+var entities = strings.NewReplacer(
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&#39;", "'",
+	"&apos;", "'",
+	"&nbsp;", " ",
+	"&amp;", "&", // must be last so &amp;lt; decodes to &lt;
+)
+
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entities.Replace(s)
+}

@@ -1,0 +1,196 @@
+package js
+
+import "testing"
+
+// TestConformance is a table-driven sweep over language behaviours: each
+// script must set `result` to the expected string form. Broad but shallow —
+// the deep semantics (closures, hoisting, crash containment) have their own
+// focused tests in interp_test.go.
+func TestConformance(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		// numbers & coercion
+		{"int-add", `var result = 1 + 2;`, "3"},
+		{"float-print", `var result = 0.1 + 0.2 > 0.3 - 0.001;`, "true"},
+		{"div-zero", `var result = 1 / 0;`, "Infinity"},
+		{"neg-div-zero", `var result = -1 / 0;`, "-Infinity"},
+		{"zero-div-zero", `var result = 0 / 0;`, "NaN"},
+		{"string-minus", `var result = "10" - 3;`, "7"},
+		{"string-mult", `var result = "4" * "2";`, "8"},
+		{"plus-coerce", `var result = "4" + 2;`, "42"},
+		{"bool-arith", `var result = true + true;`, "2"},
+		{"null-arith", `var result = null + 5;`, "5"},
+		{"undef-arith", `var result = undefined + 5;`, "NaN"},
+		{"unary-string", `var result = +"12";`, "12"},
+		{"mod-neg", `var result = -7 % 3;`, "-1"},
+		{"precedence", `var result = 2 + 3 * 4 - 6 / 2;`, "11"},
+		{"exp-notation", `var result = 1e3 + 1;`, "1001"},
+		{"hex-lit", `var result = 0xff;`, "255"},
+
+		// strings
+		{"concat-chain", `var result = "a" + "b" + "c";`, "abc"},
+		{"num-to-str", `var result = "" + 3.5;`, "3.5"},
+		{"int-to-str", `var result = "" + 3.0;`, "3"},
+		{"escape", "var result = \"a\\tb\";", "a\tb"},
+		{"single-quotes", `var result = 'it' + "s";`, "its"},
+		{"length-empty", `var result = "".length;`, "0"},
+		{"index-oob", `var result = "ab"[5];`, "undefined"},
+		{"substr-chain", `var result = "hello world".substring(6).toUpperCase();`, "WORLD"},
+
+		// booleans & equality
+		{"eq-null-zero", `var result = null == 0;`, "false"},
+		{"eq-empty-zero", `var result = "" == 0;`, "true"},
+		{"eq-space-zero", `var result = " " == 0;`, "true"},
+		{"neq-strict", `var result = "1" !== 1;`, "true"},
+		{"not-not", `var result = !!"x";`, "true"},
+		{"truthy-obj", `var result = {} ? "t" : "f";`, "t"},
+		{"falsy-zero", `var result = 0 ? "t" : "f";`, "f"},
+		{"falsy-nan", `var result = NaN ? "t" : "f";`, "f"},
+		{"and-value", `var result = "a" && "b";`, "b"},
+		{"or-value", `var result = "" || "fallback";`, "fallback"},
+
+		// control flow
+		{"nested-if", `var result = ""; if (1) { if (0) { result = "a"; } else { result = "b"; } }`, "b"},
+		{"while-false", `var result = "never"; while (false) { result = "x"; }`, "never"},
+		{"for-empty-body", `var n = 0; for (var i = 0; i < 3; i++) { } var result = i;`, "3"},
+		{"nested-loops", `var s = 0; for (var i = 0; i < 3; i++) for (var j = 0; j < 3; j++) s++; var result = s;`, "9"},
+		{"break-inner", `var s = ""; for (var i = 0; i < 2; i++) { for (var j = 0; j < 9; j++) { if (j == 1) break; s += i; } } var result = s;`, "01"},
+		{"ternary-nest", `var x = 5; var result = x < 3 ? "lo" : x < 7 ? "mid" : "hi";`, "mid"},
+		{"do-once", `var n = 0; do { n++; } while (false); var result = n;`, "1"},
+		{"switch-string", `var result = ""; switch ("b") { case "a": result = "A"; break; case "b": result = "B"; break; }`, "B"},
+
+		// functions
+		{"default-undefined-param", `function f(a, b) { return "" + b; } var result = f(1);`, "undefined"},
+		{"extra-args-ignored", `function f(a) { return a; } var result = f(7, 8, 9);`, "7"},
+		{"no-return", `function f() { var x = 1; } var result = "" + f();`, "undefined"},
+		{"iife", `var result = (function() { return "ran"; })();`, "ran"},
+		{"closure-loop-shared", `var fs = []; for (var i = 0; i < 3; i++) { fs.push(function() { return i; }); } var result = fs[0]();`, "3"},
+		{"higher-order", `function twice(f, x) { return f(f(x)); } var result = twice(function(n) { return n * 3; }, 2);`, "18"},
+		{"fn-as-value", `var ops = {add: function(a,b){return a+b;}}; var result = ops.add(20, 22);`, "42"},
+		{"recursive-sum", `function sum(n) { return n <= 0 ? 0 : n + sum(n-1); } var result = sum(10);`, "55"},
+		{"shadowing", `var x = "outer"; function f() { var x = "inner"; return x; } var result = f() + x;`, "innerouter"},
+		{"param-shadows-global", `var x = 1; function f(x) { x = 99; return x; } f(5); var result = x;`, "1"},
+
+		// objects & arrays
+		{"obj-literal-nested", `var o = {a: {b: {c: "deep"}}}; var result = o.a.b.c;`, "deep"},
+		{"obj-dynamic-key", `var o = {}; var k = "ke" + "y"; o[k] = "v"; var result = o.key;`, "v"},
+		{"obj-missing-prop", `var o = {}; var result = "" + o.nothing;`, "undefined"},
+		{"arr-literal-mixed", `var a = [1, "two", true]; var result = "" + a[1];`, "two"},
+		{"arr-hole-undefined", `var a = [1]; var result = "" + a[3];`, "undefined"},
+		{"arr-length-grow", `var a = []; a[4] = 1; var result = a.length;`, "5"},
+		{"arr-nested", `var a = [[1,2],[3,4]]; var result = a[1][0];`, "3"},
+		{"arr-tostring", `var result = "" + [1,2,3];`, "1,2,3"},
+		{"obj-in-array", `var a = [{n: 5}]; var result = a[0].n;`, "5"},
+		{"delete-then-in", `var o = {x: 1, y: 2}; delete o.x; var result = ("x" in o) + "" + ("y" in o);`, "falsetrue"},
+		{"for-in-after-delete", `var o = {a:1, b:2, c:3}; delete o.b; var s = ""; for (var k in o) s += k; var result = s;`, "ac"},
+
+		// this & new
+		{"method-this", `var o = {v: "V", get: function() { return this.v; }}; var result = o.get();`, "V"},
+		{"new-props", `function T() { this.a = 1; this.b = 2; } var t = new T(); var result = t.a + t.b;`, "3"},
+		{"constructor-return-obj", `function T() { return {custom: "yes"}; } var result = new T().custom;`, "yes"},
+		{"new-without-parens", `function T() { this.ok = "k"; } var t = new T; var result = t.ok;`, "k"},
+
+		// exceptions
+		{"throw-number", `var result = ""; try { throw 42; } catch (e) { result = "" + e; }`, "42"},
+		{"throw-object", `var result = ""; try { throw {code: 7}; } catch (e) { result = "" + e.code; }`, "7"},
+		{"new-error", `var result = ""; try { throw new Error("boom"); } catch (e) { result = e.message; }`, "boom"},
+		{"nested-try", `var result = ""; try { try { throw "in"; } catch (e) { throw "re" + e; } } catch (e2) { result = e2; }`, "rein"},
+		{"finally-order", `var result = ""; try { result += "t"; } finally { result += "f"; }`, "tf"},
+		{"catch-scope", `var e = "outer"; try { throw "inner"; } catch (e) { } var result = e;`, "outer"},
+
+		// typeof / void / comma
+		{"typeof-chain", `var result = typeof typeof 1;`, "string"},
+		{"void-any", `var result = "" + void "x";`, "undefined"},
+		{"comma-in-for", `var a = 0, b = 0; for (var i = 0, j = 9; i < 2; i++, j--) { a = i; b = j; } var result = a + "" + b;`, "18"},
+
+		// builtins
+		{"math-chain", `var result = Math.floor(Math.sqrt(50));`, "7"},
+		{"math-round-half", `var result = Math.round(2.5);`, "3"},
+		{"math-neg-round", `var result = Math.round(-2.5);`, "-2"},
+		{"parseint-radix2", `var result = parseInt("101", 2);`, "5"},
+		{"isnan-string", `var result = isNaN("abc");`, "true"},
+		{"isnan-numeric-string", `var result = isNaN("12");`, "false"},
+		{"number-empty", `var result = Number("");`, "0"},
+		{"string-null", `var result = String(null);`, "null"},
+		{"json-nested", `var result = JSON.parse(JSON.stringify({a:[1,{b:2}]})).a[1].b;`, "2"},
+
+		// newer builtins
+		{"object-keys", `var result = Object.keys({a:1, b:2, c:3}).join("");`, "abc"},
+		{"object-keys-array", `var result = Object.keys([9, 8]).join(",");`, "0,1"},
+		{"object-keys-empty", `var result = Object.keys({}).length;`, "0"},
+		{"array-isarray-true", `var result = Array.isArray([1]);`, "true"},
+		{"array-isarray-false", `var result = Array.isArray({length: 1}) + "" + Array.isArray("s");`, "falsefalse"},
+		{"tofixed", `var result = (3.14159).toFixed(2);`, "3.14"},
+		{"tofixed-zero", `var result = (2.5).toFixed(0);`, "3"},
+		{"tofixed-pads", `var result = (1).toFixed(3);`, "1.000"},
+		{"tofixed-var", `var pi = 3.14159; var result = pi.toFixed(1);`, "3.1"},
+
+		// ASI and statement forms
+		{"asi-two-lines", "var a = 1\nvar b = 2\nvar result = a + b", "3"},
+		{"block-expression", `{ var x = 5; } var result = x;`, "5"},
+		{"empty-statements", `;;; var result = "ok";;;`, "ok"},
+		{"multi-decl", `var a = 1, b = 2, c = a + b; var result = c;`, "3"},
+
+		// labeled statements
+		{"labeled-break", `var s = "";
+outer: for (var i = 0; i < 3; i++) {
+  for (var j = 0; j < 3; j++) {
+    if (i == 1 && j == 1) break outer;
+    s += "" + i + j;
+  }
+}
+var result = s;`, "000102" + "10"},
+		{"labeled-continue", `var s = "";
+outer: for (var i = 0; i < 3; i++) {
+  for (var j = 0; j < 3; j++) {
+    if (j == 1) continue outer;
+    s += "" + i + j;
+  }
+}
+var result = s;`, "001020"},
+		{"label-while", `var n = 0;
+loop: while (true) { n++; if (n > 4) break loop; }
+var result = n;`, "5"},
+		{"label-forin", `var s = "";
+outer: for (var k in {a:1, b:2, c:3}) {
+  if (k == "b") continue outer;
+  s += k;
+}
+var result = s;`, "ac"},
+		{"unlabeled-break-inner-only", `var s = "";
+for (var i = 0; i < 2; i++) { for (var j = 0; j < 9; j++) { if (j == 1) break; s += "" + i + j; } }
+var result = s;`, "0010"},
+
+		// call / apply / bind
+		{"fn-call-this", `function who() { return this.tag; } var result = who.call({tag: "A"});`, "A"},
+		{"fn-call-args", `function add(a, b) { return a + b; } var result = add.call(null, 3, 4);`, "7"},
+		{"fn-apply", `function add(a, b, c) { return a + b + c; } var result = add.apply(null, [1, 2, 3]);`, "6"},
+		{"fn-bind-this", `function who() { return this.tag; } var b = who.bind({tag: "B"}); var result = b();`, "B"},
+		{"fn-bind-partial", `function add(a, b) { return a + b; } var inc = add.bind(null, 1); var result = inc(41);`, "42"},
+		{"fn-name", `function named() {} var result = named.name;`, "named"},
+		{"fn-length", `function three(a, b, c) {} var result = three.length;`, "3"},
+
+		// update/compound corner cases
+		{"postfix-in-expr", `var i = 5; var result = i++ + i;`, "11"},
+		{"prefix-in-expr", `var i = 5; var result = ++i + i;`, "12"},
+		{"compound-string", `var s = "a"; s += 1; var result = s;`, "a1"},
+		{"chain-assign", `var a, b; a = b = 7; var result = a + b;`, "14"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			it := New(&serialCounter{}, nil)
+			if err := it.Run(c.src, c.name); err != nil {
+				t.Fatalf("run error: %v", err)
+			}
+			v, ok := it.LookupGlobal("result")
+			if !ok {
+				t.Fatal("result not set")
+			}
+			if got := v.ToString(); got != c.want {
+				t.Errorf("got %q, want %q", got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package js
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the parser must never panic or hang; when it accepts input,
+// the resolved AST must print without panicking, and running it under a
+// small step budget must return (a value or an error, never a crash).
+//
+//	go test -fuzz=FuzzParse ./internal/js
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"var x = 1;",
+		"function f(a, b) { return a + b; } f(1, 2);",
+		"for (var i = 0; i < 3; i++) { s += i; }",
+		"outer: while (1) { break outer; }",
+		"try { throw {a: [1, 'x', null]}; } catch (e) { } finally { }",
+		"var o = {k: function() { return this; }};",
+		"x = a ? b : c, d;",
+		"switch (x) { case 1: break; default: }",
+		"a.b.c[d](e)(f)++;",
+		"!function(){}();",
+		"var s = 'it\\'s';",
+		"0x1f + 1e3 + .5;",
+		"a<<=1; b>>>=2;",
+		"delete a[b]; void 0; typeof q;",
+		"((((((((((1))))))))));",
+		"var é = 1;", // non-ASCII identifier start: must not panic
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		_ = PrintAST(prog)
+		it := New(&serialCounter{}, nil)
+		it.MaxSteps = 50_000
+		_ = it.RunProgram(prog, "fuzz")
+	})
+}
+
+// FuzzLex: the lexer alone must terminate on anything.
+func FuzzLex(f *testing.F) {
+	f.Add("var x = 'unterminated")
+	f.Add("/* unterminated")
+	f.Add("0x")
+	f.Add(strings.Repeat("(", 1000))
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		toks, err := Lex(src)
+		if err == nil && len(toks) == 0 {
+			t.Fatal("lexer returned no tokens and no error")
+		}
+	})
+}

@@ -1,0 +1,573 @@
+package js
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/mem"
+)
+
+type serialCounter struct{ n uint64 }
+
+func (s *serialCounter) Next() uint64 { s.n++; return s.n }
+
+// accessLog collects instrumented accesses for assertions.
+type accessLog struct {
+	accesses []recorded
+}
+
+type recorded struct {
+	kind mem.AccessKind
+	loc  mem.Loc
+	ctx  mem.Context
+	desc string
+}
+
+func (l *accessLog) Access(kind mem.AccessKind, loc mem.Loc, ctx mem.Context, desc string) {
+	l.accesses = append(l.accesses, recorded{kind, loc, ctx, desc})
+}
+
+func (l *accessLog) count(kind mem.AccessKind, name string) int {
+	n := 0
+	for _, a := range l.accesses {
+		if a.kind == kind && a.loc.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *accessLog) hasCtx(ctx mem.Context, name string) bool {
+	for _, a := range l.accesses {
+		if a.ctx == ctx && a.loc.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func newTestInterp(t *testing.T) (*Interp, *accessLog) {
+	t.Helper()
+	log := &accessLog{}
+	it := New(&serialCounter{}, log)
+	return it, log
+}
+
+// evalString runs src and returns the value of the global `result`.
+func evalString(t *testing.T, src string) Value {
+	t.Helper()
+	it, _ := newTestInterp(t)
+	if err := it.Run(src, "test"); err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	v, ok := it.LookupGlobal("result")
+	if !ok {
+		t.Fatalf("script %q did not set result", src)
+	}
+	return v
+}
+
+func wantNum(t *testing.T, src string, want float64) {
+	t.Helper()
+	v := evalString(t, src)
+	if v.Kind != KindNumber || v.Num != want {
+		t.Errorf("%s: got %s (%v), want %v", src, v.ToString(), v.Kind, want)
+	}
+}
+
+func wantStr(t *testing.T, src string, want string) {
+	t.Helper()
+	v := evalString(t, src)
+	if v.Kind != KindString || v.Str != want {
+		t.Errorf("%s: got %q (kind %v), want %q", src, v.ToString(), v.Kind, want)
+	}
+}
+
+func wantBool(t *testing.T, src string, want bool) {
+	t.Helper()
+	v := evalString(t, src)
+	if v.Kind != KindBool || v.Bool != want {
+		t.Errorf("%s: got %s, want %v", src, v.ToString(), want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantNum(t, "var result = 1 + 2 * 3;", 7)
+	wantNum(t, "var result = (1 + 2) * 3;", 9)
+	wantNum(t, "var result = 10 / 4;", 2.5)
+	wantNum(t, "var result = 10 % 3;", 1)
+	wantNum(t, "var result = -5 + +3;", -2)
+	wantNum(t, "var result = 2 * 3 + 4 * 5;", 26)
+	wantNum(t, "var result = 100 - 10 - 5;", 85) // left assoc
+	wantNum(t, "var result = 0x10 + 1;", 17)
+	wantNum(t, "var result = 1.5e2;", 150)
+}
+
+func TestBitwiseAndShift(t *testing.T) {
+	wantNum(t, "var result = 5 & 3;", 1)
+	wantNum(t, "var result = 5 | 3;", 7)
+	wantNum(t, "var result = 5 ^ 3;", 6)
+	wantNum(t, "var result = 1 << 4;", 16)
+	wantNum(t, "var result = -8 >> 1;", -4)
+	wantNum(t, "var result = ~0;", -1)
+}
+
+func TestStringOps(t *testing.T) {
+	wantStr(t, `var result = "foo" + "bar";`, "foobar")
+	wantStr(t, `var result = "n=" + 42;`, "n=42")
+	wantStr(t, `var result = "abcdef".substring(1, 3);`, "bc")
+	wantStr(t, `var result = "HeLLo".toLowerCase();`, "hello")
+	wantStr(t, `var result = "  pad  ".trim();`, "pad")
+	wantNum(t, `var result = "hello".length;`, 5)
+	wantNum(t, `var result = "hello".indexOf("ll");`, 2)
+	wantStr(t, `var result = "a,b,c".split(",")[1];`, "b")
+	wantStr(t, `var result = "aXbXc".replace("X", "-");`, "a-bXc")
+	wantStr(t, `var result = "hello".charAt(1);`, "e")
+	wantNum(t, `var result = "A".charCodeAt(0);`, 65)
+	wantStr(t, `var result = "hello"[0];`, "h")
+}
+
+func TestComparisons(t *testing.T) {
+	wantBool(t, "var result = 1 < 2;", true)
+	wantBool(t, "var result = 2 <= 2;", true)
+	wantBool(t, `var result = "a" < "b";`, true)
+	wantBool(t, `var result = 1 == "1";`, true)
+	wantBool(t, `var result = 1 === "1";`, false)
+	wantBool(t, "var result = null == undefined;", true)
+	wantBool(t, "var result = null === undefined;", false)
+	wantBool(t, "var result = NaN == NaN;", false)
+	wantBool(t, `var result = 0 == "";`, true)
+	wantBool(t, "var result = 1 !== 2;", true)
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	wantNum(t, "var result = 1 && 2;", 2)
+	wantNum(t, "var result = 0 || 5;", 5)
+	wantBool(t, "var result = !0;", true)
+	// RHS must not evaluate when short-circuited.
+	wantNum(t, `var hit = 0;
+function boom() { hit = 1; return true; }
+var x = false && boom();
+var result = hit;`, 0)
+}
+
+func TestControlFlow(t *testing.T) {
+	wantNum(t, `var result = 0; if (1 < 2) { result = 1; } else { result = 2; }`, 1)
+	wantNum(t, `var result = 0; for (var i = 0; i < 5; i++) { result += i; }`, 10)
+	wantNum(t, `var result = 0; var i = 0; while (i < 4) { result += 2; i++; }`, 8)
+	wantNum(t, `var result = 0; var i = 0; do { result++; i++; } while (i < 3);`, 3)
+	wantNum(t, `var result = 0; for (var i = 0; i < 10; i++) { if (i == 3) break; result = i; }`, 2)
+	wantNum(t, `var result = 0; for (var i = 0; i < 5; i++) { if (i % 2) continue; result += i; }`, 6)
+	wantNum(t, `var result = 2 > 1 ? 10 : 20;`, 10)
+}
+
+func TestSwitch(t *testing.T) {
+	wantStr(t, `var x = 2, result = "";
+switch (x) {
+case 1: result = "one"; break;
+case 2: result = "two"; break;
+default: result = "many";
+}`, "two")
+	// Fallthrough without break.
+	wantStr(t, `var result = "";
+switch (1) {
+case 1: result += "a";
+case 2: result += "b"; break;
+case 3: result += "c";
+}`, "ab")
+	wantStr(t, `var result = "";
+switch (99) { case 1: result = "one"; break; default: result = "default"; }`, "default")
+}
+
+func TestFunctionsAndClosures(t *testing.T) {
+	wantNum(t, `function add(a, b) { return a + b; } var result = add(2, 3);`, 5)
+	wantNum(t, `var result = (function(x) { return x * 2; })(21);`, 42)
+	wantNum(t, `
+function counter() {
+  var n = 0;
+  return function() { n++; return n; };
+}
+var c = counter();
+c(); c();
+var result = c();`, 3)
+	// Two closures get distinct captured slots.
+	wantNum(t, `
+function counter() { var n = 0; return function() { n++; return n; }; }
+var a = counter(), b = counter();
+a(); a(); b();
+var result = a() * 10 + b();`, 32)
+	// Recursion.
+	wantNum(t, `function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+var result = fib(10);`, 55)
+	// Named function expression calls itself.
+	wantNum(t, `var f = function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); };
+var result = f(5);`, 120)
+}
+
+func TestHoisting(t *testing.T) {
+	// Function declarations usable before their source position.
+	wantNum(t, `var result = early(); function early() { return 7; }`, 7)
+	// var hoisting: reference before assignment yields undefined, not
+	// a ReferenceError.
+	wantBool(t, `var result = typeof x === "undefined"; var x = 3;`, true)
+}
+
+func TestObjectsAndArrays(t *testing.T) {
+	wantNum(t, `var o = {a: 1, b: 2}; var result = o.a + o.b;`, 3)
+	wantNum(t, `var o = {}; o.x = 5; var result = o["x"];`, 5)
+	wantNum(t, `var a = [1, 2, 3]; var result = a[0] + a[2];`, 4)
+	wantNum(t, `var a = []; a.push(10); a.push(20); var result = a.length;`, 2)
+	wantNum(t, `var a = [1,2,3]; var result = a.pop() + a.length;`, 5)
+	wantNum(t, `var a = [5, 6]; a[5] = 1; var result = a.length;`, 6)
+	wantStr(t, `var result = [1,2,3].join("-");`, "1-2-3")
+	wantNum(t, `var result = [4,5,6].indexOf(5);`, 1)
+	wantNum(t, `var s = 0; [1,2,3].forEach(function(x) { s += x; }); var result = s;`, 6)
+	wantStr(t, `var o = {x: {y: "deep"}}; var result = o.x.y;`, "deep")
+	wantNum(t, `var result = [1,2,3,4].slice(1, 3).length;`, 2)
+}
+
+func TestForIn(t *testing.T) {
+	wantStr(t, `var o = {a: 1, b: 2, c: 3}; var result = "";
+for (var k in o) { result += k; }`, "abc")
+	wantNum(t, `var a = [10, 20, 30]; var s = 0;
+for (var i in a) { s += a[i]; }
+var result = s;`, 60)
+}
+
+func TestThis(t *testing.T) {
+	wantNum(t, `var o = {n: 41, get: function() { return this.n + 1; }};
+var result = o.get();`, 42)
+	wantNum(t, `function C() { this.x = 9; }
+var c = new C();
+var result = c.x;`, 9)
+	wantStr(t, `function Pt(x, y) { this.x = x; this.y = y; }
+var p = new Pt(3, 4);
+var result = p.x + "," + p.y;`, "3,4")
+}
+
+func TestTypeof(t *testing.T) {
+	wantStr(t, `var result = typeof 1;`, "number")
+	wantStr(t, `var result = typeof "s";`, "string")
+	wantStr(t, `var result = typeof true;`, "boolean")
+	wantStr(t, `var result = typeof undefined;`, "undefined")
+	wantStr(t, `var result = typeof null;`, "object")
+	wantStr(t, `var result = typeof {};`, "object")
+	wantStr(t, `var result = typeof function(){};`, "function")
+	wantStr(t, `var result = typeof neverDeclared;`, "undefined")
+}
+
+func TestUpdateAndCompound(t *testing.T) {
+	wantNum(t, `var x = 5; var result = x++;`, 5)
+	wantNum(t, `var x = 5; x++; var result = x;`, 6)
+	wantNum(t, `var x = 5; var result = ++x;`, 6)
+	wantNum(t, `var x = 5; var result = --x;`, 4)
+	wantNum(t, `var x = 10; x += 5; x -= 3; x *= 2; var result = x;`, 24)
+	wantNum(t, `var o = {n: 1}; o.n++; o.n += 2; var result = o.n;`, 4)
+	wantNum(t, `var a = [7]; a[0]++; var result = a[0];`, 8)
+}
+
+func TestExceptions(t *testing.T) {
+	wantStr(t, `var result = "";
+try { throw "boom"; } catch (e) { result = e; }`, "boom")
+	wantStr(t, `var result = "";
+try { undefinedFn(); } catch (e) { result = e.name; }`, "ReferenceError")
+	wantStr(t, `var result = "";
+var nul = null;
+try { var v = nul.prop; } catch (e) { result = e.name; }`, "TypeError")
+	wantStr(t, `var result = "";
+try { try { throw "x"; } finally { result += "f"; } } catch (e) { result += e; }`, "fx")
+	wantNum(t, `var result = 0;
+function f() { try { return 1; } finally { result = 5; } }
+f();`, 5)
+	// Uncaught error surfaces to the host.
+	it, _ := newTestInterp(t)
+	err := it.Run(`throw "unhandled";`, "test")
+	if err == nil {
+		t.Fatal("expected uncaught error")
+	}
+	jsErr, ok := err.(*Error)
+	if !ok || !jsErr.HasThrown || jsErr.Thrown.ToString() != "unhandled" {
+		t.Fatalf("got %v, want thrown 'unhandled'", err)
+	}
+}
+
+func TestCrashSemantics(t *testing.T) {
+	// Per §2.3: mutations before a crash persist.
+	it, _ := newTestInterp(t)
+	err := it.Run(`var before = 1; var x = null; x.boom = 2; var after = 3;`, "test")
+	if err == nil {
+		t.Fatal("expected TypeError")
+	}
+	if v, ok := it.LookupGlobal("before"); !ok || v.Num != 1 {
+		t.Errorf("mutation before crash lost: %v %v", v, ok)
+	}
+	if _, ok := it.LookupGlobal("after"); ok {
+		v, _ := it.LookupGlobal("after")
+		if v.Kind != KindUndefined {
+			t.Errorf("statement after crash ran: %v", v)
+		}
+	}
+}
+
+func TestReferenceError(t *testing.T) {
+	it, _ := newTestInterp(t)
+	err := it.Run(`var x = neverDeclared + 1;`, "test")
+	jsErr, ok := err.(*Error)
+	if !ok || jsErr.Kind != "ReferenceError" {
+		t.Fatalf("got %v, want ReferenceError", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	it, _ := newTestInterp(t)
+	it.MaxSteps = 10_000
+	err := it.Run(`while (true) {}`, "test")
+	jsErr, ok := err.(*Error)
+	if !ok || jsErr.Kind != "InternalError" {
+		t.Fatalf("got %v, want InternalError (step budget)", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	it, _ := newTestInterp(t)
+	err := it.Run(`function f() { return f(); } f();`, "test")
+	jsErr, ok := err.(*Error)
+	if !ok || jsErr.Kind != "RangeError" {
+		t.Fatalf("got %v, want RangeError", err)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	wantNum(t, `var result = Math.floor(3.7);`, 3)
+	wantNum(t, `var result = Math.max(1, 9, 4);`, 9)
+	wantNum(t, `var result = Math.min(5, 2, 8);`, 2)
+	wantNum(t, `var result = Math.abs(-4);`, 4)
+	wantNum(t, `var result = Math.pow(2, 10);`, 1024)
+	wantNum(t, `var result = parseInt("42px");`, 42)
+	wantNum(t, `var result = parseInt("0x1f", 16);`, 31)
+	wantNum(t, `var result = parseInt("-7");`, -7)
+	wantNum(t, `var result = parseFloat("3.14abc");`, 3.14)
+	wantBool(t, `var result = isNaN(parseInt("zzz"));`, true)
+	wantStr(t, `var result = String(12.5);`, "12.5")
+	wantNum(t, `var result = Number("8");`, 8)
+	wantBool(t, `var r = Math.random(); var result = r >= 0 && r < 1;`, true)
+	wantNum(t, `var result = new Array(3).length;`, 3)
+}
+
+func TestJSON(t *testing.T) {
+	wantStr(t, `var result = JSON.stringify({a: 1, b: [true, "x"]});`, `{"a":1,"b":[true,"x"]}`)
+	wantNum(t, `var o = JSON.parse("{\"n\": 42}"); var result = o.n;`, 42)
+	wantNum(t, `var a = JSON.parse("[1,2,3]"); var result = a[2];`, 3)
+	wantStr(t, `var result = JSON.stringify("quo\"te");`, `"quo\"te"`)
+}
+
+func TestSemicolonInsertion(t *testing.T) {
+	wantNum(t, "var x = 1\nvar y = 2\nvar result = x + y", 3)
+	wantNum(t, "function f() { return\n5 }\nvar r = f()\nvar result = r === undefined ? 1 : 0", 1)
+}
+
+func TestSequenceAndVoid(t *testing.T) {
+	wantNum(t, `var result = (1, 2, 3);`, 3)
+	wantBool(t, `var result = void 0 === undefined;`, true)
+}
+
+func TestDeleteAndIn(t *testing.T) {
+	wantBool(t, `var o = {a: 1}; var result = "a" in o;`, true)
+	wantBool(t, `var o = {a: 1}; delete o.a; var result = "a" in o;`, false)
+	wantBool(t, `var a = [1,2]; var result = 1 in a;`, true)
+	wantBool(t, `var a = [1,2]; var result = 5 in a;`, false)
+}
+
+func TestImplicitGlobal(t *testing.T) {
+	it, _ := newTestInterp(t)
+	if err := it.Run(`function f() { implicit = 99; } f();`, "test"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := it.LookupGlobal("implicit")
+	if !ok || v.Num != 99 {
+		t.Fatalf("implicit global not created: %v %v", v, ok)
+	}
+}
+
+// ---- instrumentation ----
+
+func TestGlobalAccessInstrumented(t *testing.T) {
+	it, log := newTestInterp(t)
+	if err := it.Run(`var g = 1; var h = g + 1;`, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if log.count(mem.Write, "g") != 1 {
+		t.Errorf("writes to g = %d, want 1", log.count(mem.Write, "g"))
+	}
+	if log.count(mem.Read, "g") != 1 {
+		t.Errorf("reads of g = %d, want 1", log.count(mem.Read, "g"))
+	}
+}
+
+func TestLocalNotInstrumented(t *testing.T) {
+	it, log := newTestInterp(t)
+	if err := it.Run(`function f() { var local = 1; local = local + 1; return local; } f();`, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if n := log.count(mem.Write, "local") + log.count(mem.Read, "local"); n != 0 {
+		t.Errorf("uncaptured local instrumented %d times, want 0", n)
+	}
+}
+
+func TestCapturedLocalInstrumented(t *testing.T) {
+	it, log := newTestInterp(t)
+	src := `
+function make() {
+  var shared = 0;
+  return function() { shared = shared + 1; return shared; };
+}
+var inc = make();
+inc();`
+	if err := it.Run(src, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if log.count(mem.Write, "shared") == 0 {
+		t.Error("captured local writes not instrumented")
+	}
+	if log.count(mem.Read, "shared") == 0 {
+		t.Error("captured local reads not instrumented")
+	}
+}
+
+func TestDistinctClosureSlotsDistinctLocs(t *testing.T) {
+	it, log := newTestInterp(t)
+	src := `
+function make() { var n = 0; return function() { n = 1; }; }
+var a = make(), b = make();
+a(); b();`
+	if err := it.Run(src, "test"); err != nil {
+		t.Fatal(err)
+	}
+	locs := map[mem.Loc]bool{}
+	for _, a := range log.accesses {
+		if a.loc.Name == "n" && a.kind == mem.Write {
+			locs[a.loc] = true
+		}
+	}
+	if len(locs) != 2 {
+		t.Errorf("closure instances share a location: %d distinct, want 2", len(locs))
+	}
+}
+
+func TestFuncDeclCtx(t *testing.T) {
+	it, log := newTestInterp(t)
+	if err := it.Run(`function g() { return 1; } g();`, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if !log.hasCtx(mem.CtxFuncDecl, "g") {
+		t.Error("function declaration write not tagged CtxFuncDecl")
+	}
+	if !log.hasCtx(mem.CtxFuncCall, "g") {
+		t.Error("function invocation read not tagged CtxFuncCall")
+	}
+}
+
+func TestUnresolvedCallInstrumented(t *testing.T) {
+	// Fig. 4 scenario: calling a not-yet-declared function still records
+	// the racing read.
+	it, log := newTestInterp(t)
+	err := it.Run(`doNextStep();`, "test")
+	if err == nil {
+		t.Fatal("expected error calling undefined function")
+	}
+	if !log.hasCtx(mem.CtxFuncCall, "doNextStep") {
+		t.Error("failed invocation read not instrumented")
+	}
+}
+
+func TestPropertyAccessInstrumented(t *testing.T) {
+	it, log := newTestInterp(t)
+	if err := it.Run(`var o = {}; o.p = 1; var x = o.p;`, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if log.count(mem.Write, "p") != 1 || log.count(mem.Read, "p") != 1 {
+		t.Errorf("property accesses: %d writes, %d reads; want 1, 1",
+			log.count(mem.Write, "p"), log.count(mem.Read, "p"))
+	}
+}
+
+func TestCompileFunction(t *testing.T) {
+	it, _ := newTestInterp(t)
+	fn, err := it.CompileFunction(`clicked = event + 1;`, "event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.CallFunction(fn, Undefined, []Value{Number(41)}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := it.LookupGlobal("clicked")
+	if v.Num != 42 {
+		t.Fatalf("handler did not run: clicked = %v", v.ToString())
+	}
+}
+
+func TestArgumentsObject(t *testing.T) {
+	wantNum(t, `function f() { return arguments.length; } var result = f(1, 2, 3);`, 3)
+	wantNum(t, `function f() { return arguments[1]; } var result = f(5, 6);`, 6)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`var = 3;`,
+		`function () {}`,
+		`if (x {`,
+		`1 +`,
+		`"unterminated`,
+		`var a = {key: };`,
+		`try { }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := Lex(`var x = 1.5; // comment
+x += "s\n"; /* block */ x===2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	joined := strings.Join(kinds, " ")
+	want := `var x = 1.5 ; x += "s\n" ; x === 2 <eof>`
+	if joined != want {
+		t.Errorf("lex: got %q, want %q", joined, want)
+	}
+}
+
+func TestNumToString(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1",
+		1.5:    "1.5",
+		-3:     "-3",
+		0:      "0",
+		100000: "100000",
+	}
+	for f, want := range cases {
+		if got := NumToString(f); got != want {
+			t.Errorf("NumToString(%v) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestDateNow(t *testing.T) {
+	it, _ := newTestInterp(t)
+	it.Now = func() float64 { return 12345 }
+	if err := it.Run(`var result = Date.now();`, "test"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := it.LookupGlobal("result")
+	if v.Num != 12345 {
+		t.Fatalf("Date.now() = %v, want 12345", v.ToString())
+	}
+}

@@ -1,0 +1,269 @@
+package js
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PrintAST renders a parsed program as an s-expression-flavoured outline,
+// one node per line — the front-end's debugging aid (go test -v fixtures,
+// quick inspection of what the parser made of a page's script). Binding
+// resolution is shown inline: `x{g}` is a global reference, `x{c}` a
+// captured local, bare `x` an uncaptured local.
+func PrintAST(prog *Program) string {
+	var b strings.Builder
+	p := &astPrinter{w: &b}
+	for _, s := range prog.Body {
+		p.stmt(s, 0)
+	}
+	return b.String()
+}
+
+type astPrinter struct {
+	w *strings.Builder
+}
+
+func (p *astPrinter) line(depth int, format string, args ...any) {
+	p.w.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(p.w, format, args...)
+	p.w.WriteByte('\n')
+}
+
+func refSuffix(r *VarRef) string {
+	switch {
+	case r == nil:
+		return ""
+	case r.Global:
+		return "{g}"
+	case r.Captured:
+		return "{c}"
+	default:
+		return ""
+	}
+}
+
+func (p *astPrinter) stmt(s Stmt, d int) {
+	switch s := s.(type) {
+	case *VarDecl:
+		if s.Init == nil {
+			p.line(d, "(var %s%s)", s.Name, refSuffix(s.Ref))
+		} else {
+			p.line(d, "(var %s%s =", s.Name, refSuffix(s.Ref))
+			p.expr(s.Init, d+1)
+			p.line(d, ")")
+		}
+	case *FuncDeclStmt:
+		p.line(d, "(func-decl %s%s (%s)", s.Name, refSuffix(s.Ref), strings.Join(s.Fn.Params, " "))
+		for _, st := range s.Fn.Body.Body {
+			p.stmt(st, d+1)
+		}
+		p.line(d, ")")
+	case *ExprStmt:
+		p.line(d, "(expr")
+		p.expr(s.X, d+1)
+		p.line(d, ")")
+	case *BlockStmt:
+		p.line(d, "(block")
+		for _, st := range s.Body {
+			p.stmt(st, d+1)
+		}
+		p.line(d, ")")
+	case *IfStmt:
+		p.line(d, "(if")
+		p.expr(s.Cond, d+1)
+		p.stmt(s.Then, d+1)
+		if s.Else != nil {
+			p.line(d+1, "(else)")
+			p.stmt(s.Else, d+1)
+		}
+		p.line(d, ")")
+	case *WhileStmt:
+		kw := "while"
+		if s.DoWhile {
+			kw = "do-while"
+		}
+		p.line(d, "(%s", kw)
+		p.expr(s.Cond, d+1)
+		p.stmt(s.Body, d+1)
+		p.line(d, ")")
+	case *ForStmt:
+		p.line(d, "(for")
+		if s.Init != nil {
+			p.stmt(s.Init, d+1)
+		}
+		if s.Cond != nil {
+			p.expr(s.Cond, d+1)
+		}
+		if s.Post != nil {
+			p.expr(s.Post, d+1)
+		}
+		p.stmt(s.Body, d+1)
+		p.line(d, ")")
+	case *ForInStmt:
+		p.line(d, "(for-in %s%s", s.Name, refSuffix(s.Ref))
+		p.expr(s.X, d+1)
+		p.stmt(s.Body, d+1)
+		p.line(d, ")")
+	case *ReturnStmt:
+		if s.X == nil {
+			p.line(d, "(return)")
+		} else {
+			p.line(d, "(return")
+			p.expr(s.X, d+1)
+			p.line(d, ")")
+		}
+	case *BreakStmt:
+		if s.Label != "" {
+			p.line(d, "(break %s)", s.Label)
+		} else {
+			p.line(d, "(break)")
+		}
+	case *ContinueStmt:
+		if s.Label != "" {
+			p.line(d, "(continue %s)", s.Label)
+		} else {
+			p.line(d, "(continue)")
+		}
+	case *LabeledStmt:
+		p.line(d, "(label %s", s.Label)
+		p.stmt(s.Stmt, d+1)
+		p.line(d, ")")
+	case *ThrowStmt:
+		p.line(d, "(throw")
+		p.expr(s.X, d+1)
+		p.line(d, ")")
+	case *TryStmt:
+		p.line(d, "(try")
+		p.stmt(s.Try, d+1)
+		if s.Catch != nil {
+			p.line(d+1, "(catch %s)", s.CatchVar)
+			p.stmt(s.Catch, d+1)
+		}
+		if s.Finally != nil {
+			p.line(d+1, "(finally)")
+			p.stmt(s.Finally, d+1)
+		}
+		p.line(d, ")")
+	case *SwitchStmt:
+		p.line(d, "(switch")
+		p.expr(s.X, d+1)
+		for _, c := range s.Cases {
+			if c.Test == nil {
+				p.line(d+1, "(default")
+			} else {
+				p.line(d+1, "(case")
+				p.expr(c.Test, d+2)
+			}
+			for _, st := range c.Body {
+				p.stmt(st, d+2)
+			}
+			p.line(d+1, ")")
+		}
+		p.line(d, ")")
+	case *EmptyStmt:
+		p.line(d, "(empty)")
+	default:
+		p.line(d, "(?stmt %T)", s)
+	}
+}
+
+func (p *astPrinter) expr(e Expr, d int) {
+	switch e := e.(type) {
+	case *Ident:
+		p.line(d, "%s%s", e.Name, refSuffix(e.Ref))
+	case *NumLit:
+		p.line(d, "%s", NumToString(e.Value))
+	case *StrLit:
+		p.line(d, "%s", strconv.Quote(e.Value))
+	case *BoolLit:
+		p.line(d, "%v", e.Value)
+	case *NullLit:
+		p.line(d, "null")
+	case *UndefinedLit:
+		p.line(d, "undefined")
+	case *ThisLit:
+		p.line(d, "this")
+	case *FuncLit:
+		p.line(d, "(func %s (%s)", e.Name, strings.Join(e.Params, " "))
+		for _, st := range e.Body.Body {
+			p.stmt(st, d+1)
+		}
+		p.line(d, ")")
+	case *ArrayLit:
+		p.line(d, "(array")
+		for _, el := range e.Elems {
+			p.expr(el, d+1)
+		}
+		p.line(d, ")")
+	case *ObjectLit:
+		p.line(d, "(object")
+		for i, k := range e.Keys {
+			p.line(d+1, "(%s:", k)
+			p.expr(e.Vals[i], d+2)
+			p.line(d+1, ")")
+		}
+		p.line(d, ")")
+	case *MemberExpr:
+		p.line(d, "(. %s", e.Name)
+		p.expr(e.X, d+1)
+		p.line(d, ")")
+	case *IndexExpr:
+		p.line(d, "(index")
+		p.expr(e.X, d+1)
+		p.expr(e.Idx, d+1)
+		p.line(d, ")")
+	case *CallExpr:
+		kw := "call"
+		if e.IsNew {
+			kw = "new"
+		}
+		p.line(d, "(%s", kw)
+		p.expr(e.Callee, d+1)
+		for _, a := range e.Args {
+			p.expr(a, d+1)
+		}
+		p.line(d, ")")
+	case *AssignExpr:
+		p.line(d, "(%s", e.Op)
+		p.expr(e.Target, d+1)
+		p.expr(e.Value, d+1)
+		p.line(d, ")")
+	case *UpdateExpr:
+		pos := "post"
+		if e.Prefix {
+			pos = "pre"
+		}
+		p.line(d, "(%s-%s", pos, e.Op)
+		p.expr(e.X, d+1)
+		p.line(d, ")")
+	case *UnaryExpr:
+		p.line(d, "(%s", e.Op)
+		p.expr(e.X, d+1)
+		p.line(d, ")")
+	case *BinaryExpr:
+		p.line(d, "(%s", e.Op)
+		p.expr(e.L, d+1)
+		p.expr(e.R, d+1)
+		p.line(d, ")")
+	case *LogicalExpr:
+		p.line(d, "(%s", e.Op)
+		p.expr(e.L, d+1)
+		p.expr(e.R, d+1)
+		p.line(d, ")")
+	case *CondExpr:
+		p.line(d, "(?:")
+		p.expr(e.Cond, d+1)
+		p.expr(e.Then, d+1)
+		p.expr(e.Else, d+1)
+		p.line(d, ")")
+	case *SeqExpr:
+		p.line(d, "(seq")
+		for _, x := range e.Exprs {
+			p.expr(x, d+1)
+		}
+		p.line(d, ")")
+	default:
+		p.line(d, "(?expr %T)", e)
+	}
+}

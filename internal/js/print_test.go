@@ -1,0 +1,90 @@
+package js
+
+import (
+	"strings"
+	"testing"
+)
+
+func printOf(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return PrintAST(prog)
+}
+
+func TestPrintASTBasics(t *testing.T) {
+	out := printOf(t, `var x = 1 + 2; f(x);`)
+	for _, want := range []string{"(var x{g} =", "(+", "(call", "f{g}", "x{g}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintASTBindingAnnotations(t *testing.T) {
+	out := printOf(t, `
+var g = 1;
+function outer() {
+  var captured = 2;
+  var private = 3;
+  return function() { return captured + g; };
+}`)
+	if !strings.Contains(out, "g{g}") {
+		t.Errorf("global annotation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "captured{c}") {
+		t.Errorf("capture annotation missing:\n%s", out)
+	}
+	// The uncaptured local prints bare.
+	if strings.Contains(out, "private{") {
+		t.Errorf("uncaptured local wrongly annotated:\n%s", out)
+	}
+}
+
+func TestPrintASTControlFlow(t *testing.T) {
+	out := printOf(t, `
+for (var i = 0; i < 3; i++) { if (i % 2) continue; total += i; }
+try { risky(); } catch (e) { handle(e); } finally { done = 1; }
+switch (x) { case 1: a(); break; default: b(); }
+do { tick(); } while (more);`)
+	for _, want := range []string{
+		"(for", "(if", "(continue)", "(+=",
+		"(try", "(catch e)", "(finally)",
+		"(switch", "(case", "(default",
+		"(do-while",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintASTExpressions(t *testing.T) {
+	out := printOf(t, `
+var o = {k: [1, "two", null], m: function(a) { return this; }};
+var v = o.k[0] ? new Thing(o) : (x, y);
+delete o.k;
+z = typeof undefined;
+n = -n;
+p = i++;`)
+	for _, want := range []string{
+		"(object", "(k:", "(array", `"two"`, "null",
+		"(func  (a)", "this",
+		"(?:", "(new", "(seq",
+		"(delete", "(typeof", "(post-++", "(. k",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintASTRoundTripStability(t *testing.T) {
+	// Printing is deterministic: same source, same rendering.
+	src := `function f(a, b) { var s = 0; for (var i = a; i < b; i++) { s += i; } return s; }`
+	if printOf(t, src) != printOf(t, src) {
+		t.Error("PrintAST not deterministic")
+	}
+}

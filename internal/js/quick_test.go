@@ -1,0 +1,191 @@
+package js
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalNum runs a tiny script computing `result` and returns it; it fails
+// the property on any interpreter error.
+func evalNumQ(t *testing.T, src string) (float64, bool) {
+	t.Helper()
+	it := New(&serialCounter{}, nil)
+	if err := it.Run(src, "quick"); err != nil {
+		return 0, false
+	}
+	v, ok := it.LookupGlobal("result")
+	if !ok {
+		return 0, false
+	}
+	return v.ToNumber(), true
+}
+
+func sameNum(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+// TestQuickArithmetic: the interpreter's arithmetic agrees with Go's
+// float64 semantics on random operands.
+func TestQuickArithmetic(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true // literal rendering of infinities isn't supported
+		}
+		src := fmt.Sprintf("var result = (%v) + (%v) * (%v) - (%v);", a, b, a, b)
+		got, ok := evalNumQ(t, src)
+		return ok && sameNum(got, a+b*a-b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickComparisonTotality: for random finite numbers exactly one of
+// <, ==, > holds.
+func TestQuickComparisonTotality(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		src := fmt.Sprintf(`
+var lt = (%v) < (%v), eq = (%v) == (%v), gt = (%v) > (%v);
+var result = (lt ? 1 : 0) + (eq ? 1 : 0) + (gt ? 1 : 0);`, a, b, a, b, a, b)
+		got, ok := evalNumQ(t, src)
+		return ok && got == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStringConcatLength: |a + b| == |a| + |b| for random safe strings.
+func TestQuickStringConcatLength(t *testing.T) {
+	f := func(a, b string) bool {
+		a, b = sanitize(a), sanitize(b)
+		src := fmt.Sprintf(`var result = (%q + %q).length;`, a, b)
+		got, ok := evalNumQ(t, src)
+		return ok && int(got) == len(a)+len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize keeps random strings lexable by the JS string literal syntax
+// (printable ASCII, no quotes/backslashes — %q escapes the rest).
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= ' ' && r < 127 && r != '"' && r != '\\' && r != '\'' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() > 40 {
+		return b.String()[:40]
+	}
+	return b.String()
+}
+
+// TestQuickArrayPushLength: pushing n elements yields length n.
+func TestQuickArrayPushLength(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n % 50)
+		src := fmt.Sprintf(`
+var a = [];
+for (var i = 0; i < %d; i++) { a.push(i); }
+var result = a.length;`, count)
+		got, ok := evalNumQ(t, src)
+		return ok && int(got) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSortIsSorted: Array.sort with a numeric comparator yields a
+// sorted permutation.
+func TestQuickSortIsSorted(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) > 30 {
+			vals = vals[:30]
+		}
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		src := fmt.Sprintf(`
+var a = [%s];
+a.sort(function(x, y) { return x - y; });
+var ok = 1;
+for (var i = 1; i < a.length; i++) { if (a[i-1] > a[i]) ok = 0; }
+var result = ok;`, strings.Join(parts, ","))
+		got, okRun := evalNumQ(t, src)
+		return okRun && got == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJSONRoundTrip: stringify ∘ parse is identity on string maps.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(k1, v1, v2 string) bool {
+		k1, v1, v2 = sanitize(k1), sanitize(v1), sanitize(v2)
+		if k1 == "" || k1 == "other" {
+			k1 = "key"
+		}
+		src := fmt.Sprintf(`
+var o = {%q: %q, other: %q};
+var rt = JSON.parse(JSON.stringify(o));
+var result = (rt[%q] === %q && rt.other === %q) ? 1 : 0;`, k1, v1, v2, k1, v1, v2)
+		got, ok := evalNumQ(t, src)
+		return ok && got == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickURIRoundTrip: decodeURIComponent(encodeURIComponent(s)) == s.
+func TestQuickURIRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		s = sanitize(s)
+		src := fmt.Sprintf(`var result = decodeURIComponent(encodeURIComponent(%q)) === %q ? 1 : 0;`, s, s)
+		got, ok := evalNumQ(t, src)
+		return ok && got == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- targeted tests for the newer builtins ----
+
+func TestArrayHigherOrder(t *testing.T) {
+	wantNum(t, `var result = [1,2,3].map(function(x){ return x*2; })[2];`, 6)
+	wantNum(t, `var result = [1,2,3,4].filter(function(x){ return x % 2 == 0; }).length;`, 2)
+	wantStr(t, `var result = [3,1,2].sort().join("");`, "123")
+	wantStr(t, `var result = [10,9,30].sort(function(a,b){return a-b;}).join(",");`, "9,10,30")
+	wantStr(t, `var result = [1,2,3].reverse().join("");`, "321")
+	wantStr(t, `var a=[1,2,3,4,5]; a.splice(1,2); var result = a.join("");`, "145")
+	wantStr(t, `var a=[1,4]; a.splice(1,0,2,3); var result = a.join("");`, "1234")
+	wantStr(t, `var a=[1,2,3]; var r=a.splice(1); var result = r.join("")+"|"+a.join("");`, "23|1")
+	wantNum(t, `var a=[2,3]; a.unshift(0,1); var result = a.length * 10 + a[0];`, 40)
+}
+
+func TestStringFromCharCode(t *testing.T) {
+	wantStr(t, `var result = String.fromCharCode(72, 105);`, "Hi")
+}
+
+func TestURIComponent(t *testing.T) {
+	wantStr(t, `var result = encodeURIComponent("a b&c");`, "a%20b%26c")
+	wantStr(t, `var result = decodeURIComponent("a%20b%26c");`, "a b&c")
+	wantStr(t, `var result = "";
+try { decodeURIComponent("%zz"); } catch (e) { result = e.name; }`, "URIError")
+}

@@ -1,0 +1,280 @@
+package js
+
+// resolve performs the static binding analysis:
+//
+//  1. Hoisting: collect the names declared by `var` and function
+//     declarations in each function body (and the top level), per
+//     JavaScript's function-scoped declaration semantics and the paper's
+//     §4.1 treatment of function declarations as writes at scope entry.
+//
+//  2. Capture analysis: a binding referenced from a function nested below
+//     its declaring function is marked Captured. Captured locals can be
+//     shared between operations through closures, so the interpreter
+//     instruments their accesses; uncaptured locals are private to a
+//     single operation and are not instrumented.
+//
+// Names that resolve to no enclosing function are Global: they live on the
+// window's global scope, which is always shared.
+func resolve(prog *Program) {
+	g := &rscope{bindings: map[string]*VarRef{}}
+	hoist(prog, g, true)
+	resolveBody(prog, g)
+}
+
+// rscope is one scope during resolution: the global scope, a function body
+// scope, or a catch-parameter mini-scope.
+type rscope struct {
+	parent   *rscope
+	bindings map[string]*VarRef
+	// fnBoundary marks function-body scopes: walking up past one means
+	// the reference site is in a function nested below the binding.
+	fnBoundary bool
+}
+
+func (s *rscope) declare(name string, global bool) *VarRef {
+	if r, ok := s.bindings[name]; ok {
+		return r
+	}
+	r := &VarRef{Name: name, Global: global}
+	s.bindings[name] = r
+	return r
+}
+
+// lookup resolves name from scope s. crossed reports whether the walk
+// passed at least one function boundary before finding the binding,
+// meaning the reference captures the binding in a closure.
+func (s *rscope) lookup(name string) (ref *VarRef, crossed bool) {
+	c := false
+	for sc := s; sc != nil; sc = sc.parent {
+		if r, ok := sc.bindings[name]; ok {
+			return r, c
+		}
+		if sc.fnBoundary {
+			c = true
+		}
+	}
+	return nil, false
+}
+
+// hoist populates prog.Hoisted/FuncDecls and declares the bindings in sc.
+func hoist(prog *Program, sc *rscope, global bool) {
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *VarDecl:
+				s.Ref = sc.declare(s.Name, global)
+				prog.Hoisted = append(prog.Hoisted, s.Ref)
+			case *FuncDeclStmt:
+				s.Ref = sc.declare(s.Name, global)
+				prog.Hoisted = append(prog.Hoisted, s.Ref)
+				prog.FuncDecls = append(prog.FuncDecls, s)
+			case *BlockStmt:
+				walk(s.Body)
+			case *IfStmt:
+				walk([]Stmt{s.Then})
+				if s.Else != nil {
+					walk([]Stmt{s.Else})
+				}
+			case *WhileStmt:
+				walk([]Stmt{s.Body})
+			case *ForStmt:
+				if s.Init != nil {
+					walk([]Stmt{s.Init})
+				}
+				walk([]Stmt{s.Body})
+			case *ForInStmt:
+				s.Ref = sc.declare(s.Name, global)
+				prog.Hoisted = append(prog.Hoisted, s.Ref)
+				walk([]Stmt{s.Body})
+			case *TryStmt:
+				walk(s.Try.Body)
+				if s.Catch != nil {
+					walk(s.Catch.Body)
+				}
+				if s.Finally != nil {
+					walk(s.Finally.Body)
+				}
+			case *SwitchStmt:
+				for _, c := range s.Cases {
+					walk(c.Body)
+				}
+			case *LabeledStmt:
+				walk([]Stmt{s.Stmt})
+			}
+		}
+	}
+	walk(prog.Body)
+}
+
+// resolveBody resolves all identifier references in a program body whose
+// scope is sc.
+func resolveBody(prog *Program, sc *rscope) {
+	for _, s := range prog.Body {
+		resolveStmt(s, sc)
+	}
+	for _, fd := range prog.FuncDecls {
+		resolveFunc(fd.Fn, sc)
+	}
+}
+
+func resolveStmt(s Stmt, sc *rscope) {
+	switch s := s.(type) {
+	case *VarDecl:
+		if s.Init != nil {
+			resolveExpr(s.Init, sc)
+		}
+	case *FuncDeclStmt:
+		// Body handled via prog.FuncDecls in resolveBody.
+	case *ExprStmt:
+		resolveExpr(s.X, sc)
+	case *BlockStmt:
+		for _, st := range s.Body {
+			resolveStmt(st, sc)
+		}
+	case *IfStmt:
+		resolveExpr(s.Cond, sc)
+		resolveStmt(s.Then, sc)
+		if s.Else != nil {
+			resolveStmt(s.Else, sc)
+		}
+	case *WhileStmt:
+		resolveExpr(s.Cond, sc)
+		resolveStmt(s.Body, sc)
+	case *ForStmt:
+		if s.Init != nil {
+			resolveStmt(s.Init, sc)
+		}
+		if s.Cond != nil {
+			resolveExpr(s.Cond, sc)
+		}
+		if s.Post != nil {
+			resolveExpr(s.Post, sc)
+		}
+		resolveStmt(s.Body, sc)
+	case *ForInStmt:
+		resolveExpr(s.X, sc)
+		resolveStmt(s.Body, sc)
+	case *ReturnStmt:
+		if s.X != nil {
+			resolveExpr(s.X, sc)
+		}
+	case *ThrowStmt:
+		resolveExpr(s.X, sc)
+	case *TryStmt:
+		resolveStmt(s.Try, sc)
+		if s.Catch != nil {
+			// The catch parameter gets a mini-scope of its own.
+			cs := &rscope{parent: sc, bindings: map[string]*VarRef{}}
+			s.CatchRef = cs.declare(s.CatchVar, false)
+			// References inside catch resolve through cs, but any
+			// function nested in catch must see cs as part of the
+			// same function scope; the lookup's crossed-function
+			// accounting handles that because cs has no function
+			// boundary of its own.
+			resolveStmt(s.Catch, cs)
+		}
+		if s.Finally != nil {
+			resolveStmt(s.Finally, sc)
+		}
+	case *SwitchStmt:
+		resolveExpr(s.X, sc)
+		for _, c := range s.Cases {
+			if c.Test != nil {
+				resolveExpr(c.Test, sc)
+			}
+			for _, st := range c.Body {
+				resolveStmt(st, sc)
+			}
+		}
+	case *LabeledStmt:
+		resolveStmt(s.Stmt, sc)
+	case *BreakStmt, *ContinueStmt, *EmptyStmt:
+	}
+}
+
+func resolveExpr(e Expr, sc *rscope) {
+	switch e := e.(type) {
+	case *Ident:
+		ref, crossed := sc.lookup(e.Name)
+		if ref == nil {
+			ref = &VarRef{Name: e.Name, Global: true}
+			// Intern global refs at the root scope so all
+			// references to one global share a VarRef.
+			root := sc
+			for root.parent != nil {
+				root = root.parent
+			}
+			if r, ok := root.bindings[e.Name]; ok {
+				ref = r
+			} else {
+				root.bindings[e.Name] = ref
+			}
+		}
+		if crossed && !ref.Global {
+			ref.Captured = true
+		}
+		e.Ref = ref
+	case *FuncLit:
+		resolveFunc(e, sc)
+	case *ArrayLit:
+		for _, el := range e.Elems {
+			resolveExpr(el, sc)
+		}
+	case *ObjectLit:
+		for _, v := range e.Vals {
+			resolveExpr(v, sc)
+		}
+	case *MemberExpr:
+		resolveExpr(e.X, sc)
+	case *IndexExpr:
+		resolveExpr(e.X, sc)
+		resolveExpr(e.Idx, sc)
+	case *CallExpr:
+		resolveExpr(e.Callee, sc)
+		for _, a := range e.Args {
+			resolveExpr(a, sc)
+		}
+	case *AssignExpr:
+		resolveExpr(e.Target, sc)
+		resolveExpr(e.Value, sc)
+	case *UpdateExpr:
+		resolveExpr(e.X, sc)
+	case *UnaryExpr:
+		resolveExpr(e.X, sc)
+	case *BinaryExpr:
+		resolveExpr(e.L, sc)
+		resolveExpr(e.R, sc)
+	case *LogicalExpr:
+		resolveExpr(e.L, sc)
+		resolveExpr(e.R, sc)
+	case *CondExpr:
+		resolveExpr(e.Cond, sc)
+		resolveExpr(e.Then, sc)
+		resolveExpr(e.Else, sc)
+	case *SeqExpr:
+		for _, x := range e.Exprs {
+			resolveExpr(x, sc)
+		}
+	case *NumLit, *StrLit, *BoolLit, *NullLit, *UndefinedLit, *ThisLit:
+	}
+}
+
+// resolveFunc resolves a function literal: a new scope containing the
+// parameters, the named function expression's own name, and the hoisted
+// declarations of its body.
+func resolveFunc(fn *FuncLit, parent *rscope) {
+	sc := &rscope{parent: parent, bindings: map[string]*VarRef{}, fnBoundary: true}
+	if fn.Name != "" {
+		// A named function expression can call itself by name; make
+		// the name visible inside (harmlessly shadowed if also a
+		// declaration binding in the parent).
+		sc.declare(fn.Name, false)
+	}
+	fn.ParamRefs = make([]*VarRef, len(fn.Params))
+	for i, p := range fn.Params {
+		fn.ParamRefs[i] = sc.declare(p, false)
+	}
+	hoist(fn.Body, sc, false)
+	resolveBody(fn.Body, sc)
+}

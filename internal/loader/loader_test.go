@@ -1,0 +1,140 @@
+package loader
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFetchRegistered(t *testing.T) {
+	site := NewSite("t").Add("a.js", "x = 1;")
+	l := New(site, Latency{Base: 10, Jitter: 5}, 1)
+	body, lat, err := l.Fetch("a.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "x = 1;" {
+		t.Errorf("body = %q", body)
+	}
+	if lat < 10 || lat > 15 {
+		t.Errorf("latency %v outside [10,15]", lat)
+	}
+	if l.Fetches() != 1 {
+		t.Errorf("Fetches = %d", l.Fetches())
+	}
+}
+
+func TestFetchMissing(t *testing.T) {
+	l := New(NewSite("t"), Latency{Base: 1}, 1)
+	_, _, err := l.Fetch("missing.js")
+	var nf *ErrNotFound
+	if !errors.As(err, &nf) || nf.URL != "missing.js" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFetchBinaryAlwaysSucceeds(t *testing.T) {
+	l := New(NewSite("t"), Latency{Base: 1}, 1)
+	for _, url := range []string{"decor.png", "a.jpg", "b.gif", "c.css", "d.ico"} {
+		if _, _, err := l.Fetch(url); err != nil {
+			t.Errorf("binary fetch %s failed: %v", url, err)
+		}
+	}
+	if _, _, err := l.Fetch("page.html"); err == nil {
+		t.Error("missing html succeeded")
+	}
+}
+
+func TestPerURLOverride(t *testing.T) {
+	site := NewSite("t").Add("slow.js", "x")
+	l := New(site, Latency{Base: 5, Jitter: 10, PerURL: map[string]float64{"slow.js": 500}}, 1)
+	_, lat, _ := l.Fetch("slow.js")
+	if lat != 500 {
+		t.Errorf("override ignored: %v", lat)
+	}
+}
+
+func TestDeterministicLatency(t *testing.T) {
+	site := NewSite("t").Add("a.js", "x").Add("b.js", "y")
+	seq := func() []float64 {
+		l := New(site, DefaultLatency(), 42)
+		var out []float64
+		for i := 0; i < 10; i++ {
+			_, lat, _ := l.Fetch("a.js")
+			out = append(out, lat)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different latency at fetch %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Different seed: different draws (overwhelmingly likely).
+	l2 := New(site, DefaultLatency(), 43)
+	_, lat2, _ := l2.Fetch("a.js")
+	if lat2 == a[0] {
+		t.Log("different seeds coincided on first draw (possible but unlikely)")
+	}
+}
+
+func TestLoadDirWriteDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig := NewSite("disk").
+		Add("index.html", "<p>hi</p>").
+		Add("js/app.js", "x = 1;").
+		Add("frames/a.html", "<p>frame</p>")
+	if err := orig.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Resources) != len(orig.Resources) {
+		t.Fatalf("round trip: %d resources, want %d", len(back.Resources), len(orig.Resources))
+	}
+	for url, body := range orig.Resources {
+		if back.Resources[url] != body {
+			t.Errorf("resource %s differs", url)
+		}
+	}
+}
+
+func TestLoadDirSkipsHidden(t *testing.T) {
+	dir := t.TempDir()
+	site := NewSite("h").Add("index.html", "x")
+	if err := site.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSite("h2").Add(".git/config", "secret").WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Resources[".git/config"]; ok {
+		t.Error("hidden directory content loaded")
+	}
+	if _, ok := back.Resources["index.html"]; !ok {
+		t.Error("regular file missing")
+	}
+}
+
+func TestLoadDirEmpty(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty directory should error")
+	}
+}
+
+func TestSiteBuilder(t *testing.T) {
+	site := NewSite("corp").Add("a", "1").Add("b", "2")
+	if site.Name != "corp" || len(site.Resources) != 2 {
+		t.Errorf("site = %+v", site)
+	}
+	l := New(site, DefaultLatency(), 1)
+	if l.Site() != site {
+		t.Error("Site accessor")
+	}
+}

@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocIdentity(t *testing.T) {
+	if VarLoc(1, "x") != VarLoc(1, "x") {
+		t.Error("identical var locations unequal")
+	}
+	if VarLoc(1, "x") == VarLoc(2, "x") {
+		t.Error("different owners collide")
+	}
+	if VarLoc(1, "x") == VarLoc(1, "y") {
+		t.Error("different names collide")
+	}
+}
+
+func TestKindsDisjoint(t *testing.T) {
+	// Same numeric components, different kinds: distinct locations.
+	v := VarLoc(7, "load")
+	e := ElemIDLoc(7, "load")
+	h := HandlerLoc(7, "load", 0)
+	if v == e || e == h || v == h {
+		t.Error("location kinds collide")
+	}
+}
+
+func TestHandlerIdentityIncludesHandler(t *testing.T) {
+	// §4.3: disjoint handlers for one event must not interfere.
+	a := HandlerLoc(3, "click", 10)
+	b := HandlerLoc(3, "click", 11)
+	if a == b {
+		t.Error("distinct handlers share a location")
+	}
+	if HandlerLoc(3, "click", 10) != a {
+		t.Error("handler location not stable")
+	}
+}
+
+func TestElemIDKeying(t *testing.T) {
+	// The id-keyed form must be independent of node serials so a failed
+	// lookup meets a later insertion.
+	if ElemIDLoc(1, "dw") != ElemIDLoc(1, "dw") {
+		t.Error("id-keyed element locations unstable")
+	}
+	if ElemIDLoc(1, "dw") == ElemIDLoc(2, "dw") {
+		t.Error("documents share element locations")
+	}
+	if ElemLoc(5) == ElemIDLoc(5, "") {
+		t.Log("anonymous and id-keyed forms coincide only when id is empty — by construction")
+	}
+}
+
+func TestLocMapKey(t *testing.T) {
+	m := map[Loc]int{}
+	m[VarLoc(1, "x")] = 1
+	m[ElemIDLoc(1, "x")] = 2
+	m[HandlerLoc(1, "x", 0)] = 3
+	if len(m) != 3 {
+		t.Errorf("map collapsed locations: %v", m)
+	}
+	if m[VarLoc(1, "x")] != 1 {
+		t.Error("lookup failed")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := VarLoc(0, "g").String(); !strings.Contains(s, "g") {
+		t.Errorf("VarLoc string %q", s)
+	}
+	if s := VarLoc(4, "p").String(); !strings.Contains(s, "obj4") {
+		t.Errorf("prop string %q", s)
+	}
+	if s := ElemLoc(9).String(); !strings.Contains(s, "elem") {
+		t.Errorf("ElemLoc string %q", s)
+	}
+	if s := HandlerLoc(3, "load", 7).String(); !strings.Contains(s, "load") {
+		t.Errorf("HandlerLoc string %q", s)
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("access kind strings")
+	}
+	for c := CtxPlain; c <= CtxUserInput; c++ {
+		if strings.HasPrefix(c.String(), "ctx(") {
+			t.Errorf("context %d unnamed", c)
+		}
+	}
+}
+
+// TestLocEqualityProperty: equality is exactly component-wise equality.
+func TestLocEqualityProperty(t *testing.T) {
+	f := func(o1, o2 uint64, n1, n2 string, e1, e2 uint64) bool {
+		a := Loc{Kind: Var, Obj: o1, Name: n1, Extra: e1}
+		b := Loc{Kind: Var, Obj: o2, Name: n2, Extra: e2}
+		want := o1 == o2 && n1 == n2 && e1 == e2
+		return (a == b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package op
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewAssignsDenseIDs(t *testing.T) {
+	tab := &Table{}
+	a := tab.New(KindParse, "a")
+	b := tab.New(KindScript, "b")
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d, %d; want 1, 2", a, b)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestBeganStampsSequence(t *testing.T) {
+	tab := &Table{}
+	a := tab.New(KindParse, "a")
+	b := tab.New(KindScript, "b")
+	// Begin out of registration order.
+	tab.Began(b)
+	tab.Began(a)
+	if tab.Get(b).Seq != 0 || tab.Get(a).Seq != 1 {
+		t.Errorf("seqs: a=%d b=%d", tab.Get(a).Seq, tab.Get(b).Seq)
+	}
+	// Second Began is a no-op.
+	tab.Began(b)
+	if tab.Get(b).Seq != 0 {
+		t.Error("Began re-stamped the sequence")
+	}
+}
+
+func TestNeverBegan(t *testing.T) {
+	tab := &Table{}
+	a := tab.New(KindTimeout, "cleared timer")
+	if tab.Get(a).Seq != -1 {
+		t.Error("unexecuted op should have Seq -1")
+	}
+}
+
+func TestSetLabel(t *testing.T) {
+	tab := &Table{}
+	a := tab.New(KindScript, "")
+	tab.SetLabel(a, "exe main.js")
+	if tab.Get(a).Label != "exe main.js" {
+		t.Error("SetLabel did not stick")
+	}
+}
+
+func TestGetPanicsOnInvalid(t *testing.T) {
+	tab := &Table{}
+	tab.New(KindInit, "x")
+	for _, bad := range []ID{None, 2, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", bad)
+				}
+			}()
+			tab.Get(bad)
+		}()
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindInit, KindParse, KindScript, KindHandler, KindTimeout,
+		KindInterval, KindAnchor, KindJoin, KindUser, KindContinuation, KindNetwork}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tab := &Table{}
+	a := tab.New(KindParse, "<div id=dw>")
+	s := tab.Get(a).String()
+	if !strings.Contains(s, "parse") || !strings.Contains(s, "dw") {
+		t.Errorf("Op.String = %q", s)
+	}
+	b := tab.New(KindJoin, "")
+	if got := tab.Get(b).String(); !strings.Contains(got, "join") {
+		t.Errorf("unlabeled Op.String = %q", got)
+	}
+}

@@ -1,0 +1,228 @@
+// Package race implements the dynamic race detectors of §5 of "Race
+// Detection for Web Applications" (PLDI 2012).
+//
+// A race exists between accesses A and A′ to the same logical location m if
+// they are performed by different operations, neither operation happens
+// before the other, and at least one access is a write (§5.1).
+//
+// Three detectors are provided:
+//
+//   - Pairwise is the paper's algorithm: constant auxiliary state per
+//     location (LastRead and LastWrite maps) checked with CHC. It can miss
+//     races (§5.1 Limitation), which the tests demonstrate.
+//
+//   - AccessSet keeps the full access history per location and therefore
+//     reports every race of the execution — the fix the paper leaves to
+//     future work. Used as an ablation and as ground truth in tests.
+//
+//   - Recorder wraps another detector while capturing the access trace so
+//     the same execution can be replayed against a different happens-before
+//     representation (experiment E4).
+package race
+
+import (
+	"fmt"
+
+	"webracer/internal/hb"
+	"webracer/internal/mem"
+	"webracer/internal/op"
+)
+
+// Access is one dynamic memory access to a logical location.
+type Access struct {
+	Kind mem.AccessKind
+	Loc  mem.Loc
+	Op   op.ID
+	Ctx  mem.Context
+	// Desc is a human-readable description of the access site, e.g.
+	// `getElementById("dw")` or `depart.value = "City of Departure"`.
+	Desc string
+}
+
+func (a Access) String() string {
+	return fmt.Sprintf("%s %s by op#%d [%s] %s", a.Kind, a.Loc, a.Op, a.Ctx, a.Desc)
+}
+
+// Report is one detected race: two accesses to Loc by concurrent
+// operations, at least one a write. Prior is the access that was observed
+// first in the execution; Current the one whose instrumentation fired the
+// report.
+type Report struct {
+	Loc     mem.Loc
+	Prior   Access
+	Current Access
+	// WriterReadFirst is set when the racing write was performed by an
+	// operation that read the same location immediately beforehand — the
+	// check-then-write idiom the §5.3 form filter treats as harmless.
+	WriterReadFirst bool
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("race on %s: {%s} vs {%s}", r.Loc, r.Prior, r.Current)
+}
+
+// Detector consumes an access stream and accumulates race reports.
+type Detector interface {
+	OnAccess(a Access)
+	Reports() []Report
+}
+
+// Pairwise is the detector of §5.1: for each location it remembers only the
+// most recent read and the most recent write, and reports a race when the
+// current access can happen concurrently with the remembered conflicting
+// access. Like WebRacer (footnote 13) it reports at most one race per
+// location per run.
+type Pairwise struct {
+	oracle    hb.Oracle
+	lastRead  map[mem.Loc]Access
+	lastWrite map[mem.Loc]Access
+	reported  map[mem.Loc]bool
+	reports   []Report
+	// ReportAll disables the one-race-per-location cap (used by tests and
+	// by the harm oracle, which wants every racing pair it can get).
+	ReportAll bool
+}
+
+// NewPairwise returns the paper's detector querying the given oracle.
+func NewPairwise(o hb.Oracle) *Pairwise {
+	return &Pairwise{
+		oracle:    o,
+		lastRead:  make(map[mem.Loc]Access),
+		lastWrite: make(map[mem.Loc]Access),
+		reported:  make(map[mem.Loc]bool),
+	}
+}
+
+// OnAccess implements Detector.
+func (d *Pairwise) OnAccess(a Access) {
+	switch a.Kind {
+	case mem.Read:
+		if w, ok := d.lastWrite[a.Loc]; ok && d.oracle.Concurrent(w.Op, a.Op) {
+			d.report(w, a, false)
+		}
+		d.lastRead[a.Loc] = a
+	case mem.Write:
+		// Check-then-write detection: the most recent read of this
+		// location was by the same operation (operations are atomic,
+		// so that read directly preceded this write).
+		readFirst := false
+		if r, ok := d.lastRead[a.Loc]; ok && r.Op == a.Op {
+			readFirst = true
+		}
+		if w, ok := d.lastWrite[a.Loc]; ok && d.oracle.Concurrent(w.Op, a.Op) {
+			d.report(w, a, readFirst)
+		}
+		if r, ok := d.lastRead[a.Loc]; ok && r.Op != a.Op && d.oracle.Concurrent(r.Op, a.Op) {
+			d.report(r, a, readFirst)
+		}
+		d.lastWrite[a.Loc] = a
+	}
+}
+
+func (d *Pairwise) report(prior, cur Access, writerReadFirst bool) {
+	if !d.ReportAll {
+		if d.reported[cur.Loc] {
+			return
+		}
+		d.reported[cur.Loc] = true
+	}
+	d.reports = append(d.reports, Report{
+		Loc:             cur.Loc,
+		Prior:           prior,
+		Current:         cur,
+		WriterReadFirst: writerReadFirst,
+	})
+}
+
+// Reports implements Detector.
+func (d *Pairwise) Reports() []Report { return d.reports }
+
+// AccessSet keeps every access per location and reports all races of the
+// execution. Auxiliary space is O(accesses); the paper's detector trades
+// this completeness for constant per-location state.
+type AccessSet struct {
+	oracle  hb.Oracle
+	history map[mem.Loc][]Access
+	// OnePerLoc mirrors WebRacer's at-most-one-race-per-location
+	// reporting when set.
+	OnePerLoc bool
+	reported  map[mem.Loc]bool
+	reports   []Report
+}
+
+// NewAccessSet returns the complete-history detector.
+func NewAccessSet(o hb.Oracle) *AccessSet {
+	return &AccessSet{
+		oracle:   o,
+		history:  make(map[mem.Loc][]Access),
+		reported: make(map[mem.Loc]bool),
+	}
+}
+
+// OnAccess implements Detector.
+func (d *AccessSet) OnAccess(a Access) {
+	hist := d.history[a.Loc]
+	readFirst := false
+	if a.Kind == mem.Write && len(hist) > 0 {
+		// Only the immediately preceding access counts: operations are
+		// atomic, so a check-then-write leaves its own read last.
+		last := hist[len(hist)-1]
+		readFirst = last.Kind == mem.Read && last.Op == a.Op
+	}
+	for _, h := range hist {
+		if h.Kind == mem.Read && a.Kind == mem.Read {
+			continue
+		}
+		if h.Op == a.Op {
+			continue
+		}
+		if d.oracle.Concurrent(h.Op, a.Op) {
+			if d.OnePerLoc {
+				if d.reported[a.Loc] {
+					break
+				}
+				d.reported[a.Loc] = true
+			}
+			d.reports = append(d.reports, Report{Loc: a.Loc, Prior: h, Current: a, WriterReadFirst: readFirst})
+			if d.OnePerLoc {
+				break
+			}
+		}
+	}
+	d.history[a.Loc] = append(hist, a)
+}
+
+// Reports implements Detector.
+func (d *AccessSet) Reports() []Report { return d.reports }
+
+// Recorder wraps a Detector, capturing the access trace for later replay.
+type Recorder struct {
+	Inner Detector
+	Trace []Access
+}
+
+// OnAccess implements Detector.
+func (r *Recorder) OnAccess(a Access) {
+	r.Trace = append(r.Trace, a)
+	if r.Inner != nil {
+		r.Inner.OnAccess(a)
+	}
+}
+
+// Reports implements Detector.
+func (r *Recorder) Reports() []Report {
+	if r.Inner == nil {
+		return nil
+	}
+	return r.Inner.Reports()
+}
+
+// Replay feeds a recorded trace to a detector and returns its reports.
+// It lets one execution be re-analyzed under a different happens-before
+// oracle (graph vs vector clocks) without re-running the browser.
+func Replay(trace []Access, d Detector) []Report {
+	for _, a := range trace {
+		d.OnAccess(a)
+	}
+	return d.Reports()
+}

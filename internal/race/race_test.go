@@ -1,0 +1,264 @@
+package race
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webracer/internal/hb"
+	"webracer/internal/mem"
+	"webracer/internal/op"
+)
+
+func chainGraph(edges ...[2]op.ID) *hb.Graph {
+	g := hb.NewGraph()
+	g.AddNode(16)
+	for _, e := range edges {
+		g.Edge(e[0], e[1])
+	}
+	return g
+}
+
+func loc(name string) mem.Loc { return mem.VarLoc(1, name) }
+
+func rd(l mem.Loc, o op.ID) Access { return Access{Kind: mem.Read, Loc: l, Op: o} }
+func wr(l mem.Loc, o op.ID) Access { return Access{Kind: mem.Write, Loc: l, Op: o} }
+
+func TestWriteWriteRace(t *testing.T) {
+	d := NewPairwise(chainGraph())
+	d.OnAccess(wr(loc("x"), 1))
+	d.OnAccess(wr(loc("x"), 2))
+	if len(d.Reports()) != 1 {
+		t.Fatalf("got %d reports, want 1", len(d.Reports()))
+	}
+	r := d.Reports()[0]
+	if r.Prior.Op != 1 || r.Current.Op != 2 {
+		t.Errorf("wrong racing pair: %v", r)
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	d := NewPairwise(chainGraph())
+	d.OnAccess(rd(loc("x"), 1))
+	d.OnAccess(wr(loc("x"), 2))
+	if len(d.Reports()) != 1 {
+		t.Fatalf("got %d reports, want 1", len(d.Reports()))
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	d := NewPairwise(chainGraph())
+	d.OnAccess(wr(loc("x"), 1))
+	d.OnAccess(rd(loc("x"), 2))
+	if len(d.Reports()) != 1 {
+		t.Fatalf("got %d reports, want 1", len(d.Reports()))
+	}
+}
+
+func TestReadReadNoRace(t *testing.T) {
+	d := NewPairwise(chainGraph())
+	d.OnAccess(rd(loc("x"), 1))
+	d.OnAccess(rd(loc("x"), 2))
+	if len(d.Reports()) != 0 {
+		t.Errorf("read-read reported as race")
+	}
+}
+
+func TestOrderedNoRace(t *testing.T) {
+	d := NewPairwise(chainGraph([2]op.ID{1, 2}))
+	d.OnAccess(wr(loc("x"), 1))
+	d.OnAccess(wr(loc("x"), 2))
+	if len(d.Reports()) != 0 {
+		t.Errorf("ordered writes reported as race")
+	}
+}
+
+func TestSameOpNoRace(t *testing.T) {
+	d := NewPairwise(chainGraph())
+	d.OnAccess(wr(loc("x"), 1))
+	d.OnAccess(wr(loc("x"), 1))
+	d.OnAccess(rd(loc("x"), 1))
+	if len(d.Reports()) != 0 {
+		t.Errorf("same-operation accesses reported as race")
+	}
+}
+
+func TestDistinctLocationsIndependent(t *testing.T) {
+	d := NewPairwise(chainGraph())
+	d.OnAccess(wr(loc("x"), 1))
+	d.OnAccess(wr(loc("y"), 2))
+	if len(d.Reports()) != 0 {
+		t.Errorf("accesses to distinct locations raced")
+	}
+}
+
+func TestOneReportPerLocation(t *testing.T) {
+	// Footnote 13: at most one race per location per run.
+	d := NewPairwise(chainGraph())
+	d.OnAccess(wr(loc("x"), 1))
+	d.OnAccess(wr(loc("x"), 2))
+	d.OnAccess(wr(loc("x"), 3))
+	d.OnAccess(rd(loc("x"), 4))
+	if len(d.Reports()) != 1 {
+		t.Errorf("got %d reports, want 1 (per-location cap)", len(d.Reports()))
+	}
+	d2 := NewPairwise(chainGraph())
+	d2.ReportAll = true
+	d2.OnAccess(wr(loc("x"), 1))
+	d2.OnAccess(wr(loc("x"), 2))
+	d2.OnAccess(wr(loc("x"), 3))
+	if len(d2.Reports()) != 2 {
+		t.Errorf("ReportAll got %d reports, want 2", len(d2.Reports()))
+	}
+}
+
+func TestWriterReadFirstFlag(t *testing.T) {
+	// op2 reads then writes (check-then-write); the race with op1's
+	// write carries WriterReadFirst.
+	d := NewPairwise(chainGraph())
+	d.ReportAll = true // the read already reports; we want the write's report too
+	d.OnAccess(wr(loc("v"), 1))
+	d.OnAccess(rd(loc("v"), 2))
+	d.OnAccess(wr(loc("v"), 2))
+	if len(d.Reports()) == 0 {
+		t.Fatal("no race reported")
+	}
+	found := false
+	for _, r := range d.Reports() {
+		if r.Current.Kind == mem.Write && r.WriterReadFirst {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("WriterReadFirst not set: %v", d.Reports())
+	}
+}
+
+// TestPaperMiss replays the §5.1 limitation: schedule 3·1·2 with 1 ⇝ 2.
+// The pairwise detector misses the 2–3 race.
+func TestPaperMiss(t *testing.T) {
+	g := chainGraph([2]op.ID{1, 2})
+	d := NewPairwise(g)
+	d.OnAccess(rd(loc("e"), 3))
+	d.OnAccess(rd(loc("e"), 1))
+	d.OnAccess(wr(loc("e"), 2))
+	if len(d.Reports()) != 0 {
+		t.Errorf("pairwise unexpectedly caught the missed race: %v", d.Reports())
+	}
+	s := NewAccessSet(g)
+	s.OnAccess(rd(loc("e"), 3))
+	s.OnAccess(rd(loc("e"), 1))
+	s.OnAccess(wr(loc("e"), 2))
+	if len(s.Reports()) != 1 {
+		t.Fatalf("AccessSet got %d reports, want 1", len(s.Reports()))
+	}
+	r := s.Reports()[0]
+	if r.Prior.Op != 3 || r.Current.Op != 2 {
+		t.Errorf("AccessSet found wrong pair: %v", r)
+	}
+}
+
+// TestAccessSetWriteChains: w1 ⇝ w2, w3 after w2 but concurrent with w1.
+// Pairwise (remembering only w2) misses w1–w3; AccessSet catches it.
+func TestAccessSetWriteChains(t *testing.T) {
+	g := chainGraph([2]op.ID{1, 2}, [2]op.ID{3, 2}) // hmm: need w3 ordered after w2? build: 1⇝2, 2⇝... use ops 1,2,4 with 1⇝2, 2⇝4? then 1⇝4 transitively — no.
+	_ = g
+	// Construct: w(a), w(b) concurrent with a? Simplest concrete case:
+	// ops 1,2,3; edges 2⇝3 only. Accesses: w1, w2 (race 1-2), w3:
+	// pairwise checks lastWrite=2, ordered, no report; misses 1-3.
+	g2 := chainGraph([2]op.ID{2, 3})
+	p := NewPairwise(g2)
+	p.ReportAll = true
+	s := NewAccessSet(g2)
+	for _, a := range []Access{wr(loc("x"), 1), wr(loc("x"), 2), wr(loc("x"), 3)} {
+		p.OnAccess(a)
+		s.OnAccess(a)
+	}
+	if len(p.Reports()) != 1 {
+		t.Errorf("pairwise got %d, want 1 (only the 1-2 race)", len(p.Reports()))
+	}
+	if len(s.Reports()) != 2 {
+		t.Errorf("AccessSet got %d, want 2 (1-2 and 1-3)", len(s.Reports()))
+	}
+}
+
+func TestRecorderReplay(t *testing.T) {
+	g := chainGraph()
+	rec := &Recorder{Inner: NewPairwise(g)}
+	rec.OnAccess(wr(loc("x"), 1))
+	rec.OnAccess(wr(loc("x"), 2))
+	if len(rec.Reports()) != 1 {
+		t.Fatalf("recorder inner missed race")
+	}
+	if len(rec.Trace) != 2 {
+		t.Fatalf("trace length %d, want 2", len(rec.Trace))
+	}
+	// Replay against a fresh detector reproduces the report.
+	got := Replay(rec.Trace, NewPairwise(g))
+	if len(got) != 1 {
+		t.Errorf("replay got %d reports, want 1", len(got))
+	}
+}
+
+// TestDetectorSoundnessProperty: on random executions, no detector ever
+// reports a pair that the happens-before orders, and every pairwise report
+// is also found by AccessSet.
+func TestDetectorSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(12)
+		g := hb.NewGraph()
+		g.AddNode(op.ID(n))
+		for b := 2; b <= n; b++ {
+			for a := 1; a < b; a++ {
+				if r.Float64() < 0.2 {
+					g.Edge(op.ID(a), op.ID(b))
+				}
+			}
+		}
+		locs := []mem.Loc{loc("a"), loc("b"), loc("c")}
+		var trace []Access
+		for i := 0; i < 30; i++ {
+			a := Access{Loc: locs[r.Intn(len(locs))], Op: op.ID(r.Intn(n) + 1)}
+			if r.Intn(2) == 0 {
+				a.Kind = mem.Write
+			}
+			trace = append(trace, a)
+		}
+		p := NewPairwise(g)
+		p.ReportAll = true
+		s := NewAccessSet(g)
+		pr := Replay(trace, p)
+		sr := Replay(trace, s)
+		// Soundness: no report is HB-ordered, all have a write.
+		for _, rep := range append(append([]Report{}, pr...), sr...) {
+			if !g.Concurrent(rep.Prior.Op, rep.Current.Op) {
+				return false
+			}
+			if rep.Prior.Kind != mem.Write && rep.Current.Kind != mem.Write {
+				return false
+			}
+			if rep.Prior.Op == rep.Current.Op {
+				return false
+			}
+		}
+		// Pairwise ⊆ AccessSet (as racing pairs).
+		pairs := map[[2]op.ID]map[mem.Loc]bool{}
+		for _, rep := range sr {
+			k := [2]op.ID{rep.Prior.Op, rep.Current.Op}
+			if pairs[k] == nil {
+				pairs[k] = map[mem.Loc]bool{}
+			}
+			pairs[k][rep.Loc] = true
+		}
+		for _, rep := range pr {
+			if !pairs[[2]op.ID{rep.Prior.Op, rep.Current.Op}][rep.Loc] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

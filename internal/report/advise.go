@@ -1,0 +1,107 @@
+package report
+
+import (
+	"fmt"
+
+	"webracer/internal/mem"
+	"webracer/internal/race"
+)
+
+// Advise suggests a remediation for a race report — the "possibly
+// remediation of data races" direction §9 names as future work. The advice
+// is heuristic, derived from the race type and the contexts of the two
+// accesses; it encodes the fixes the paper itself discusses (moving a
+// script above its user, guarding lookups, registering handlers in the
+// element's tag, keying work off DOMContentLoaded) plus the standard cures
+// for form and AJAX races.
+func Advise(r race.Report) string {
+	switch Classify(r) {
+	case HTML:
+		return adviseHTML(r)
+	case Function:
+		return adviseFunction(r)
+	case EventDispatch:
+		return adviseDispatch(r)
+	default:
+		return adviseVariable(r)
+	}
+}
+
+func adviseHTML(r race.Report) string {
+	read, write := readerWriter(r)
+	name := r.Loc.Name
+	if name == "" {
+		name = "the element"
+	} else {
+		name = "#" + name
+	}
+	switch {
+	case write.Ctx == mem.CtxElemRemove:
+		return fmt.Sprintf("an access to %s races with its removal: "+
+			"null-check the lookup result, or remove the element only from code "+
+			"ordered after every reader (e.g. the same event chain)", name)
+	case read.Ctx == mem.CtxElemLookup:
+		return fmt.Sprintf("code may look up %s before it is parsed: "+
+			"guard the lookup result against null, or defer the lookup to a "+
+			"DOMContentLoaded handler, which happens-after all static parsing (rule 12)", name)
+	default:
+		return fmt.Sprintf("accesses to %s are unordered with its creation: "+
+			"move the accessing code below the element, or defer it to DOMContentLoaded", name)
+	}
+}
+
+func adviseFunction(r race.Report) string {
+	return fmt.Sprintf("%s may be invoked before its declaring script executes: "+
+		"move the declaration into a script that precedes every caller (an inline "+
+		"script above the handler's element is ordered by rules 1a/1b), or guard "+
+		"the call with typeof %s === 'function'", r.Loc.Name, r.Loc.Name)
+}
+
+func adviseDispatch(r race.Report) string {
+	ev := r.Loc.Name
+	if DefaultSingleShot(ev) {
+		return fmt.Sprintf("the %s handler may be registered after the event already fired "+
+			"and would then never run: set the handler in the element's tag (on%s=...), "+
+			"which rule 8 orders before every dispatch, or check the readiness state "+
+			"(e.g. document.readyState, image.complete) after registering", ev, ev)
+	}
+	return fmt.Sprintf("the %s handler may be registered after early %s events: "+
+		"register it in the element's tag or before the element becomes interactive; "+
+		"for deliberately delayed functionality this is the benign degraded-while-loading "+
+		"pattern of §6.2", ev, ev)
+}
+
+func adviseVariable(r race.Report) string {
+	read, write := readerWriter(r)
+	switch {
+	case isFormCtx(r.Prior.Ctx) || isFormCtx(r.Current.Ctx):
+		return "a script writes a form field the user may already have edited: " +
+			"read the field first and write only if it is untouched (the check-then-write " +
+			"idiom the form filter recognizes), or use a placeholder attribute instead " +
+			"of writing value"
+	case r.Prior.Kind == mem.Write && r.Current.Kind == mem.Write:
+		return fmt.Sprintf("two unordered operations write %s (last writer wins): "+
+			"funnel the writes through one owner — a single callback chain, or a "+
+			"sequence-number check so stale responses are ignored", r.Loc.Name)
+	default:
+		_ = read
+		_ = write
+		return fmt.Sprintf("an unordered read of %s may see the value before or after "+
+			"the racing write: establish an ordering (schedule the reader from the "+
+			"writer, e.g. at the end of the writing script or via its load event)", r.Loc.Name)
+	}
+}
+
+func isFormCtx(c mem.Context) bool { return c == mem.CtxFormField || c == mem.CtxUserInput }
+
+// readerWriter splits the racing pair into the read and write sides (for a
+// write-write race, both returns are writes).
+func readerWriter(r race.Report) (read, write race.Access) {
+	if r.Prior.Kind == mem.Read {
+		return r.Prior, r.Current
+	}
+	if r.Current.Kind == mem.Read {
+		return r.Current, r.Prior
+	}
+	return r.Prior, r.Current
+}

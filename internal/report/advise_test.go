@@ -1,0 +1,109 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/mem"
+	"webracer/internal/race"
+)
+
+func mkReport(l mem.Loc, pk, ck mem.AccessKind, pCtx, cCtx mem.Context) race.Report {
+	return race.Report{
+		Loc:     l,
+		Prior:   race.Access{Kind: pk, Loc: l, Op: 1, Ctx: pCtx},
+		Current: race.Access{Kind: ck, Loc: l, Op: 2, Ctx: cCtx},
+	}
+}
+
+func TestAdviseHTMLLookup(t *testing.T) {
+	r := mkReport(mem.ElemIDLoc(1, "dw"), mem.Write, mem.Read, mem.CtxElemInsert, mem.CtxElemLookup)
+	got := Advise(r)
+	if !strings.Contains(got, "#dw") || !strings.Contains(got, "DOMContentLoaded") {
+		t.Errorf("HTML advice lacks specifics: %q", got)
+	}
+}
+
+func TestAdviseHTMLRemoval(t *testing.T) {
+	r := mkReport(mem.ElemIDLoc(1, "victim"), mem.Write, mem.Read, mem.CtxElemRemove, mem.CtxElemLookup)
+	got := Advise(r)
+	if !strings.Contains(got, "removal") {
+		t.Errorf("removal advice wrong: %q", got)
+	}
+}
+
+func TestAdviseFunction(t *testing.T) {
+	r := mkReport(mem.VarLoc(1, "doNextStep"), mem.Write, mem.Read, mem.CtxFuncDecl, mem.CtxFuncCall)
+	got := Advise(r)
+	if !strings.Contains(got, "doNextStep") || !strings.Contains(got, "typeof") {
+		t.Errorf("function advice lacks the guard suggestion: %q", got)
+	}
+}
+
+func TestAdviseDispatchSingleShot(t *testing.T) {
+	r := mkReport(mem.HandlerLoc(3, "load", 0), mem.Write, mem.Read, mem.CtxHandlerAdd, mem.CtxHandlerFire)
+	got := Advise(r)
+	if !strings.Contains(got, "never run") || !strings.Contains(got, "onload") {
+		t.Errorf("single-shot dispatch advice wrong: %q", got)
+	}
+}
+
+func TestAdviseDispatchMulti(t *testing.T) {
+	r := mkReport(mem.HandlerLoc(3, "mouseover", 0), mem.Write, mem.Read, mem.CtxHandlerAdd, mem.CtxHandlerFire)
+	got := Advise(r)
+	if !strings.Contains(got, "degraded-while-loading") {
+		t.Errorf("multi-dispatch advice should mention the benign pattern: %q", got)
+	}
+}
+
+func TestAdviseFormValue(t *testing.T) {
+	r := mkReport(mem.VarLoc(7, "value"), mem.Write, mem.Write, mem.CtxFormField, mem.CtxUserInput)
+	got := Advise(r)
+	if !strings.Contains(got, "placeholder") && !strings.Contains(got, "untouched") {
+		t.Errorf("form advice wrong: %q", got)
+	}
+}
+
+func TestAdviseWriteWrite(t *testing.T) {
+	r := mkReport(mem.VarLoc(1, "winner"), mem.Write, mem.Write, mem.CtxPlain, mem.CtxPlain)
+	got := Advise(r)
+	if !strings.Contains(got, "last writer wins") {
+		t.Errorf("write-write advice wrong: %q", got)
+	}
+}
+
+func TestAdviseReadWrite(t *testing.T) {
+	r := mkReport(mem.VarLoc(1, "x"), mem.Write, mem.Read, mem.CtxPlain, mem.CtxPlain)
+	got := Advise(r)
+	if !strings.Contains(got, "ordering") {
+		t.Errorf("read-write advice wrong: %q", got)
+	}
+}
+
+// TestAdviseAlwaysNonEmpty: every race shape yields some advice.
+func TestAdviseAlwaysNonEmpty(t *testing.T) {
+	locs := []mem.Loc{
+		mem.VarLoc(1, "a"), mem.ElemLoc(2), mem.ElemIDLoc(1, "x"),
+		mem.HandlerLoc(3, "load", 0), mem.HandlerLoc(3, "click", 5),
+	}
+	kinds := []mem.AccessKind{mem.Read, mem.Write}
+	ctxs := []mem.Context{mem.CtxPlain, mem.CtxFuncDecl, mem.CtxFuncCall,
+		mem.CtxElemInsert, mem.CtxElemRemove, mem.CtxElemLookup,
+		mem.CtxHandlerAdd, mem.CtxHandlerFire, mem.CtxFormField, mem.CtxUserInput}
+	for _, l := range locs {
+		for _, pk := range kinds {
+			for _, ck := range kinds {
+				if pk == mem.Read && ck == mem.Read {
+					continue
+				}
+				for _, pc := range ctxs {
+					for _, cc := range ctxs {
+						if got := Advise(mkReport(l, pk, ck, pc, cc)); got == "" {
+							t.Fatalf("empty advice for %v %v/%v %v/%v", l, pk, ck, pc, cc)
+						}
+					}
+				}
+			}
+		}
+	}
+}

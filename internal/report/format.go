@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"webracer/internal/op"
+	"webracer/internal/race"
+)
+
+// OpDescriber resolves operation IDs to human-readable descriptions;
+// op.Table implements it.
+type OpDescriber interface {
+	Get(op.ID) op.Op
+}
+
+// Format writes a readable multi-line rendering of race reports, grouped
+// by race type in Table 1 order, most-detailed form the CLI and examples
+// share. harmful may be nil; when present it flags reports by index.
+func Format(w io.Writer, reports []race.Report, ops OpDescriber, harmful []bool) error {
+	byType := map[Type][]int{}
+	for i, r := range reports {
+		t := Classify(r)
+		byType[t] = append(byType[t], i)
+	}
+	for _, t := range Types {
+		idxs := byType[t]
+		if len(idxs) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s races (%d):\n", t, len(idxs)); err != nil {
+			return err
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			return reports[idxs[a]].Loc.String() < reports[idxs[b]].Loc.String()
+		})
+		for _, i := range idxs {
+			r := reports[i]
+			mark := " "
+			if harmful != nil && i < len(harmful) && harmful[i] {
+				mark = "!"
+			}
+			fmt.Fprintf(w, " %s %s\n", mark, r.Loc)
+			fmt.Fprintf(w, "     %-6s %s  in %s\n", r.Prior.Kind.String()+":",
+				accessDesc(r.Prior), opDesc(ops, r.Prior.Op))
+			fmt.Fprintf(w, "     %-6s %s  in %s\n", r.Current.Kind.String()+":",
+				accessDesc(r.Current), opDesc(ops, r.Current.Op))
+			if r.WriterReadFirst {
+				fmt.Fprintf(w, "     note: the writer read the location first (check-then-write)\n")
+			}
+		}
+	}
+	return nil
+}
+
+func accessDesc(a race.Access) string {
+	if a.Desc != "" {
+		return a.Desc
+	}
+	return a.Ctx.String()
+}
+
+func opDesc(ops OpDescriber, id op.ID) string {
+	if ops == nil {
+		return fmt.Sprintf("op#%d", id)
+	}
+	return ops.Get(id).String()
+}
+
+// Summary renders one line per race type plus a total, e.g. for corpus
+// sweeps: "HTML 2, Function 0, Variable 3, EventDispatch 1 (total 6)".
+func Summary(c Counts) string {
+	return fmt.Sprintf("HTML %d, Function %d, Variable %d, EventDispatch %d (total %d)",
+		c.Of(HTML), c.Of(Function), c.Of(Variable), c.Of(EventDispatch), c.Total())
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/mem"
+	"webracer/internal/op"
+	"webracer/internal/race"
+)
+
+func TestFormat(t *testing.T) {
+	ops := &op.Table{}
+	parse := ops.New(op.KindParse, "parse <div id=dw>")
+	handler := ops.New(op.KindHandler, "click handler")
+	ops.Began(parse)
+	ops.Began(handler)
+	reports := []race.Report{
+		{
+			Loc:     mem.ElemIDLoc(1, "dw"),
+			Prior:   race.Access{Kind: mem.Write, Op: parse, Ctx: mem.CtxElemInsert, Desc: "insert dw"},
+			Current: race.Access{Kind: mem.Read, Op: handler, Ctx: mem.CtxElemLookup, Desc: `getElementById("dw")`},
+		},
+		{
+			Loc:             mem.VarLoc(7, "value"),
+			Prior:           race.Access{Kind: mem.Write, Op: parse, Ctx: mem.CtxFormField},
+			Current:         race.Access{Kind: mem.Write, Op: handler, Ctx: mem.CtxUserInput},
+			WriterReadFirst: true,
+		},
+	}
+	var sb strings.Builder
+	if err := Format(&sb, reports, ops, []bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"HTML races (1):",
+		"Variable races (1):",
+		"elem #dw",
+		`getElementById("dw")`,
+		"check-then-write",
+		"parse <div id=dw>",
+		"! elem #dw", // the harmful marker
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Format(&sb, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty report produced output: %q", sb.String())
+	}
+}
+
+func TestFormatNilOps(t *testing.T) {
+	reports := []race.Report{{
+		Loc:     mem.VarLoc(1, "x"),
+		Prior:   race.Access{Kind: mem.Write, Op: 3},
+		Current: race.Access{Kind: mem.Read, Op: 4},
+	}}
+	var sb strings.Builder
+	if err := Format(&sb, reports, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "op#3") {
+		t.Errorf("nil-ops fallback missing: %s", sb.String())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var c Counts
+	c[HTML] = 2
+	c[Variable] = 1
+	s := Summary(c)
+	if !strings.Contains(s, "HTML 2") || !strings.Contains(s, "total 3") {
+		t.Errorf("Summary = %q", s)
+	}
+}

@@ -1,0 +1,237 @@
+// Package report classifies race reports into the paper's four race types
+// (§2), implements the post-processing filters of §5.3, and computes the
+// corpus statistics presented in §6 (Tables 1 and 2).
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"webracer/internal/mem"
+	"webracer/internal/race"
+)
+
+// Type is one of the four race types of §2.
+type Type uint8
+
+const (
+	// Variable is a data race on a JavaScript memory location (§2.2).
+	Variable Type = iota
+	// HTML is a race between creating/removing a DOM element and
+	// accessing it (§2.3).
+	HTML
+	// Function is a race between parsing a function declaration and
+	// invoking the function (§2.4).
+	Function
+	// EventDispatch is a race between dispatching an event and adding a
+	// handler for it (§2.5).
+	EventDispatch
+	numTypes
+)
+
+// Types lists all race types in Table 1 order.
+var Types = []Type{HTML, Function, Variable, EventDispatch}
+
+func (t Type) String() string {
+	switch t {
+	case Variable:
+		return "Variable"
+	case HTML:
+		return "HTML"
+	case Function:
+		return "Function"
+	case EventDispatch:
+		return "EventDispatch"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Classify maps a race report to its race type. Races on HTML element
+// locations are HTML races; races on handler locations are event dispatch
+// races; races on variables are function races when one side is the hoisted
+// function-declaration write or an invocation read, else variable races.
+func Classify(r race.Report) Type {
+	switch r.Loc.Kind {
+	case mem.Elem:
+		return HTML
+	case mem.Handler:
+		return EventDispatch
+	default:
+		if isFunc(r.Prior.Ctx) || isFunc(r.Current.Ctx) {
+			return Function
+		}
+		return Variable
+	}
+}
+
+func isFunc(c mem.Context) bool { return c == mem.CtxFuncDecl || c == mem.CtxFuncCall }
+
+// Filter decides whether a report should be kept.
+type Filter interface {
+	Keep(r race.Report) bool
+	Name() string
+}
+
+// FormFilter implements the "focus on form races" filter of §5.3: variable
+// races are suppressed unless they involve the value of an HTML form field,
+// and form-field races whose writing operation read the value immediately
+// before writing (a user-hasn't-touched-it check) are suppressed as
+// harmless. Races of other types pass through untouched.
+type FormFilter struct{}
+
+// Name implements Filter.
+func (FormFilter) Name() string { return "form" }
+
+// Keep implements Filter.
+func (FormFilter) Keep(r race.Report) bool {
+	if Classify(r) != Variable {
+		return true
+	}
+	form := isForm(r.Prior.Ctx) || isForm(r.Current.Ctx)
+	if !form {
+		return false
+	}
+	return !r.WriterReadFirst
+}
+
+func isForm(c mem.Context) bool { return c == mem.CtxFormField || c == mem.CtxUserInput }
+
+// SingleDispatchFilter implements the "focus on single-dispatch events"
+// filter of §5.3: event dispatch races are retained only when the event
+// dispatches at most once (e.g. a window's load event) — missing such an
+// event means the handler will never run. Races of other types pass
+// through untouched.
+type SingleDispatchFilter struct {
+	// SingleShot reports whether an event type fires at most once per
+	// target. When nil, DefaultSingleShot is used.
+	SingleShot func(event string) bool
+}
+
+// Name implements Filter.
+func (SingleDispatchFilter) Name() string { return "single-dispatch" }
+
+// Keep implements Filter.
+func (f SingleDispatchFilter) Keep(r race.Report) bool {
+	if Classify(r) != EventDispatch {
+		return true
+	}
+	ss := f.SingleShot
+	if ss == nil {
+		ss = DefaultSingleShot
+	}
+	return ss(r.Loc.Name)
+}
+
+// DefaultSingleShot classifies the events that fire at most once per target
+// in a page's lifetime.
+func DefaultSingleShot(event string) bool {
+	switch event {
+	case "load", "DOMContentLoaded":
+		return true
+	default:
+		return false
+	}
+}
+
+// Apply runs reports through every filter, keeping those all filters keep.
+func Apply(reports []race.Report, filters ...Filter) []race.Report {
+	if len(filters) == 0 {
+		return reports
+	}
+	var kept []race.Report
+	for _, r := range reports {
+		ok := true
+		for _, f := range filters {
+			if !f.Keep(r) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+// Counts is the per-type race tally for one site.
+type Counts [numTypes]int
+
+// Count tallies reports by type.
+func Count(reports []race.Report) Counts {
+	var c Counts
+	for _, r := range reports {
+		c[Classify(r)]++
+	}
+	return c
+}
+
+// Of returns the count for one type.
+func (c Counts) Of(t Type) int { return c[t] }
+
+// Total returns the count across all types.
+func (c Counts) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Stats holds mean/median/max of one series — one row of Table 1.
+type Stats struct {
+	Mean   float64
+	Median float64
+	Max    int
+}
+
+// Summarize computes mean, median and max of per-site counts. An empty
+// input yields zeros.
+func Summarize(perSite []int) Stats {
+	if len(perSite) == 0 {
+		return Stats{}
+	}
+	sorted := append([]int(nil), perSite...)
+	sort.Ints(sorted)
+	sum := 0
+	for _, v := range sorted {
+		sum += v
+	}
+	var median float64
+	n := len(sorted)
+	if n%2 == 1 {
+		median = float64(sorted[n/2])
+	} else {
+		median = float64(sorted[n/2-1]+sorted[n/2]) / 2
+	}
+	return Stats{
+		Mean:   float64(sum) / float64(n),
+		Median: median,
+		Max:    sorted[n-1],
+	}
+}
+
+// Table1 aggregates per-site counts into the five rows of Table 1
+// (HTML, Function, Variable, EventDispatch, All).
+type Table1 struct {
+	Rows map[string]Stats
+}
+
+// BuildTable1 computes Table 1 from per-site tallies.
+func BuildTable1(sites []Counts) Table1 {
+	rows := make(map[string]Stats, numTypes+1)
+	for _, t := range Types {
+		series := make([]int, len(sites))
+		for i, c := range sites {
+			series[i] = c.Of(t)
+		}
+		rows[t.String()] = Summarize(series)
+	}
+	all := make([]int, len(sites))
+	for i, c := range sites {
+		all[i] = c.Total()
+	}
+	rows["All"] = Summarize(all)
+	return Table1{Rows: rows}
+}

@@ -1,0 +1,220 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/mem"
+	"webracer/internal/race"
+)
+
+func rep(l mem.Loc, pCtx, cCtx mem.Context, readFirst bool) race.Report {
+	return race.Report{
+		Loc:             l,
+		Prior:           race.Access{Kind: mem.Write, Loc: l, Op: 1, Ctx: pCtx},
+		Current:         race.Access{Kind: mem.Read, Loc: l, Op: 2, Ctx: cCtx},
+		WriterReadFirst: readFirst,
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		r    race.Report
+		want Type
+	}{
+		{rep(mem.ElemIDLoc(1, "dw"), mem.CtxElemInsert, mem.CtxElemLookup, false), HTML},
+		{rep(mem.ElemLoc(9), mem.CtxElemInsert, mem.CtxElemLookup, false), HTML},
+		{rep(mem.HandlerLoc(3, "load", 0), mem.CtxHandlerAdd, mem.CtxHandlerFire, false), EventDispatch},
+		{rep(mem.VarLoc(1, "x"), mem.CtxPlain, mem.CtxPlain, false), Variable},
+		{rep(mem.VarLoc(1, "f"), mem.CtxFuncDecl, mem.CtxPlain, false), Function},
+		{rep(mem.VarLoc(1, "f"), mem.CtxPlain, mem.CtxFuncCall, false), Function},
+		{rep(mem.VarLoc(7, "value"), mem.CtxFormField, mem.CtxUserInput, false), Variable},
+	}
+	for _, c := range cases {
+		if got := Classify(c.r); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.r.Loc, got, c.want)
+		}
+	}
+}
+
+func TestFormFilter(t *testing.T) {
+	f := FormFilter{}
+	// Non-form variable race: dropped.
+	if f.Keep(rep(mem.VarLoc(1, "x"), mem.CtxPlain, mem.CtxPlain, false)) {
+		t.Error("non-form variable race kept")
+	}
+	// Form race: kept.
+	if !f.Keep(rep(mem.VarLoc(7, "value"), mem.CtxFormField, mem.CtxUserInput, false)) {
+		t.Error("form race dropped")
+	}
+	// Form race whose writer read first: dropped (harmless check).
+	if f.Keep(rep(mem.VarLoc(7, "value"), mem.CtxFormField, mem.CtxUserInput, true)) {
+		t.Error("read-before-write form race kept")
+	}
+	// HTML race: passes through untouched.
+	if !f.Keep(rep(mem.ElemIDLoc(1, "dw"), mem.CtxElemInsert, mem.CtxElemLookup, false)) {
+		t.Error("HTML race dropped by the form filter")
+	}
+	// Function race: passes through untouched.
+	if !f.Keep(rep(mem.VarLoc(1, "g"), mem.CtxFuncDecl, mem.CtxFuncCall, false)) {
+		t.Error("function race dropped by the form filter")
+	}
+}
+
+func TestSingleDispatchFilter(t *testing.T) {
+	f := SingleDispatchFilter{}
+	if !f.Keep(rep(mem.HandlerLoc(3, "load", 0), mem.CtxHandlerAdd, mem.CtxHandlerFire, false)) {
+		t.Error("load dispatch race dropped")
+	}
+	if !f.Keep(rep(mem.HandlerLoc(3, "DOMContentLoaded", 0), mem.CtxHandlerAdd, mem.CtxHandlerFire, false)) {
+		t.Error("DOMContentLoaded dispatch race dropped")
+	}
+	if f.Keep(rep(mem.HandlerLoc(3, "click", 0), mem.CtxHandlerAdd, mem.CtxHandlerFire, false)) {
+		t.Error("click dispatch race kept (multi-dispatch)")
+	}
+	if f.Keep(rep(mem.HandlerLoc(3, "mouseover", 7), mem.CtxHandlerAdd, mem.CtxHandlerFire, false)) {
+		t.Error("mouseover dispatch race kept")
+	}
+	// Other race types pass through.
+	if !f.Keep(rep(mem.VarLoc(1, "x"), mem.CtxPlain, mem.CtxPlain, false)) {
+		t.Error("variable race dropped by the dispatch filter")
+	}
+	// Custom single-shot predicate.
+	custom := SingleDispatchFilter{SingleShot: func(e string) bool { return e == "boom" }}
+	if !custom.Keep(rep(mem.HandlerLoc(3, "boom", 0), mem.CtxHandlerAdd, mem.CtxHandlerFire, false)) {
+		t.Error("custom predicate ignored")
+	}
+}
+
+func TestApply(t *testing.T) {
+	reports := []race.Report{
+		rep(mem.VarLoc(1, "x"), mem.CtxPlain, mem.CtxPlain, false),                       // dropped by form
+		rep(mem.VarLoc(7, "value"), mem.CtxFormField, mem.CtxUserInput, false),           // kept
+		rep(mem.HandlerLoc(3, "click", 0), mem.CtxHandlerAdd, mem.CtxHandlerFire, false), // dropped by dispatch
+		rep(mem.HandlerLoc(3, "load", 0), mem.CtxHandlerAdd, mem.CtxHandlerFire, false),  // kept
+		rep(mem.ElemIDLoc(1, "dw"), mem.CtxElemInsert, mem.CtxElemLookup, false),         // kept
+	}
+	kept := Apply(reports, FormFilter{}, SingleDispatchFilter{})
+	if len(kept) != 3 {
+		t.Fatalf("Apply kept %d, want 3: %v", len(kept), kept)
+	}
+	// No filters: identity.
+	if got := Apply(reports); len(got) != len(reports) {
+		t.Errorf("Apply with no filters dropped reports")
+	}
+}
+
+func TestCount(t *testing.T) {
+	reports := []race.Report{
+		rep(mem.ElemIDLoc(1, "a"), mem.CtxElemInsert, mem.CtxElemLookup, false),
+		rep(mem.ElemIDLoc(1, "b"), mem.CtxElemInsert, mem.CtxElemLookup, false),
+		rep(mem.VarLoc(1, "f"), mem.CtxFuncDecl, mem.CtxFuncCall, false),
+		rep(mem.VarLoc(1, "x"), mem.CtxPlain, mem.CtxPlain, false),
+		rep(mem.HandlerLoc(3, "load", 0), mem.CtxHandlerAdd, mem.CtxHandlerFire, false),
+	}
+	c := Count(reports)
+	if c.Of(HTML) != 2 || c.Of(Function) != 1 || c.Of(Variable) != 1 || c.Of(EventDispatch) != 1 {
+		t.Errorf("Count = %v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d, want 5", c.Total())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int{0, 0, 5, 7, 100})
+	if s.Mean != 22.4 {
+		t.Errorf("mean = %v, want 22.4", s.Mean)
+	}
+	if s.Median != 5 {
+		t.Errorf("median = %v, want 5", s.Median)
+	}
+	if s.Max != 100 {
+		t.Errorf("max = %v, want 100", s.Max)
+	}
+	// Even count: median is the midpoint.
+	s2 := Summarize([]int{1, 3})
+	if s2.Median != 2 {
+		t.Errorf("even median = %v, want 2", s2.Median)
+	}
+	// Empty: all zero.
+	if z := Summarize(nil); z.Mean != 0 || z.Median != 0 || z.Max != 0 {
+		t.Errorf("empty summarize = %+v", z)
+	}
+}
+
+func TestBuildTable1(t *testing.T) {
+	sites := []Counts{}
+	c1 := Counts{}
+	c1[HTML] = 2
+	c1[Variable] = 10
+	c2 := Counts{}
+	c2[EventDispatch] = 4
+	sites = append(sites, c1, c2)
+	t1 := BuildTable1(sites)
+	if t1.Rows["HTML"].Mean != 1 {
+		t.Errorf("HTML mean = %v", t1.Rows["HTML"].Mean)
+	}
+	if t1.Rows["All"].Max != 12 {
+		t.Errorf("All max = %v", t1.Rows["All"].Max)
+	}
+	if t1.Rows["All"].Mean != 8 {
+		t.Errorf("All mean = %v", t1.Rows["All"].Mean)
+	}
+}
+
+func TestBuildTable2(t *testing.T) {
+	mk := func(site string, html, harmfulHTML, disp, harmfulDisp int) Table2Row {
+		var c, h Counts
+		c[HTML] = html
+		h[HTML] = harmfulHTML
+		c[EventDispatch] = disp
+		h[EventDispatch] = harmfulDisp
+		return Table2Row{Site: site, Counts: c, Harmful: h}
+	}
+	rows := []Table2Row{
+		mk("Zeta", 2, 1, 0, 0),
+		mk("Alpha", 0, 0, 35, 35),
+		mk("Quiet", 0, 0, 0, 0), // race-free: elided from Rows
+	}
+	t2 := BuildTable2(rows)
+	if t2.Sites != 3 {
+		t.Errorf("Sites = %d", t2.Sites)
+	}
+	if len(t2.Rows) != 2 {
+		t.Fatalf("Rows = %d, want 2 (race-free site elided)", len(t2.Rows))
+	}
+	if t2.Rows[0].Site != "Alpha" {
+		t.Errorf("rows not sorted: %s first", t2.Rows[0].Site)
+	}
+	if t2.Total.Of(HTML) != 2 || t2.TotalHarmful.Of(HTML) != 1 {
+		t.Errorf("HTML totals: %d (%d)", t2.Total.Of(HTML), t2.TotalHarmful.Of(HTML))
+	}
+	if got := t2.HarmfulFraction(EventDispatch); got != 1.0 {
+		t.Errorf("dispatch harmful fraction = %v", got)
+	}
+	if got := t2.HarmfulFraction(Variable); got != 0 {
+		t.Errorf("empty type fraction = %v", got)
+	}
+	var sb strings.Builder
+	if err := t2.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Alpha", "35 (35)", "Total", "2 (1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, ty := range Types {
+		if ty.String() == "" {
+			t.Errorf("empty name for type %d", ty)
+		}
+	}
+	if Variable.String() != "Variable" || HTML.String() != "HTML" {
+		t.Error("type names changed")
+	}
+}

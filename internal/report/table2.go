@@ -1,0 +1,75 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Table2Row is one site's line in the paper's Table 2: filtered race
+// counts with the harmful subset in parentheses.
+type Table2Row struct {
+	Site    string
+	Counts  Counts
+	Harmful Counts
+}
+
+// Table2 aggregates per-site filtered results.
+type Table2 struct {
+	Rows         []Table2Row // only sites with at least one race, sorted by name
+	Total        Counts
+	TotalHarmful Counts
+	Sites        int // all sites, including race-free ones
+}
+
+// BuildTable2 assembles the table from per-site rows (race-free sites are
+// counted but elided from Rows, as in the paper).
+func BuildTable2(rows []Table2Row) Table2 {
+	t := Table2{Sites: len(rows)}
+	for _, r := range rows {
+		for _, ty := range Types {
+			t.Total[ty] += r.Counts.Of(ty)
+			t.TotalHarmful[ty] += r.Harmful.Of(ty)
+		}
+		if r.Counts.Total() > 0 {
+			t.Rows = append(t.Rows, r)
+		}
+	}
+	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i].Site < t.Rows[j].Site })
+	return t
+}
+
+// HarmfulFraction reports the harmful share of one race type's total
+// (0 when the type has no races).
+func (t Table2) HarmfulFraction(ty Type) float64 {
+	if t.Total.Of(ty) == 0 {
+		return 0
+	}
+	return float64(t.TotalHarmful.Of(ty)) / float64(t.Total.Of(ty))
+}
+
+// Write renders the table in the paper's layout: one line per site with
+// races, harmful counts in parentheses, then a totals line.
+func (t Table2) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-28s %12s %12s %12s %12s\n",
+		"Website", "HTML", "Function", "Variable", "EventDisp"); err != nil {
+		return err
+	}
+	cell := func(c, h Counts, ty Type) string {
+		if c.Of(ty) == 0 {
+			return "0"
+		}
+		return fmt.Sprintf("%d (%d)", c.Of(ty), h.Of(ty))
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-28s %12s %12s %12s %12s\n", r.Site,
+			cell(r.Counts, r.Harmful, HTML), cell(r.Counts, r.Harmful, Function),
+			cell(r.Counts, r.Harmful, Variable), cell(r.Counts, r.Harmful, EventDispatch))
+	}
+	_, err := fmt.Fprintf(w, "%-28s %12s %12s %12s %12s\n", "Total",
+		fmt.Sprintf("%d (%d)", t.Total.Of(HTML), t.TotalHarmful.Of(HTML)),
+		fmt.Sprintf("%d (%d)", t.Total.Of(Function), t.TotalHarmful.Of(Function)),
+		fmt.Sprintf("%d (%d)", t.Total.Of(Variable), t.TotalHarmful.Of(Variable)),
+		fmt.Sprintf("%d (%d)", t.Total.Of(EventDispatch), t.TotalHarmful.Of(EventDispatch)))
+	return err
+}

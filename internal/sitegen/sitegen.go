@@ -1,0 +1,508 @@
+// Package sitegen generates the synthetic web-site corpus used to
+// regenerate the paper's evaluation (§6). The real study browsed 100
+// Fortune 100 home pages in 2012; those pages are gone, so the corpus
+// plants the exact race patterns the paper reports finding, with per-site
+// counts drawn from heavy-tailed distributions calibrated so the shape of
+// Tables 1 and 2 holds (low medians, large maxima, the same
+// harmful/benign structure per race type). See DESIGN.md's substitution
+// table and EXPERIMENTS.md for the calibration numbers.
+//
+// Patterns (each a transcription of something §2/§6 describes):
+//
+//   - HTML harmful: a javascript: link whose handler dereferences a
+//     later-parsed element without a null check (Fig. 3, valero.com).
+//   - HTML benign: the Ford setTimeout poll — retry until the element
+//     exists, then mutate (§6.3); synchronization via data dependence that
+//     happens-before cannot see.
+//   - Function harmful: an on-event attribute calling a function declared
+//     in an async script (Fig. 4 / §6.3's hover-menu variant).
+//   - Function benign: the same, but guarded by typeof — the read still
+//     races with the hoisted declaration write.
+//   - Variable harmful (form): the Southwest hint overwrite (Fig. 2).
+//   - Variable benign (form): hint written only after reading the field
+//     and finding it empty — the §5.3 filter's read-before-write case.
+//   - Variable raw-only: analytics counters bumped from independent timer
+//     callbacks and async scripts (filtered out of Table 2, dominating
+//     Table 1's variable row like the obfuscated delayed-loading races
+//     the paper describes).
+//   - Event dispatch harmful: the Gomez image-monitor — a setInterval
+//     attaching onload handlers to images that may already have loaded
+//     (§6.3; Humana/MetLife/Walgreens rows).
+//   - Event dispatch benign: deliberately delayed script-inserted code
+//     adding hover handlers (multi-dispatch events, filtered by §5.3).
+//   - Iframe variable races (Fig. 1).
+package sitegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"webracer/internal/loader"
+)
+
+// Spec is the blueprint of one synthetic site: how many instances of each
+// race pattern it contains.
+type Spec struct {
+	Index      int
+	Name       string
+	Paragraphs int
+	DecorImgs  int
+
+	HTMLHarmful int // Fig. 3 unguarded lookups
+	HTMLBenign  int // guarded delayed lookups (non-poll)
+	FordPolls   int // §6.3 Ford pattern instances
+
+	FuncHarmful int
+	FuncBenign  int
+
+	FormHarmful int // Fig. 2 hint overwrites
+	FormGuarded int // read-before-write hints
+
+	PlainVars int // raw-only variable races
+
+	GomezImages  int // §6.3 Gomez-monitored images
+	DelayedMenus int // benign dispatch races
+
+	IframePairs int // Fig. 1 cross-frame races
+
+	// TimerClears is the number of timer-rotator patterns where a
+	// concurrent callback clears a timer that may be mid-flight — only
+	// detected with the InstrumentTimerClears extension (§7).
+	TimerClears int
+	// MultiHandlers is the number of targets carrying two listeners for
+	// one event that touch shared state — racing under the paper's
+	// Appendix A semantics, ordered under the ablation flag.
+	MultiHandlers int
+	// AjaxRaces is the number of Zheng-style AJAX races (§8): two
+	// asynchronous requests whose completion handlers write one shared
+	// slot, so the page's final state depends on response order.
+	AjaxRaces int
+}
+
+// companyNames gives the corpus fortune-ish flavor (fictional).
+var companyNames = []string{
+	"Acme Industrial", "Globex", "Initech", "Umbrella Retail", "Stark Logistics",
+	"Wayne Energy", "Wonka Foods", "Tyrell Systems", "Cyberdyne Motors", "Aperture Labs",
+	"Hooli", "Pied Piper Health", "Vandelay Imports", "Dunder Paper", "Sterling Insurance",
+	"Oscorp Chemical", "Gekko Capital", "Nakatomi Trading", "Weyland Air", "Soylent Grocers",
+}
+
+// SpecFor deterministically derives the blueprint for site index under the
+// given corpus seed. The draws are heavy-tailed: most sites carry few or no
+// planted races, a handful carry dozens (the Ford and Gomez outliers of
+// Table 2).
+func SpecFor(seed int64, index int) Spec {
+	r := rand.New(rand.NewSource(seed*1_000_003 + int64(index)*7919))
+	s := Spec{
+		Index:      index,
+		Name:       fmt.Sprintf("%s #%02d", companyNames[index%len(companyNames)], index),
+		Paragraphs: 6 + r.Intn(14),
+		DecorImgs:  1 + r.Intn(4),
+	}
+	// HTML races.
+	if r.Float64() < 0.22 {
+		s.HTMLHarmful = 1 + geom(r, 0.55)
+	}
+	if r.Float64() < 0.22 {
+		s.HTMLBenign = 1 + geom(r, 0.45)
+	}
+	if r.Float64() < 0.04 {
+		s.HTMLBenign += 10 + r.Intn(32) // AmEx-like benign cluster
+	}
+	// Outlier archetypes are pinned to fixed corpus positions, the way
+	// the real corpus had *specific* outlier companies (Ford's 112
+	// benign polls, MetLife/Walgreens' 35 monitor races each, a couple
+	// of sites with hundreds of delayed-loading variable races).
+	if index%100 == 11 {
+		s.FordPolls = 95 + r.Intn(25)
+	}
+	if index%33 == 7 {
+		s.GomezImages = 13 + r.Intn(23)
+	}
+	if index%50 == 29 {
+		s.PlainVars = 180 + r.Intn(85)
+	}
+	if index%50 == 41 {
+		s.DelayedMenus = 120 + r.Intn(70)
+	}
+	// Function races.
+	if r.Float64() < 0.07 {
+		s.FuncHarmful = 1 + r.Intn(2)
+	}
+	if r.Float64() < 0.16 {
+		s.FuncBenign = 1 + geom(r, 0.5)
+	}
+	// Form value races.
+	if r.Float64() < 0.05 {
+		s.FormHarmful = 1
+	}
+	if r.Float64() < 0.04 {
+		s.FormGuarded = 1
+	}
+	// Raw-only variable races: lognormal-ish, median ≈ 5.5, heavy tail
+	// (paper: mean 22.4, median 5.5, max 269).
+	if s.PlainVars == 0 && r.Float64() < 0.88 {
+		s.PlainVars = clamp(int(math.Round(math.Exp(r.NormFloat64()*1.55+1.7))), 1, 265)
+	}
+	// Event dispatch (paper: mean 22.3, median 7.0, max 198).
+	if s.GomezImages == 0 && r.Float64() < 0.02 {
+		s.GomezImages = 10 + r.Intn(28)
+	}
+	if s.DelayedMenus == 0 && r.Float64() < 0.85 {
+		s.DelayedMenus = clamp(int(math.Round(math.Exp(r.NormFloat64()*1.4+2.0))), 1, 190)
+	}
+	// Frames.
+	if r.Float64() < 0.12 {
+		s.IframePairs = 1
+	}
+	// Extension-pattern instances (invisible to the baseline detector,
+	// exercised by the ablation benchmarks).
+	if r.Float64() < 0.25 {
+		s.TimerClears = 1 + r.Intn(2)
+	}
+	if r.Float64() < 0.30 {
+		s.MultiHandlers = 1 + r.Intn(3)
+	}
+	if r.Float64() < 0.20 {
+		s.AjaxRaces = 1 + r.Intn(2)
+	}
+	return s
+}
+
+func geom(r *rand.Rand, p float64) int {
+	n := 0
+	for r.Float64() > p && n < 40 {
+		n++
+	}
+	return n
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Generate materializes the site: index.html plus external resources.
+func Generate(spec Spec) *loader.Site {
+	g := &gen{site: loader.NewSite(spec.Name), spec: spec}
+	g.build()
+	return g.site
+}
+
+// GenerateCorpus returns n sites for the corpus seed.
+func GenerateCorpus(seed int64, n int) []*loader.Site {
+	out := make([]*loader.Site, n)
+	for i := range out {
+		out[i] = Generate(SpecFor(seed, i))
+	}
+	return out
+}
+
+type gen struct {
+	site *loader.Site
+	spec Spec
+	top  strings.Builder // early-page chunks
+	bot  strings.Builder // late-page chunks
+}
+
+func (g *gen) build() {
+	s := g.spec
+	for i := 0; i < s.HTMLHarmful; i++ {
+		g.htmlHarmful(i)
+	}
+	for i := 0; i < s.HTMLBenign; i++ {
+		g.htmlBenign(i)
+	}
+	if s.FordPolls > 0 {
+		g.fordPolls(s.FordPolls)
+	}
+	for i := 0; i < s.FuncHarmful; i++ {
+		g.funcHarmful(i)
+	}
+	for i := 0; i < s.FuncBenign; i++ {
+		g.funcBenign(i)
+	}
+	for i := 0; i < s.FormHarmful; i++ {
+		g.formHarmful(i)
+	}
+	for i := 0; i < s.FormGuarded; i++ {
+		g.formGuarded(i)
+	}
+	if s.PlainVars > 0 {
+		g.plainVars(s.PlainVars)
+	}
+	if s.GomezImages > 0 {
+		g.gomez(s.GomezImages)
+	}
+	if s.DelayedMenus > 0 {
+		g.delayedMenus(s.DelayedMenus)
+	}
+	for i := 0; i < s.IframePairs; i++ {
+		g.iframePair(i)
+	}
+	for i := 0; i < s.TimerClears; i++ {
+		g.timerClear(i)
+	}
+	for i := 0; i < s.MultiHandlers; i++ {
+		g.multiHandler(i)
+	}
+	for i := 0; i < s.AjaxRaces; i++ {
+		g.ajaxRace(i)
+	}
+
+	var page strings.Builder
+	fmt.Fprintf(&page, "<html><head><title>%s</title></head><body>\n", g.spec.Name)
+	page.WriteString(g.top.String())
+	for i := 0; i < g.spec.Paragraphs; i++ {
+		fmt.Fprintf(&page, "<p>Welcome to %s — section %d.</p>\n", g.spec.Name, i)
+	}
+	for i := 0; i < g.spec.DecorImgs; i++ {
+		fmt.Fprintf(&page, `<img src="decor%d.png" alt="decoration" />`+"\n", i)
+	}
+	page.WriteString(g.bot.String())
+	page.WriteString("</body></html>")
+	g.site.Add("index.html", page.String())
+}
+
+// htmlHarmful plants a Fig. 3 pattern: the link's handler dereferences a
+// panel parsed near the bottom of the page, with no null check.
+func (g *gen) htmlHarmful(i int) {
+	fmt.Fprintf(&g.top, `
+<script>
+function openPanel%d() {
+  var p = document.getElementById("panel%d");
+  p.style.display = "block";
+}
+</script>
+<a href="javascript:openPanel%d()">Open panel %d</a>
+`, i, i, i, i)
+	fmt.Fprintf(&g.bot, `<div id="panel%d" style="display:none">panel body %d</div>`+"\n", i, i)
+}
+
+// htmlBenign plants a guarded delayed lookup: a timeout that checks for the
+// element before touching it. The race on the element location remains (the
+// guard is data-dependence synchronization), but it cannot crash.
+func (g *gen) htmlBenign(i int) {
+	fmt.Fprintf(&g.top, `
+<script>
+setTimeout(function() {
+  var el = document.getElementById("widget%d");
+  if (el != null) { el.className = "enhanced"; }
+}, %d);
+</script>
+`, i, 5+i%40)
+	fmt.Fprintf(&g.bot, `<div id="widget%d">widget</div>`+"\n", i)
+}
+
+// fordPolls plants the §6.3 Ford pattern: one poll function retrying until
+// the sentinel element exists, then mutating n distinct nodes — n benign
+// HTML races from a single idiom.
+func (g *gen) fordPolls(n int) {
+	var ids strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&ids, `"ford%d",`, i)
+	}
+	fmt.Fprintf(&g.top, `
+<script>
+function addPopUp() {
+  if (document.getElementById("fordlast") != null) {
+    var ids = [%s];
+    for (var i = 0; i < ids.length; i++) {
+      var el = document.getElementById(ids[i]);
+      if (el != null) { el.className = "popup"; }
+    }
+  } else {
+    setTimeout(addPopUp, 40);
+  }
+}
+addPopUp();
+</script>
+`, strings.TrimSuffix(ids.String(), ","))
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.bot, `<div id="ford%d">menu item</div>`+"\n", i)
+	}
+	g.bot.WriteString(`<div id="fordlast"></div>` + "\n")
+}
+
+// funcHarmful plants a Fig. 4 / §6.3 pattern: a hover handler calling a
+// function declared in an asynchronously loaded script.
+func (g *gen) funcHarmful(i int) {
+	fmt.Fprintf(&g.top, `
+<div id="navh%d" onmouseover="navMenu%d_%d();">Products</div>
+<script src="nav%d.js" async="true"></script>
+`, i, g.spec.Index, i, i)
+	g.site.Add(fmt.Sprintf("nav%d.js", i),
+		fmt.Sprintf("function navMenu%d_%d() { navOpened%d = 1; }", g.spec.Index, i, i))
+}
+
+// funcBenign is the typeof-guarded variant: no crash, but the typeof read
+// still races with the hoisted declaration write.
+func (g *gen) funcBenign(i int) {
+	fmt.Fprintf(&g.top, `
+<div id="navb%d" onmouseover="if (typeof helper%d_%d == 'function') { helper%d_%d(); }">Deals</div>
+<script src="helper%d.js" async="true"></script>
+`, i, g.spec.Index, i, g.spec.Index, i, i)
+	g.site.Add(fmt.Sprintf("helper%d.js", i),
+		fmt.Sprintf("function helper%d_%d() { dealsShown%d = 1; }", g.spec.Index, i, i))
+}
+
+// formHarmful plants the Fig. 2 Southwest pattern: a late script overwrites
+// whatever the user typed.
+func (g *gen) formHarmful(i int) {
+	fmt.Fprintf(&g.top, `<input type="text" id="search%d" />`+"\n", i)
+	fmt.Fprintf(&g.bot, `
+<script>
+document.getElementById("search%d").value = "Search our catalog";
+</script>
+`, i)
+}
+
+// formGuarded writes the hint only when the field is still empty: the
+// §5.3 filter suppresses it via the read-before-write heuristic.
+func (g *gen) formGuarded(i int) {
+	fmt.Fprintf(&g.top, `<input type="text" id="hint%d" />`+"\n", i)
+	fmt.Fprintf(&g.bot, `
+<script>
+var hf%d = document.getElementById("hint%d");
+if (hf%d.value == "") { hf%d.value = "City of Departure"; }
+</script>
+`, i, i, i, i)
+}
+
+// plainVars plants n raw-only variable races: analytics counters written by
+// independent timer callbacks (delayed-loading bookkeeping).
+func (g *gen) plainVars(n int) {
+	var b strings.Builder
+	b.WriteString("<script>\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "setTimeout(function() { stat%d = 1; }, %d);\n", i, 4+(i%23))
+		fmt.Fprintf(&b, "setTimeout(function() { stat%d = (typeof stat%d == 'undefined') ? 1 : stat%d + 1; }, %d);\n",
+			i, i, i, 4+((i+7)%23))
+	}
+	b.WriteString("</script>\n")
+	g.top.WriteString(b.String())
+}
+
+// gomez plants the §6.3 Gomez monitor: a DOMContentLoaded-started interval
+// attaching onload handlers to every image — racing with each image's load
+// dispatch (single-shot events: these survive the §5.3 filter and are
+// harmful: a fast image's handler never runs).
+func (g *gen) gomez(nimgs int) {
+	g.top.WriteString(`
+<script>
+document.addEventListener("DOMContentLoaded", function() {
+  var gmTicks = 0;
+  var gm = setInterval(function() {
+    gmTicks = gmTicks + 1;
+    var imgs = document.getElementsByTagName("img");
+    for (var j = 0; j < imgs.length; j++) {
+      imgs[j].onload = function() { gmSeen = (typeof gmSeen == 'undefined') ? 1 : gmSeen + 1; };
+    }
+    if (gmTicks > 12) { clearInterval(gm); }
+  }, 10);
+});
+</script>
+`)
+	for i := 0; i < nimgs; i++ {
+		fmt.Fprintf(&g.bot, `<img src="hero%d.jpg" alt="hero" />`+"\n", i)
+	}
+}
+
+// delayedMenus plants benign dispatch races: a script-inserted (delayed)
+// script adds hover handlers to menu nodes that are interactive earlier.
+func (g *gen) delayedMenus(n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.top, `<div id="menu%d">Menu %d</div>`+"\n", i, i)
+	}
+	var js strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&js,
+			"var m%d = document.getElementById(\"menu%d\");\nif (m%d != null) { m%d.onmouseover = function() { menuHover%d = 1; }; }\n",
+			i, i, i, i, i)
+	}
+	g.site.Add("menus.js", js.String())
+	g.bot.WriteString(`
+<script>
+var ms = document.createElement("script");
+ms.src = "menus.js";
+document.body.appendChild(ms);
+</script>
+`)
+}
+
+// timerClear plants a carousel-rotator idiom: a rotation timer that an
+// asynchronously arriving "user preference" (XHR completion) cancels. The
+// cancel races with the rotation firing — visible only to the §7
+// timer-clear extension.
+func (g *gen) timerClear(i int) {
+	url := fmt.Sprintf("prefs%d.json", i)
+	g.site.Add(url, `{"rotate": false}`)
+	fmt.Fprintf(&g.top, `
+<script>
+var rot%d = setTimeout(function() { rotated%d = 1; }, %d);
+var px%d = new XMLHttpRequest();
+px%d.onreadystatechange = function() {
+  if (px%d.readyState == 4) { clearTimeout(rot%d); }
+};
+px%d.open("GET", %q);
+px%d.send();
+</script>
+`, i, i, 20+i*7, i, i, i, i, i, url, i)
+}
+
+// multiHandler plants two independently registered listeners for one event
+// on one target, both appending to a shared log — unordered per the
+// paper's Appendix A reading, ordered under OrderSameTargetHandlers.
+func (g *gen) multiHandler(i int) {
+	fmt.Fprintf(&g.top, `
+<button id="mh%d">Buy</button>
+<script>
+var mhEl%d = document.getElementById("mh%d");
+mhEl%d.addEventListener("click", function() { mhLog%d = (typeof mhLog%d == 'undefined' ? "" : mhLog%d) + "a"; });
+mhEl%d.addEventListener("click", function() { mhLog%d = (typeof mhLog%d == 'undefined' ? "" : mhLog%d) + "b"; });
+</script>
+`, i, i, i, i, i, i, i, i, i, i, i)
+}
+
+// ajaxRace plants the Zheng et al. pattern (§8): two AJAX responses whose
+// handlers both write the same widget state — last response wins, and
+// which is last depends on the network.
+func (g *gen) ajaxRace(i int) {
+	g.site.Add(fmt.Sprintf("price%d.json", i), `{"price": "42"}`)
+	g.site.Add(fmt.Sprintf("promo%d.json", i), `{"price": "35"}`)
+	fmt.Fprintf(&g.top, `
+<div id="price%d">loading…</div>
+<script>
+function fetchInto%d(url) {
+  var x = new XMLHttpRequest();
+  x.onreadystatechange = function() {
+    if (x.readyState == 4) { shownPrice%d = x.responseText; }
+  };
+  x.open("GET", url);
+  x.send();
+}
+fetchInto%d("price%d.json");
+fetchInto%d("promo%d.json");
+</script>
+`, i, i, i, i, i, i, i)
+}
+
+// iframePair plants Fig. 1: two frames racing on one logical global.
+func (g *gen) iframePair(i int) {
+	fmt.Fprintf(&g.top, `
+<script>frameShared%d = 0;</script>
+<iframe src="framea%d.html"></iframe>
+<iframe src="frameb%d.html"></iframe>
+`, i, i, i)
+	g.site.Add(fmt.Sprintf("framea%d.html", i),
+		fmt.Sprintf(`<script>frameShared%d = 1;</script>`, i))
+	g.site.Add(fmt.Sprintf("frameb%d.html", i),
+		fmt.Sprintf(`<script>frameObserved%d = frameShared%d;</script>`, i, i))
+}

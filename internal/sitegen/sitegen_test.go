@@ -1,0 +1,148 @@
+package sitegen
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/dom"
+	"webracer/internal/html"
+	"webracer/internal/js"
+)
+
+func TestSpecDeterministic(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		a := SpecFor(7, i)
+		b := SpecFor(7, i)
+		if a != b {
+			t.Fatalf("SpecFor not deterministic at index %d: %+v vs %+v", i, a, b)
+		}
+	}
+	if SpecFor(7, 3) == SpecFor(8, 3) {
+		t.Error("different seeds produced identical specs")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	const n = 100
+	var ford, gomez, heavyVar int
+	totals := struct{ html, fn, form, plain, disp int }{}
+	for i := 0; i < n; i++ {
+		s := SpecFor(1, i)
+		if s.FordPolls > 0 {
+			ford++
+		}
+		if s.GomezImages > 0 {
+			gomez++
+		}
+		if s.PlainVars > 150 {
+			heavyVar++
+		}
+		totals.html += s.HTMLHarmful + s.HTMLBenign + s.FordPolls
+		totals.fn += s.FuncHarmful + s.FuncBenign
+		totals.form += s.FormHarmful + s.FormGuarded
+		totals.plain += s.PlainVars
+		totals.disp += s.GomezImages + s.DelayedMenus
+	}
+	if ford != 1 {
+		t.Errorf("Ford outliers = %d, want exactly 1 per 100 sites", ford)
+	}
+	if gomez < 2 || gomez > 8 {
+		t.Errorf("Gomez sites = %d, want a handful", gomez)
+	}
+	if heavyVar < 1 {
+		t.Error("no heavy-variable outlier site")
+	}
+	// Order-of-magnitude calibration (Table 1 raw totals over 100 sites).
+	if totals.plain < 800 || totals.plain > 4000 {
+		t.Errorf("plain variable race budget = %d, want O(2000)", totals.plain)
+	}
+	if totals.disp < 800 || totals.disp > 4000 {
+		t.Errorf("dispatch race budget = %d, want O(2000)", totals.disp)
+	}
+	if totals.html < 100 || totals.html > 600 {
+		t.Errorf("HTML race budget = %d, want O(250)", totals.html)
+	}
+}
+
+func TestGenerateResources(t *testing.T) {
+	spec := Spec{
+		Index: 0, Name: "T", Paragraphs: 2, DecorImgs: 1,
+		HTMLHarmful: 1, FordPolls: 3, FuncHarmful: 1, FuncBenign: 1,
+		FormHarmful: 1, PlainVars: 2, GomezImages: 2, DelayedMenus: 2,
+		IframePairs: 1,
+	}
+	site := Generate(spec)
+	if _, ok := site.Resources["index.html"]; !ok {
+		t.Fatal("no index.html")
+	}
+	for _, must := range []string{"nav0.js", "helper0.js", "menus.js", "framea0.html", "frameb0.html"} {
+		if _, ok := site.Resources[must]; !ok {
+			t.Errorf("missing resource %s", must)
+		}
+	}
+}
+
+// TestGeneratedHTMLParses: every generated page tokenizes into a tree with
+// the planted elements reachable.
+func TestGeneratedHTMLParses(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		spec := SpecFor(3, i)
+		site := Generate(spec)
+		doc := dom.NewDocument("index.html", &dom.Serials{})
+		p := html.NewParser(doc, site.Resources["index.html"])
+		for {
+			if ev := p.Next(); ev.Kind == html.EventDone {
+				break
+			}
+		}
+		if spec.HTMLHarmful > 0 && doc.GetElementByID("panel0") == nil {
+			t.Errorf("site %d: panel0 missing", i)
+		}
+		if spec.FormHarmful > 0 && doc.GetElementByID("search0") == nil {
+			t.Errorf("site %d: search0 missing", i)
+		}
+		if spec.FordPolls > 0 && doc.GetElementByID("fordlast") == nil {
+			t.Errorf("site %d: fordlast missing", i)
+		}
+	}
+}
+
+// TestGeneratedScriptsParse: every generated script is valid for our JS
+// parser (inline bodies and external files).
+func TestGeneratedScriptsParse(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		site := Generate(SpecFor(3, i))
+		for url, body := range site.Resources {
+			if strings.HasSuffix(url, ".js") {
+				if _, err := js.Parse(body); err != nil {
+					t.Errorf("site %d resource %s: %v", i, url, err)
+				}
+			}
+		}
+		// Inline scripts.
+		page := site.Resources["index.html"]
+		for _, chunk := range strings.Split(page, "<script>")[1:] {
+			end := strings.Index(chunk, "</script>")
+			if end < 0 {
+				continue
+			}
+			if _, err := js.Parse(chunk[:end]); err != nil {
+				t.Errorf("site %d inline script: %v\n%s", i, err, chunk[:end])
+			}
+		}
+	}
+}
+
+func TestGenerateCorpus(t *testing.T) {
+	sites := GenerateCorpus(1, 10)
+	if len(sites) != 10 {
+		t.Fatalf("corpus size %d", len(sites))
+	}
+	names := map[string]bool{}
+	for _, s := range sites {
+		if names[s.Name] {
+			t.Errorf("duplicate site name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+}

@@ -1,0 +1,93 @@
+package webracer
+
+import (
+	"sort"
+
+	"webracer/internal/loader"
+	"webracer/internal/race"
+	"webracer/internal/report"
+)
+
+// ScheduleSweep is the result of systematic schedule exploration: the site
+// is re-run once per resource with that single resource made pathologically
+// slow (the "delay-one" strategy testers use to provoke load races), plus
+// one baseline run. Races are aggregated by location across runs.
+type ScheduleSweep struct {
+	// Baseline is the unperturbed run's result.
+	Baseline *Result
+	// Runs counts the executions performed (1 + number of resources).
+	Runs int
+	// ByLocation maps race-location strings to the perturbations that
+	// exposed them ("" for the baseline).
+	ByLocation map[string][]string
+	// NewlyExposed lists locations found only under some perturbation.
+	NewlyExposed []string
+	// Reports holds one representative report per location, in first-seen
+	// order across runs.
+	Reports []race.Report
+}
+
+// ExploreSchedules runs the delay-one sweep. The detector already reasons
+// over happens-before rather than observed order, so most races appear in
+// the baseline; perturbations add races in code that only *executes* under
+// certain orderings (retry branches, readiness checks, handlers attached by
+// late code). Counts per race type across the whole sweep are available via
+// report.Count(sweep.Reports).
+func ExploreSchedules(site *loader.Site, cfg Config) *ScheduleSweep {
+	sweep := &ScheduleSweep{ByLocation: map[string][]string{}}
+	seenLoc := map[string]bool{}
+	record := func(label string, res *Result) {
+		for _, r := range res.Reports {
+			key := r.Loc.String()
+			sweep.ByLocation[key] = append(sweep.ByLocation[key], label)
+			if !seenLoc[key] {
+				seenLoc[key] = true
+				sweep.Reports = append(sweep.Reports, r)
+			}
+		}
+	}
+
+	sweep.Baseline = Run(site, cfg)
+	sweep.Runs = 1
+	record("", sweep.Baseline)
+	baseline := map[string]bool{}
+	for _, r := range sweep.Baseline.Reports {
+		baseline[r.Loc.String()] = true
+	}
+
+	urls := make([]string, 0, len(site.Resources))
+	for url := range site.Resources {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	for _, url := range urls {
+		c := cfg
+		c.Seed = cfg.Seed + 1 // keep jitter stable; the override is the perturbation
+		lat := c.Browser.Latency
+		if lat.Base == 0 && lat.PerURL == nil {
+			lat = loader.DefaultLatency()
+		}
+		per := map[string]float64{url: 2_000}
+		for k, v := range lat.PerURL {
+			if k != url {
+				per[k] = v
+			}
+		}
+		lat.PerURL = per
+		c.Browser.Latency = lat
+		res := Run(site, c)
+		sweep.Runs++
+		record("slow:"+url, res)
+	}
+
+	for loc := range sweep.ByLocation {
+		if !baseline[loc] {
+			sweep.NewlyExposed = append(sweep.NewlyExposed, loc)
+		}
+	}
+	sort.Strings(sweep.NewlyExposed)
+	return sweep
+}
+
+// Counts tallies the sweep's union of races by type.
+func (s *ScheduleSweep) Counts() report.Counts { return report.Count(s.Reports) }

@@ -1,0 +1,80 @@
+package webracer
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/loader"
+)
+
+func TestExploreSchedulesBaselineCovered(t *testing.T) {
+	sweep := ExploreSchedules(demoSite(), DefaultConfig(1))
+	if sweep.Runs != 1+len(demoSite().Resources) {
+		t.Fatalf("runs = %d, want %d", sweep.Runs, 1+len(demoSite().Resources))
+	}
+	if len(sweep.Reports) == 0 {
+		t.Fatal("sweep found no races at all")
+	}
+	// Every baseline race location is in the union.
+	for _, r := range sweep.Baseline.Reports {
+		if len(sweep.ByLocation[r.Loc.String()]) == 0 {
+			t.Errorf("baseline race %s missing from the union", r.Loc)
+		}
+	}
+	if sweep.Counts().Total() != len(sweep.Reports) {
+		t.Error("counts disagree with the representative list")
+	}
+}
+
+// TestExploreSchedulesExposesConditionalCode: a fallback branch only
+// executes when an async script has not run yet; whether the baseline
+// schedule takes that branch depends on latency, but the delay-one sweep
+// (which makes app.js pathologically slow in one run) is guaranteed to.
+// The branch's typeof read of appReady races with the async declaration.
+func TestExploreSchedulesExposesConditionalCode(t *testing.T) {
+	site := loader.NewSite("retry").
+		Add("index.html", `
+<script src="app.js" async="true"></script>
+<script>
+if (typeof appReady == 'undefined') {
+  lateInit = 1;
+}
+</script>`).
+		Add("app.js", `appReady = 1;`)
+	cfg := DefaultConfig(1)
+	sweep := ExploreSchedules(site, cfg)
+	if sweep.Runs != 3 { // baseline + index.html-slow + app.js-slow
+		t.Fatalf("runs = %d, want 3", sweep.Runs)
+	}
+	found := false
+	for loc := range sweep.ByLocation {
+		if strings.Contains(loc, "appReady") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("appReady race never exposed across the sweep; locations: %v",
+			locationKeys(sweep))
+	}
+	// The slow-app.js run must be among the runs (deterministic check of
+	// the perturbation labels).
+	sawSlowApp := false
+	for _, labels := range sweep.ByLocation {
+		for _, l := range labels {
+			if l == "slow:app.js" {
+				sawSlowApp = true
+			}
+		}
+	}
+	if len(sweep.Reports) > 0 && !sawSlowApp {
+		t.Logf("note: no race attributed to the slow:app.js run (labels: %v)", sweep.ByLocation)
+	}
+}
+
+func locationKeys(s *ScheduleSweep) []string {
+	out := make([]string, 0, len(s.ByLocation))
+	for k := range s.ByLocation {
+		out = append(out, k)
+	}
+	return out
+}

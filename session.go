@@ -1,0 +1,161 @@
+package webracer
+
+import (
+	"encoding/json"
+	"io"
+
+	"webracer/internal/op"
+	"webracer/internal/race"
+	"webracer/internal/report"
+)
+
+// Session is the serializable record of one detection run: the operations,
+// the happens-before edges, the race reports and the page errors. WebRacer
+// proper "communicates events directly to the race detector, rather than
+// generating a separate event trace" (§5.2.1); this type provides the trace
+// the paper chose not to keep, so results can be archived, diffed between
+// versions of a site, or analyzed offline.
+type Session struct {
+	Site    string          `json:"site"`
+	Seed    int64           `json:"seed"`
+	Ops     []SessionOp     `json:"ops"`
+	Edges   [][2]int32      `json:"edges"`
+	Races   []SessionRace   `json:"races"`
+	Errors  []string        `json:"errors,omitempty"`
+	Console []string        `json:"console,omitempty"`
+	Counts  map[string]int  `json:"counts"`
+	Explore map[string]int  `json:"explore,omitempty"`
+	Trace   []SessionAccess `json:"trace,omitempty"`
+}
+
+// SessionOp is one operation.
+type SessionOp struct {
+	ID    int32  `json:"id"`
+	Kind  string `json:"kind"`
+	Label string `json:"label,omitempty"`
+	Seq   int32  `json:"seq"`
+}
+
+// SessionRace is one race report.
+type SessionRace struct {
+	Type            string        `json:"type"`
+	Loc             string        `json:"loc"`
+	Prior           SessionAccess `json:"prior"`
+	Current         SessionAccess `json:"current"`
+	WriterReadFirst bool          `json:"writerReadFirst,omitempty"`
+	Harmful         *bool         `json:"harmful,omitempty"`
+}
+
+// SessionAccess is one memory access.
+type SessionAccess struct {
+	Kind string `json:"kind"`
+	Loc  string `json:"loc"`
+	Op   int32  `json:"op"`
+	Ctx  string `json:"ctx"`
+	Desc string `json:"desc,omitempty"`
+}
+
+// Export builds the serializable session from a Result. harm may be nil.
+// includeTrace additionally embeds the full access trace (only available
+// when the run used Config.RecordTrace).
+func Export(res *Result, seed int64, harm *Harm, includeTrace bool) *Session {
+	b := res.Browser
+	s := &Session{
+		Site:    res.Site,
+		Seed:    seed,
+		Console: b.Console,
+		Counts:  map[string]int{},
+	}
+	for i := 1; i <= b.Ops.Len(); i++ {
+		o := b.Ops.Get(op.ID(i))
+		s.Ops = append(s.Ops, SessionOp{ID: int32(o.ID), Kind: o.Kind.String(), Label: o.Label, Seq: o.Seq})
+	}
+	for i := 1; i <= b.HB.Len(); i++ {
+		for _, succ := range b.HB.Succs(op.ID(i)) {
+			s.Edges = append(s.Edges, [2]int32{int32(i), int32(succ)})
+		}
+	}
+	for i, r := range res.Reports {
+		sr := SessionRace{
+			Type:            report.Classify(r).String(),
+			Loc:             r.Loc.String(),
+			Prior:           exportAccess(r.Prior),
+			Current:         exportAccess(r.Current),
+			WriterReadFirst: r.WriterReadFirst,
+		}
+		if harm != nil && i < len(harm.Harmful) {
+			v := harm.Harmful[i]
+			sr.Harmful = &v
+		}
+		s.Races = append(s.Races, sr)
+		s.Counts[sr.Type]++
+	}
+	for _, e := range res.Errors {
+		s.Errors = append(s.Errors, e.String())
+	}
+	if st := res.ExploreStats; st.EventsDispatched+st.LinksClicked+st.FieldsTyped > 0 {
+		s.Explore = map[string]int{
+			"events": st.EventsDispatched,
+			"links":  st.LinksClicked,
+			"fields": st.FieldsTyped,
+			"rounds": st.Rounds,
+		}
+	}
+	if includeTrace {
+		for _, a := range b.Trace() {
+			s.Trace = append(s.Trace, exportAccess(a))
+		}
+	}
+	return s
+}
+
+func exportAccess(a race.Access) SessionAccess {
+	return SessionAccess{
+		Kind: a.Kind.String(),
+		Loc:  a.Loc.String(),
+		Op:   int32(a.Op),
+		Ctx:  a.Ctx.String(),
+		Desc: a.Desc,
+	}
+}
+
+// WriteJSON writes the session as indented JSON.
+func (s *Session) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSession parses a previously exported session.
+func ReadSession(r io.Reader) (*Session, error) {
+	var s Session
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// DiffRaces compares two sessions of the same site (e.g. before and after a
+// fix) and returns the race locations only present in one of them — the
+// workflow a developer debugging her own site would use (§1: "we expect
+// WEBRACER to be even more effective for a developer debugging her own
+// site").
+func DiffRaces(before, after *Session) (fixed, introduced []string) {
+	b := map[string]bool{}
+	for _, r := range before.Races {
+		b[r.Loc] = true
+	}
+	a := map[string]bool{}
+	for _, r := range after.Races {
+		a[r.Loc] = true
+		if !b[r.Loc] {
+			introduced = append(introduced, r.Loc)
+		}
+	}
+	for loc := range b {
+		if !a[loc] {
+			fixed = append(fixed, loc)
+		}
+	}
+	return fixed, introduced
+}

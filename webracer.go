@@ -1,0 +1,504 @@
+// Package webracer is a Go reproduction of WEBRACER, the dynamic race
+// detector for web applications of "Race Detection for Web Applications"
+// (Petrov, Vechev, Sridharan, Dolby — PLDI 2012).
+//
+// The original instruments the WebKit engine; this reproduction instruments
+// a from-scratch simulated browser (incremental HTML parser, DOM,
+// JavaScript-subset interpreter, virtual-time event loop with simulated
+// network) — see DESIGN.md for the substitution argument. On top of that
+// substrate it implements the paper's three contributions: the
+// happens-before relation for web platform features (§3), the logical
+// memory access model (§4), and the dynamic race detector with automatic
+// exploration and report filters (§5).
+//
+// Quick start:
+//
+//	site := loader.NewSite("demo").Add("index.html", `...`)
+//	res := webracer.Run(site, webracer.DefaultConfig(1))
+//	for _, r := range res.Reports {
+//	    fmt.Println(report.Classify(r), r)
+//	}
+package webracer
+
+import (
+	"fmt"
+	"strings"
+
+	"webracer/internal/browser"
+	"webracer/internal/dom"
+	"webracer/internal/explore"
+	"webracer/internal/hb"
+	"webracer/internal/loader"
+	"webracer/internal/mem"
+	"webracer/internal/race"
+	"webracer/internal/report"
+)
+
+// DetectorKind selects the race detection algorithm.
+type DetectorKind int
+
+const (
+	// DetectorPairwise is the paper's constant-space algorithm (§5.1)
+	// over the graph-reachability happens-before (the paper's shipped
+	// configuration).
+	DetectorPairwise DetectorKind = iota
+	// DetectorAccessSet keeps full per-location history, fixing the
+	// §5.1 limitation (more races, more memory).
+	DetectorAccessSet
+	// DetectorPairwiseVC is the pairwise algorithm over the online
+	// vector-clock oracle — the §5.2.1 future-work representation, live.
+	DetectorPairwiseVC
+)
+
+// Config tunes one detection session.
+type Config struct {
+	// Seed drives all simulated nondeterminism.
+	Seed int64
+	// Explore enables automatic exploration after window load (§5.2.2).
+	Explore bool
+	// Exhaustive switches exploration to the feedback-directed mode
+	// (repeated rounds until no new handlers appear — the Artemis-style
+	// deeper exploration the paper defers to future work, §8).
+	Exhaustive bool
+	// Filters enables the §5.3 report filters (form races and
+	// single-dispatch events).
+	Filters bool
+	// Detector picks the algorithm.
+	Detector DetectorKind
+	// RecordTrace keeps the access trace (needed for vector-clock
+	// replay and by the harm oracle).
+	RecordTrace bool
+	// HarmRuns is the number of adversarial schedules ClassifyHarmful
+	// tries (more runs catch behaviours that need a specific unlucky
+	// ordering). Zero means 1.
+	HarmRuns int
+	// Browser overrides low-level simulation knobs; zero values default.
+	Browser browser.Config
+	// EntryURL is the page to load (default "index.html").
+	EntryURL string
+}
+
+// DefaultConfig matches the paper's evaluation configuration: automatic
+// exploration on, filters off (Table 1 is raw; apply filters for Table 2).
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Explore: true}
+}
+
+// Result is the outcome of running the detector over one site.
+type Result struct {
+	Site string
+	// RawReports are all races found (at most one per location, like
+	// WebRacer).
+	RawReports []race.Report
+	// Reports are the races surviving the configured filters (equal to
+	// RawReports when filters are off).
+	Reports []race.Report
+	// Counts tallies Reports by race type; RawCounts tallies RawReports.
+	Counts    report.Counts
+	RawCounts report.Counts
+	// Errors are the page errors (hidden crashes, fetch failures).
+	Errors []browser.PageError
+	// Ops is the number of operations the execution performed.
+	Ops int
+	// ExploreStats summarizes automatic exploration.
+	ExploreStats explore.Stats
+	// Browser exposes the finished session for further inspection.
+	Browser *browser.Browser
+}
+
+// Run loads the site, optionally explores it, and reports races.
+func Run(site *loader.Site, cfg Config) *Result {
+	bcfg := cfg.Browser
+	bcfg.Seed = cfg.Seed
+	bcfg.SharedFrameGlobals = true
+	bcfg.RecordTrace = cfg.RecordTrace
+	switch cfg.Detector {
+	case DetectorAccessSet:
+		bcfg.Detector = func(g *hb.Graph) race.Detector {
+			d := race.NewAccessSet(g)
+			d.OnePerLoc = true
+			return d
+		}
+	case DetectorPairwiseVC:
+		bcfg.Detector = func(g *hb.Graph) race.Detector {
+			live := hb.NewLiveClocks()
+			g.Mirror = live
+			p := race.NewPairwise(live)
+			p.ReportAll = cfg.Browser.ReportAll
+			return p
+		}
+	}
+	b := browser.New(site, bcfg)
+	entry := cfg.EntryURL
+	if entry == "" {
+		entry = "index.html"
+	}
+	b.LoadPage(entry)
+	res := &Result{Site: site.Name, Browser: b}
+	if cfg.Explore {
+		if cfg.Exhaustive {
+			res.ExploreStats = explore.Exhaustive(b, explore.Default(), 0)
+		} else {
+			res.ExploreStats = explore.Run(b, explore.Default())
+		}
+	}
+	res.RawReports = b.Reports()
+	res.RawCounts = report.Count(res.RawReports)
+	res.Reports = res.RawReports
+	if cfg.Filters {
+		res.Reports = report.Apply(res.RawReports,
+			report.FormFilter{}, report.SingleDispatchFilter{})
+	}
+	res.Counts = report.Count(res.Reports)
+	res.Errors = b.Errors
+	res.Ops = b.Ops.Len()
+	return res
+}
+
+// RunCorpus runs the detector over n synthetic sites (see sitegen) and
+// returns one Result per site. The gen callback supplies site i.
+func RunCorpus(n int, gen func(i int) *loader.Site, cfg Config) []*Result {
+	out := make([]*Result, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*101
+		out[i] = Run(gen(i), c)
+	}
+	return out
+}
+
+// SeedSweep aggregates detection across several simulated schedules: the
+// same site is run under n different seeds and the union of race locations
+// is reported, with per-location hit counts. Because the detector reasons
+// over happens-before rather than observed order, most races are found by
+// every seed (the paper: "races reported across different runs for the same
+// site had little variance"); the sweep quantifies that and catches the
+// remainder — races whose code only executes under some schedules.
+type SeedSweep struct {
+	// Locations maps each racing location (as a string) to the number of
+	// seeds that reported it.
+	Locations map[string]int
+	// Seeds is the number of runs performed.
+	Seeds int
+	// PerSeed is the race count of each run.
+	PerSeed []int
+}
+
+// RunSeeds performs a seed sweep over the site.
+func RunSeeds(site *loader.Site, cfg Config, n int) *SeedSweep {
+	sweep := &SeedSweep{Locations: map[string]int{}, Seeds: n}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		res := Run(site, c)
+		sweep.PerSeed = append(sweep.PerSeed, len(res.Reports))
+		seen := map[string]bool{}
+		for _, r := range res.Reports {
+			key := r.Loc.String()
+			if !seen[key] {
+				seen[key] = true
+				sweep.Locations[key]++
+			}
+		}
+	}
+	return sweep
+}
+
+// Stable returns the locations reported by every seed, and Flaky those
+// reported by only some.
+func (s *SeedSweep) Stable() (stable, flaky []string) {
+	for loc, hits := range s.Locations {
+		if hits == s.Seeds {
+			stable = append(stable, loc)
+		} else {
+			flaky = append(flaky, loc)
+		}
+	}
+	return stable, flaky
+}
+
+// ---- harm oracle ----
+
+// Harm classifies which reported races are harmful, in the paper's §6
+// sense: HTML/function races that can crash, form-value races that can
+// erase user input, single-dispatch event races whose handler can miss its
+// event. Classification is behavioural: the site is re-run under an
+// adversarial schedule (slow network and CPU, eager user) and the bad
+// behaviours observed there are mapped back to the races of the primary
+// run.
+type Harm struct {
+	// Harmful[i] corresponds to Reports[i] of the classified Result.
+	Harmful []bool
+	// Counts tallies harmful races by type.
+	Counts report.Counts
+	// Evidence explains each harmful classification.
+	Evidence []string
+}
+
+// Total reports the number of harmful races.
+func (h *Harm) Total() int {
+	n := 0
+	for _, v := range h.Harmful {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// ClassifyHarmful re-runs site under adversarial schedules (cfg.HarmRuns of
+// them) and marks which of res.Reports are harmful: a race is harmful if
+// any adversarial run exhibits its failure behaviour.
+func ClassifyHarmful(site *loader.Site, cfg Config, res *Result) *Harm {
+	runs := cfg.HarmRuns
+	if runs <= 0 {
+		runs = 1
+	}
+	h := &Harm{Harmful: make([]bool, len(res.Reports))}
+	for n := 0; n < runs; n++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(n)*104729
+		adv := runAdversarial(site, c)
+		for i, r := range res.Reports {
+			if h.Harmful[i] {
+				continue
+			}
+			harmful, why := adv.judge(res.Browser, r)
+			if harmful {
+				h.Harmful[i] = true
+				h.Counts[report.Classify(r)]++
+				h.Evidence = append(h.Evidence, fmt.Sprintf("%s: %s", report.Classify(r), why))
+			}
+		}
+	}
+	return h
+}
+
+// adversary holds the bad behaviours observed in the adversarial run.
+type adversary struct {
+	b *browser.Browser
+	// crashedLookups holds element ids whose failed lookup was followed
+	// by a crash in the same operation.
+	crashedLookups map[string]bool
+	// badNames holds function/variable names implicated in
+	// ReferenceError / "not a function" crashes.
+	badNames map[string]bool
+	// lostInputs holds node keys of form fields whose typed text was
+	// erased.
+	lostInputs map[string]bool
+	// missedHandlers holds (nodeKey|event) pairs whose handler
+	// registration was observed after the event's final dispatch.
+	missedHandlers map[string]bool
+}
+
+const typedMarker = "WEBRACER-TYPED"
+
+func runAdversarial(site *loader.Site, cfg Config) *adversary {
+	bcfg := cfg.Browser
+	bcfg.Seed = cfg.Seed + 7777
+	bcfg.SharedFrameGlobals = true
+	bcfg.RecordTrace = true
+	// Slow CPU and slow script network, fast images: scripts lose every
+	// race they can lose; images load before monitors attach.
+	if bcfg.ParseStepCost == 0 {
+		bcfg.ParseStepCost = 8
+	}
+	lat := loader.Latency{Base: 60, Jitter: 120, PerURL: map[string]float64{}}
+	for url := range site.Resources {
+		if strings.HasSuffix(url, ".png") || strings.HasSuffix(url, ".jpg") ||
+			strings.HasSuffix(url, ".jpeg") || strings.HasSuffix(url, ".gif") {
+			lat.PerURL[url] = 1
+		}
+	}
+	bcfg.Latency = lat
+	b := browser.New(site, bcfg)
+	opts := explore.Default()
+	opts.TypedText = typedMarker
+	opts.EagerDelay = 4
+	explore.EagerLoad(b, entryOf(cfg), opts)
+
+	adv := &adversary{
+		b:              b,
+		crashedLookups: map[string]bool{},
+		badNames:       map[string]bool{},
+		lostInputs:     map[string]bool{},
+		missedHandlers: map[string]bool{},
+	}
+	adv.analyze()
+	return adv
+}
+
+func entryOf(cfg Config) string {
+	if cfg.EntryURL != "" {
+		return cfg.EntryURL
+	}
+	return "index.html"
+}
+
+func (a *adversary) analyze() {
+	trace := a.b.Trace()
+	// Failed lookups per operation, to match with crashes.
+	failedByOp := map[int32][]string{}
+	for _, acc := range trace {
+		if acc.Ctx == mem.CtxElemLookup && strings.HasSuffix(acc.Desc, "-> null") {
+			if id := quoted(acc.Desc); id != "" {
+				failedByOp[int32(acc.Op)] = append(failedByOp[int32(acc.Op)], id)
+			}
+		}
+	}
+	for _, pe := range a.b.Errors {
+		msg := pe.Err.Error()
+		for _, id := range failedByOp[int32(pe.Op)] {
+			a.crashedLookups[id] = true
+		}
+		if name, ok := cutSuffixWord(msg, " is not defined"); ok {
+			a.badNames[name] = true
+		}
+		if name, ok := cutSuffixWord(msg, " is not a function"); ok {
+			a.badNames[name] = true
+		}
+	}
+	// Lost inputs: any text field whose final value differs from what the
+	// eager user typed.
+	for _, w := range a.b.Windows() {
+		w.Doc.Root.Walk(func(n *dom.Node) {
+			if n.IsFormField() && n.Value != "" && n.Value != typedMarker {
+				// Only fields the user plausibly typed into.
+				if n.Tag == "textarea" || n.Tag == "input" {
+					a.lostInputs[nodeKey(n)] = true
+				}
+			}
+		})
+	}
+	// Missed handlers: a handler-location write observed after the last
+	// dispatch read of the same location's (target, event).
+	lastFire := map[mem.Loc]int{}  // (el,e,0) slot → last fire index
+	lastWrite := map[mem.Loc]int{} // handler loc → last registration index
+	for i, acc := range trace {
+		if acc.Loc.Kind != mem.Handler {
+			continue
+		}
+		slot := mem.HandlerLoc(acc.Loc.Obj, acc.Loc.Name, 0)
+		switch acc.Ctx {
+		case mem.CtxHandlerFire:
+			lastFire[slot] = i
+		case mem.CtxHandlerAdd:
+			lastWrite[acc.Loc] = i
+		}
+	}
+	for locW, wi := range lastWrite {
+		slot := mem.HandlerLoc(locW.Obj, locW.Name, 0)
+		if fi, fired := lastFire[slot]; fired && wi > fi && report.DefaultSingleShot(locW.Name) {
+			if n := a.nodeForSerial(locW.Obj); n != nil {
+				a.missedHandlers[locW.Name+"|"+nodeKey(n)] = true
+			}
+		}
+	}
+}
+
+// judge decides whether one race of the primary run is harmful given the
+// adversarial observations. mainB resolves serials of the primary run.
+func (a *adversary) judge(mainB *browser.Browser, r race.Report) (bool, string) {
+	switch report.Classify(r) {
+	case report.HTML:
+		// Id-keyed element locations carry the id in Loc.Name.
+		if r.Loc.Name != "" && a.crashedLookups[r.Loc.Name] {
+			return true, fmt.Sprintf("lookup of #%s crashed under the adversarial schedule", r.Loc.Name)
+		}
+		return false, ""
+	case report.Function:
+		if a.badNames[r.Loc.Name] {
+			return true, fmt.Sprintf("calling %s crashed under the adversarial schedule", r.Loc.Name)
+		}
+		return false, ""
+	case report.Variable:
+		if r.Loc.Name != "value" && r.Loc.Name != "checked" {
+			return false, ""
+		}
+		n := nodeForSerialIn(mainB, r.Loc.Obj)
+		if n != nil && a.lostInputs[nodeKey(n)] {
+			return true, fmt.Sprintf("user input into %s was erased under the adversarial schedule", nodeKey(n))
+		}
+		return false, ""
+	case report.EventDispatch:
+		n := nodeForSerialIn(mainB, r.Loc.Obj)
+		if n != nil && a.missedHandlers[r.Loc.Name+"|"+nodeKey(n)] {
+			return true, fmt.Sprintf("%s handler on %s missed its event under the adversarial schedule", r.Loc.Name, nodeKey(n))
+		}
+		return false, ""
+	}
+	return false, ""
+}
+
+func (a *adversary) nodeForSerial(serial uint64) *dom.Node {
+	return nodeForSerialIn(a.b, serial)
+}
+
+// nodeForSerialIn resolves a node serial to its node in any window of b.
+func nodeForSerialIn(b *browser.Browser, serial uint64) *dom.Node {
+	var found *dom.Node
+	for _, w := range b.Windows() {
+		w.Doc.Root.Walk(func(n *dom.Node) {
+			if n.Serial == serial {
+				found = n
+			}
+		})
+		if found != nil {
+			return found
+		}
+		if w.WindowNode().Serial == serial {
+			return w.WindowNode()
+		}
+	}
+	return found
+}
+
+// nodeKey identifies a node stably across runs: by id, else by tag and
+// source URL, else by tag and position-free text.
+func nodeKey(n *dom.Node) string {
+	if id := n.ID(); id != "" {
+		return "#" + id
+	}
+	if src := n.Attrs["src"]; src != "" {
+		return n.Tag + "[" + src + "]"
+	}
+	return n.Tag
+}
+
+func quoted(s string) string {
+	i := strings.IndexByte(s, '"')
+	if i < 0 {
+		return ""
+	}
+	j := strings.IndexByte(s[i+1:], '"')
+	if j < 0 {
+		return ""
+	}
+	return s[i+1 : i+1+j]
+}
+
+// cutSuffixWord extracts the last word before suffix, e.g.
+// ("js: ReferenceError: doNextStep is not defined (line 3)",
+// " is not defined") → "doNextStep".
+func cutSuffixWord(s, suffix string) (string, bool) {
+	i := strings.Index(s, suffix)
+	if i < 0 {
+		return "", false
+	}
+	head := s[:i]
+	j := strings.LastIndexAny(head, " :")
+	return head[j+1:], true
+}
+
+// ---- vector-clock replay (experiment E4) ----
+
+// ReplayVC re-analyzes a recorded execution with the vector-clock
+// happens-before representation, returning the detector's reports. The
+// result must equal the graph-based reports (tests assert this); the bench
+// compares analysis time.
+func ReplayVC(res *Result) []race.Report {
+	trace := res.Browser.Trace()
+	clocks := hb.NewClocks(res.Browser.HB)
+	d := race.NewPairwise(clocks)
+	return race.Replay(trace, d)
+}
