@@ -10,8 +10,10 @@ build:
 vet:
 	go vet ./...
 
+# -race: the detector hunts web races while racing its own sharded
+# sweeps; the engine must be race-clean under the Go race detector.
 test:
-	go test ./...
+	go test -race ./...
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -9,6 +9,7 @@ package webracer
 
 import (
 	"testing"
+	"time"
 
 	"webracer/internal/hb"
 	"webracer/internal/loader"
@@ -359,4 +360,85 @@ func BenchmarkHarmOracle(b *testing.B) {
 		harmful = h.Total()
 	}
 	b.ReportMetric(float64(harmful), "harmful")
+}
+
+// ---- parallel corpus engine (tentpole benchmarks) ----
+
+// parallelBenchWorkers is the sharding width the acceptance criterion
+// names; on machines with fewer cores the speedup degrades gracefully
+// toward 1× (the engine itself adds no serial bottleneck — workers only
+// synchronize on an atomic index).
+const parallelBenchWorkers = 4
+
+// BenchmarkCorpusParallel runs the full 100-site corpus sweep at 4
+// workers and reports the measured speedup over the serial path, after
+// asserting the parallel sweep found exactly the serial race counts.
+func BenchmarkCorpusParallel(b *testing.B) {
+	const n = 100
+	cfg := DefaultConfig(1)
+	t0 := time.Now()
+	serial := RunCorpus(n, corpusGen(1), cfg)
+	serialTime := time.Since(t0)
+	serialRaces := 0
+	for _, r := range serial {
+		serialRaces += len(r.Reports)
+	}
+	b.ResetTimer()
+	races := 0
+	for i := 0; i < b.N; i++ {
+		results, err := RunCorpusParallel(n, corpusGen(1), cfg,
+			ParallelConfig{Workers: parallelBenchWorkers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		races = 0
+		for _, r := range results {
+			races += len(r.Reports)
+		}
+		if races != serialRaces {
+			b.Fatalf("parallel corpus found %d races, serial %d", races, serialRaces)
+		}
+	}
+	b.ReportMetric(float64(races), "races")
+	b.ReportMetric(serialTime.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup-vs-serial")
+}
+
+// BenchmarkScheduleSweepParallel runs the delay-one schedule sweep of one
+// resource-heavy site at 4 workers, reporting speedup over the serial
+// sweep after asserting identical aggregation.
+func BenchmarkScheduleSweepParallel(b *testing.B) {
+	site := sitegen.Generate(sitegen.SpecFor(1, 11)) // busiest page: most resources, most runs
+	cfg := DefaultConfig(1)
+	t0 := time.Now()
+	serial := ExploreSchedules(site, cfg)
+	serialTime := time.Since(t0)
+	b.ResetTimer()
+	runs := 0
+	for i := 0; i < b.N; i++ {
+		sweep, err := ExploreSchedulesParallel(site, cfg,
+			ParallelConfig{Workers: parallelBenchWorkers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs = sweep.Runs
+		if len(sweep.Reports) != len(serial.Reports) || sweep.Runs != serial.Runs {
+			b.Fatalf("parallel sweep %d reports over %d runs, serial %d over %d",
+				len(sweep.Reports), sweep.Runs, len(serial.Reports), serial.Runs)
+		}
+	}
+	b.ReportMetric(float64(runs), "runs")
+	b.ReportMetric(serialTime.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup-vs-serial")
+}
+
+// BenchmarkSeedSweepParallel shards the 8-seed sweep of one busy site.
+func BenchmarkSeedSweepParallel(b *testing.B) {
+	site := sitegen.Generate(sitegen.SpecFor(1, 40))
+	cfg := DefaultConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSeedsParallel(site, cfg, 8,
+			ParallelConfig{Workers: parallelBenchWorkers}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -7,24 +7,38 @@
 //
 // Usage:
 //
-//	experiments [-sites 100] [-seed 1] [-table1] [-table2] [-perf] [-ablate]
+//	experiments [-sites 100] [-seed 1] [-workers N] [-progress]
+//	            [-table1] [-table2] [-perf] [-ablate]
 //
-// With no experiment flags, everything runs.
+// With no experiment flags, everything runs. Corpus sweeps (Tables 1-2,
+// the E6 ablations) shard over -workers; results are identical at any
+// worker count (the engine aggregates in input order), so the flag only
+// changes wall-clock time. -progress streams live per-worker counters to
+// stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"webracer"
 	"webracer/internal/hb"
 	"webracer/internal/loader"
 	"webracer/internal/op"
+	"webracer/internal/pool"
 	"webracer/internal/race"
 	"webracer/internal/report"
 	"webracer/internal/sitegen"
+)
+
+// workers and showProgress are process-wide experiment knobs.
+var (
+	workers      int
+	showProgress bool
 )
 
 func main() {
@@ -37,6 +51,8 @@ func main() {
 		ablate = flag.Bool("ablate", false, "graph vs vector-clock detector ablation (E4)")
 		exts   = flag.Bool("extensions", false, "beyond-the-paper extension ablations (E6)")
 	)
+	flag.IntVar(&workers, "workers", runtime.NumCPU(), "parallel workers for corpus sweeps (identical results at any count)")
+	flag.BoolVar(&showProgress, "progress", false, "stream live per-worker sweep counters to stderr")
 	flag.Parse()
 	all := !*table1 && !*table2 && !*perf && !*ablate && !*exts
 
@@ -55,6 +71,45 @@ func main() {
 	if *exts || all {
 		runExtensions(*seed, *sites)
 	}
+}
+
+// watchProgress streams snapshots of a sweep's counters to stderr until
+// the returned stop function is called. No-op unless -progress is set.
+func watchProgress(label string, c *webracer.Progress) (stop func()) {
+	if !showProgress {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := c.Snapshot()
+				perWorker := make([]string, len(s.PerWorker))
+				for i, n := range s.PerWorker {
+					perWorker[i] = fmt.Sprint(n)
+				}
+				fmt.Fprintf(os.Stderr, "%s: %d/%d done, %d in flight, %.1f/s, per-worker [%s]\n",
+					label, s.Done, s.Total, s.InFlight, s.PerSecond,
+					strings.Join(perWorker, " "))
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
+}
+
+// sweepStats formats the standard "n sites in t" suffix with the sweep's
+// worker count and throughput.
+func sweepStats(n int, elapsed time.Duration) string {
+	return fmt.Sprintf("%d sites in %v, %d worker(s), %.1f sites/s",
+		n, elapsed.Round(time.Millisecond), workers,
+		float64(n)/elapsed.Seconds())
 }
 
 // replayGraphInto feeds a finished graph's edges to a live-clock engine in
@@ -81,12 +136,18 @@ func runExtensions(seed int64, n int) {
 	}
 	fmt.Printf("== E6: extension ablations over %d sites ==\n", n)
 	runWith := func(mut func(*webracer.Config)) int {
-		races := 0
-		for i := 0; i < n; i++ {
+		perSite, err := pool.Map(pool.Options{Workers: workers}, n, func(i int) int {
 			cfg := webracer.DefaultConfig(seed)
 			cfg.Seed = seed + int64(i)*101
 			mut(&cfg)
-			races += len(webracer.Run(sitegen.Generate(sitegen.SpecFor(seed, i)), cfg).RawReports)
+			return len(webracer.Run(sitegen.Generate(sitegen.SpecFor(seed, i)), cfg).RawReports)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+		races := 0
+		for _, r := range perSite {
+			races += r
 		}
 		return races
 	}
@@ -107,9 +168,16 @@ func runExtensions(seed int64, n int) {
 func corpusResults(seed int64, n int, filters bool) []*webracer.Result {
 	cfg := webracer.DefaultConfig(seed)
 	cfg.Filters = filters
-	return webracer.RunCorpus(n, func(i int) *loader.Site {
+	var prog webracer.Progress
+	stop := watchProgress("corpus", &prog)
+	defer stop()
+	results, err := webracer.RunCorpusParallel(n, func(i int) *loader.Site {
 		return sitegen.Generate(sitegen.SpecFor(seed, i))
-	}, cfg)
+	}, cfg, webracer.ParallelConfig{Workers: workers, Progress: &prog})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+	return results
 }
 
 // runTable1 prints the paper's Table 1: mean/median/max races of each type
@@ -136,7 +204,7 @@ func runTable1(seed int64, n int) {
 		p := paper[name]
 		fmt.Printf("%-15s %8.1f %8.1f %6d   | %7s %6s %4s\n", name, s.Mean, s.Median, s.Max, p[0], p[1], p[2])
 	}
-	fmt.Printf("(%d sites in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(%s)\n\n", sweepStats(n, time.Since(start)))
 }
 
 // runTable2 prints the paper's Table 2: per-site filtered counts with
@@ -146,8 +214,12 @@ func runTable2(seed int64, n int) {
 	cfg := webracer.DefaultConfig(seed)
 	cfg.Filters = true
 	fmt.Printf("== Table 2: filtered races per site (harmful in parentheses) ==\n")
-	rows := make([]report.Table2Row, 0, n)
-	for i := 0; i < n; i++ {
+	// One unit per site: the primary run plus its adversarial replays.
+	// Rows land at their site index, so the table is identical at any
+	// worker count.
+	var prog webracer.Progress
+	stop := watchProgress("table2", &prog)
+	rows, err := pool.Map(pool.Options{Workers: workers, Counters: &prog}, n, func(i int) report.Table2Row {
 		spec := sitegen.SpecFor(seed, i)
 		site := sitegen.Generate(spec)
 		c := cfg
@@ -160,14 +232,18 @@ func runTable2(seed int64, n int) {
 				hc[report.Classify(r)]++
 			}
 		}
-		rows = append(rows, report.Table2Row{Site: spec.Name, Counts: res.Counts, Harmful: hc})
+		return report.Table2Row{Site: spec.Name, Counts: res.Counts, Harmful: hc}
+	})
+	stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 	}
 	t2 := report.BuildTable2(rows)
 	if err := t2.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 	}
 	fmt.Printf("paper Total:                    219 (32)        37 (7)         8 (5)       91 (83)\n")
-	fmt.Printf("(%d sites with races, %v)\n\n", len(t2.Rows), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(%d sites with races, %s)\n\n", len(t2.Rows), sweepStats(n, time.Since(start)))
 }
 
 // cpuWorkload is a SunSpider-flavoured CPU-bound page: nested loops,

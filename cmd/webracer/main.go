@@ -12,6 +12,7 @@
 //	-filters            apply the §5.3 report filters
 //	-harm               classify harmful races via the adversarial replay
 //	-detector pairwise  pairwise | accessset
+//	-workers N          parallel workers for -seeds / -harm sweeps
 //	-v                  also print page errors and console output
 //
 // Exit status is 1 when races are found (useful in CI for your own site).
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"webracer"
 	"webracer/internal/loader"
@@ -42,6 +44,7 @@ func main() {
 		advise   = flag.Bool("advise", false, "print a suggested remediation for each race")
 		exhaust  = flag.Bool("exhaustive", false, "feedback-directed exploration rounds (deeper than §5.2.2)")
 		seeds    = flag.Int("seeds", 1, "run under N seeds and report the union of races")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel workers for seed sweeps and harm replays (results are identical at any count)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -72,13 +75,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	pcfg := webracer.ParallelConfig{Workers: *workers}
 	res := webracer.Run(site, cfg)
 	var harmful *webracer.Harm
 	if *harm {
-		harmful = webracer.ClassifyHarmful(site, cfg, res)
+		var err error
+		harmful, err = webracer.ClassifyHarmfulParallel(site, cfg, res, pcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+			os.Exit(2)
+		}
 	}
 	if *seeds > 1 {
-		sweep := webracer.RunSeeds(site, cfg, *seeds)
+		sweep, err := webracer.RunSeedsParallel(site, cfg, *seeds, pcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+			os.Exit(2)
+		}
 		stable, flaky := sweep.Stable()
 		fmt.Printf("seed sweep (%d seeds): %d location(s) stable, %d schedule-dependent\n",
 			*seeds, len(stable), len(flaky))

@@ -1,0 +1,104 @@
+package webracer
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webracer/internal/loader"
+	"webracer/internal/sitegen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden session fixtures")
+
+// goldenCases pin three representative sessions: the paper's Fig. 1
+// (iframe variable race) and Fig. 4 (function race), plus one synthetic
+// corpus site at seed 1. Their exported sessions are checked in under
+// testdata/golden; any detector or browser change that alters the race
+// reports fails TestGoldenSessions loudly. Regenerate deliberately with
+//
+//	go test -run TestGoldenSessions -update .
+func goldenCases() []struct {
+	name string
+	site *loader.Site
+} {
+	return []struct {
+		name string
+		site *loader.Site
+	}{
+		{"fig1", loader.NewSite("fig1").
+			Add("index.html", `<script>x = 1;</script>
+<iframe src="a.html"></iframe><iframe src="b.html"></iframe>`).
+			Add("a.html", `<script>x = 2;</script>`).
+			Add("b.html", `<script>alert(x);</script>`)},
+		{"fig4", loader.NewSite("fig4").
+			Add("index.html", `
+<iframe id="i" src="sub.html" onload="setTimeout(doNextStep, 20)"></iframe>
+<script>function doNextStep() { done = 1; }</script>`).
+			Add("sub.html", `<p>sub</p>`)},
+		{"sitegen-07", sitegen.Generate(sitegen.SpecFor(1, 7))},
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+func TestGoldenSessions(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			res := Run(tc.site, cfg)
+			got := Export(res, cfg.Seed, nil, false)
+
+			path := goldenPath(tc.name)
+			if *updateGolden {
+				var buf bytes.Buffer
+				if err := got.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d races)", path, len(got.Races))
+				return
+			}
+
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			defer f.Close()
+			want, err := ReadSession(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fixed, introduced := DiffRaces(want, got)
+			if len(fixed) != 0 || len(introduced) != 0 {
+				t.Errorf("race reports drifted from golden session:\n  no longer reported: %v\n  newly reported: %v\n(regenerate deliberately with -update)",
+					fixed, introduced)
+			}
+			// Per-type counts catch drift that keeps the location set
+			// but changes classification.
+			for typ, n := range want.Counts {
+				if got.Counts[typ] != n {
+					t.Errorf("%s count %d, golden %d", typ, got.Counts[typ], n)
+				}
+			}
+			for typ, n := range got.Counts {
+				if _, ok := want.Counts[typ]; !ok {
+					t.Errorf("new race type %s (%d) not in golden session", typ, n)
+				}
+			}
+			if len(got.Ops) != len(want.Ops) {
+				t.Errorf("execution shape drifted: %d ops, golden %d", len(got.Ops), len(want.Ops))
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"webracer/internal/dom"
+	"webracer/internal/sitegen"
 )
 
 // FuzzParseHTML: the tokenizer/parser must terminate without panicking on
@@ -42,6 +43,48 @@ func FuzzParseHTML(f *testing.F) {
 			}
 		}
 		// Structural invariant: every child's parent pointer is right.
+		doc.Root.Walk(func(n *dom.Node) {
+			for _, k := range n.Kids {
+				if k.Parent != n {
+					t.Fatalf("parent pointer broken at %v", k)
+				}
+			}
+		})
+	})
+}
+
+// FuzzHTMLParse is the corpus-seeded sibling of FuzzParseHTML: its seed
+// set is real generator output — every HTML resource of the first
+// synthetic corpus sites — so mutations start from the markup shapes the
+// detector actually parses (incremental scripts, iframes, onload
+// attributes, forms). The invariants are the same: the parser terminates
+// without panicking on arbitrary bytes and leaves consistent parent
+// pointers.
+//
+//	go test -fuzz=FuzzHTMLParse ./internal/html
+func FuzzHTMLParse(f *testing.F) {
+	for i := 0; i < 8; i++ {
+		site := sitegen.Generate(sitegen.SpecFor(1, i))
+		for url, body := range site.Resources {
+			if strings.HasSuffix(url, ".html") {
+				f.Add(body)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			return
+		}
+		doc := dom.NewDocument("fuzz", &dom.Serials{})
+		p := NewParser(doc, src)
+		for i := 0; ; i++ {
+			if i > 1_000_000 {
+				t.Fatalf("parser did not terminate")
+			}
+			if ev := p.Next(); ev.Kind == EventDone {
+				break
+			}
+		}
 		doc.Root.Walk(func(n *dom.Node) {
 			for _, k := range n.Kids {
 				if k.Parent != n {

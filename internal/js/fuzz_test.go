@@ -3,6 +3,8 @@ package js
 import (
 	"strings"
 	"testing"
+
+	"webracer/internal/sitegen"
 )
 
 // FuzzParse: the parser must never panic or hang; when it accepts input,
@@ -62,4 +64,83 @@ func FuzzLex(f *testing.F) {
 			t.Fatal("lexer returned no tokens and no error")
 		}
 	})
+}
+
+// scriptsOf extracts every piece of JavaScript a generated site carries:
+// external .js resources and the bodies of inline <script> elements.
+func scriptsOf(resources map[string]string) []string {
+	var out []string
+	for url, body := range resources {
+		if strings.HasSuffix(url, ".js") {
+			out = append(out, body)
+			continue
+		}
+		if !strings.HasSuffix(url, ".html") {
+			continue
+		}
+		rest := body
+		for {
+			i := strings.Index(rest, "<script")
+			if i < 0 {
+				break
+			}
+			rest = rest[i:]
+			open := strings.IndexByte(rest, '>')
+			if open < 0 {
+				break
+			}
+			rest = rest[open+1:]
+			end := strings.Index(rest, "</script>")
+			if end < 0 {
+				break
+			}
+			if src := strings.TrimSpace(rest[:end]); src != "" {
+				out = append(out, src)
+			}
+			rest = rest[end+len("</script>"):]
+		}
+	}
+	return out
+}
+
+// FuzzJSParse is the corpus-seeded sibling of FuzzParse: its seeds are
+// the generator's actual script output (external .js resources plus
+// inline <script> bodies), so mutations start from the detector's real
+// workload — handler registration, DOM lookups, timers, XHR. Invariants
+// as in FuzzParse: parse never panics or hangs; accepted programs print
+// and run under a step budget without crashing the interpreter.
+//
+//	go test -fuzz=FuzzJSParse ./internal/js
+func FuzzJSParse(f *testing.F) {
+	for i := 0; i < 8; i++ {
+		site := sitegen.Generate(sitegen.SpecFor(1, i))
+		for _, src := range scriptsOf(site.Resources) {
+			f.Add(src)
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 16<<10 {
+			return
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		_ = PrintAST(prog)
+		it := New(&serialCounter{}, nil)
+		it.MaxSteps = 50_000
+		_ = it.RunProgram(prog, "fuzz")
+	})
+}
+
+// TestScriptSeedsNonEmpty guards the seed extraction: a generator change
+// that silences the corpus would quietly gut both fuzz targets.
+func TestScriptSeedsNonEmpty(t *testing.T) {
+	n := 0
+	for i := 0; i < 8; i++ {
+		n += len(scriptsOf(sitegen.Generate(sitegen.SpecFor(1, i)).Resources))
+	}
+	if n < 8 {
+		t.Fatalf("extracted only %d script seeds from 8 corpus sites", n)
+	}
 }

@@ -1,0 +1,310 @@
+// Package pool is the parallel sweep engine behind the corpus, seed,
+// schedule and harm sweeps: it shards n independent work items over a
+// fixed set of workers while keeping the output exactly what the serial
+// loop would have produced.
+//
+// Every unit of webracer work — one (site, seed) simulation — is a
+// self-contained deterministic computation, so fan-out is embarrassingly
+// parallel. The engine's job is to preserve that determinism at the
+// edges:
+//
+//   - results land at their input index regardless of completion order
+//     (Map), or are delivered to the caller strictly in input order
+//     (Each), so aggregation code behaves identically at any worker
+//     count;
+//   - Each bounds in-flight memory with a sliding window: workers may run
+//     at most `window` items ahead of the slowest undelivered item, so a
+//     sweep over thousands of traces never holds more than O(window)
+//     results at once;
+//   - cancellation via context stops dispatching promptly;
+//   - per-worker counters expose progress and throughput for the CLIs.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures one sweep.
+type Options struct {
+	// Workers is the number of concurrent workers; values < 1 mean
+	// runtime.NumCPU(). Workers == 1 runs inline on the calling
+	// goroutine (no goroutines spawned), which is the serial path.
+	Workers int
+	// Window bounds, for Each, how far workers may run ahead of the
+	// in-order delivery point (and therefore how many undelivered
+	// results are buffered). Values < 1 mean 4 × workers.
+	Window int
+	// Ctx cancels the sweep; nil means context.Background(). Items
+	// already dispatched finish; no further items start.
+	Ctx context.Context
+	// Counters, when non-nil, is updated as items complete.
+	Counters *Counters
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+func (o Options) window() int {
+	if o.Window < 1 {
+		return 4 * o.workers()
+	}
+	return o.Window
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// Counters tracks sweep progress. All methods are safe for concurrent
+// use; a zero Counters is ready (Begin is called by the pool).
+type Counters struct {
+	total     atomic.Int64
+	done      atomic.Int64
+	inFlight  atomic.Int64
+	start     atomic.Int64 // unix nanos
+	perWorker []atomic.Int64
+	mu        sync.Mutex
+}
+
+// Begin (re)arms the counters for a sweep of n items over w workers.
+func (c *Counters) Begin(n, w int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total.Store(int64(n))
+	c.done.Store(0)
+	c.inFlight.Store(0)
+	c.start.Store(time.Now().UnixNano())
+	c.perWorker = make([]atomic.Int64, w)
+}
+
+func (c *Counters) item(worker int, delta int64) {
+	c.inFlight.Add(-delta)
+	c.done.Add(delta)
+	c.mu.Lock()
+	if worker < len(c.perWorker) {
+		c.perWorker[worker].Add(delta)
+	}
+	c.mu.Unlock()
+}
+
+// Snapshot is a point-in-time view of a sweep's progress.
+type Snapshot struct {
+	Total    int
+	Done     int
+	InFlight int
+	// PerWorker[i] is the number of items worker i has completed.
+	PerWorker []int
+	Elapsed   time.Duration
+	// PerSecond is the completion throughput so far.
+	PerSecond float64
+}
+
+// Snapshot reads the current progress.
+func (c *Counters) Snapshot() Snapshot {
+	s := Snapshot{
+		Total:    int(c.total.Load()),
+		Done:     int(c.done.Load()),
+		InFlight: int(c.inFlight.Load()),
+	}
+	if t0 := c.start.Load(); t0 != 0 {
+		s.Elapsed = time.Duration(time.Now().UnixNano() - t0)
+	}
+	c.mu.Lock()
+	s.PerWorker = make([]int, len(c.perWorker))
+	for i := range c.perWorker {
+		s.PerWorker[i] = int(c.perWorker[i].Load())
+	}
+	c.mu.Unlock()
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.PerSecond = float64(s.Done) / secs
+	}
+	return s
+}
+
+// Map computes fn(0..n-1) over the configured workers and returns the
+// results indexed by input position: out[i] == fn(i) no matter which
+// worker ran it or when it finished. fn must be safe for concurrent
+// invocation when Workers > 1 (webracer runs are: each builds its own
+// browser, loader and RNG).
+//
+// On cancellation Map returns the context error; out is still n long and
+// holds the results of the items that completed (zero values elsewhere).
+func Map[T any](opts Options, n int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	w := opts.workers()
+	ctx := opts.ctx()
+	if opts.Counters != nil {
+		opts.Counters.Begin(n, w)
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			if opts.Counters != nil {
+				opts.Counters.inFlight.Add(1)
+			}
+			out[i] = fn(i)
+			if opts.Counters != nil {
+				opts.Counters.item(0, 1)
+			}
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if opts.Counters != nil {
+					opts.Counters.inFlight.Add(1)
+				}
+				out[i] = fn(i)
+				if opts.Counters != nil {
+					opts.Counters.item(worker, 1)
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// Each computes fn(0..n-1) over the configured workers and delivers each
+// result to sink strictly in input order, buffering at most Window
+// undelivered results: workers stall rather than run more than Window
+// items ahead of the delivery point, bounding memory for sweeps whose
+// results are large (recorded traces, full sessions) or whose n is
+// unbounded. A non-nil error from sink stops the sweep and is returned.
+func Each[T any](opts Options, n int, fn func(i int) T, sink func(i int, v T) error) error {
+	w := opts.workers()
+	ctx := opts.ctx()
+	if opts.Counters != nil {
+		opts.Counters.Begin(n, w)
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if opts.Counters != nil {
+				opts.Counters.inFlight.Add(1)
+			}
+			v := fn(i)
+			if opts.Counters != nil {
+				opts.Counters.item(0, 1)
+			}
+			if err := sink(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	window := opts.window()
+	type slot struct {
+		i int
+		v T
+	}
+	// tickets admits an item only once the delivery point is within
+	// `window` of it; results carries finished items to the collector.
+	tickets := make(chan int)
+	results := make(chan slot, window)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range tickets {
+				if cctx.Err() != nil {
+					return
+				}
+				if opts.Counters != nil {
+					opts.Counters.inFlight.Add(1)
+				}
+				v := fn(i)
+				if opts.Counters != nil {
+					opts.Counters.item(worker, 1)
+				}
+				select {
+				case results <- slot{i, v}:
+				case <-cctx.Done():
+					return
+				}
+			}
+		}(wi)
+	}
+
+	// Dispatcher: issues index i only after index i-window was delivered.
+	delivered := make(chan struct{}, window)
+	go func() {
+		defer close(tickets)
+		for i := 0; i < n; i++ {
+			if i >= window {
+				select {
+				case <-delivered:
+				case <-cctx.Done():
+					return
+				}
+			}
+			select {
+			case tickets <- i:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Collector: reorders into input order and feeds sink. The token
+	// accounting never blocks: undelivered issued items ≤ window, so
+	// `results` holds ≤ window slots and `delivered` ≤ window tokens.
+	buf := make(map[int]T, window)
+	next := 0
+	var sinkErr error
+	for next < n && sinkErr == nil && cctx.Err() == nil {
+		if v, ok := buf[next]; ok {
+			delete(buf, next)
+			if err := sink(next, v); err != nil {
+				sinkErr = err
+				break
+			}
+			next++
+			select {
+			case delivered <- struct{}{}:
+			case <-cctx.Done():
+			}
+			continue
+		}
+		select {
+		case s := <-results:
+			buf[s.i] = s.v
+		case <-cctx.Done():
+		}
+	}
+	cancel()
+	wg.Wait()
+	if sinkErr != nil {
+		return sinkErr
+	}
+	return ctx.Err()
+}

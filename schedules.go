@@ -1,8 +1,6 @@
 package webracer
 
 import (
-	"sort"
-
 	"webracer/internal/loader"
 	"webracer/internal/race"
 	"webracer/internal/report"
@@ -34,58 +32,7 @@ type ScheduleSweep struct {
 // late code). Counts per race type across the whole sweep are available via
 // report.Count(sweep.Reports).
 func ExploreSchedules(site *loader.Site, cfg Config) *ScheduleSweep {
-	sweep := &ScheduleSweep{ByLocation: map[string][]string{}}
-	seenLoc := map[string]bool{}
-	record := func(label string, res *Result) {
-		for _, r := range res.Reports {
-			key := r.Loc.String()
-			sweep.ByLocation[key] = append(sweep.ByLocation[key], label)
-			if !seenLoc[key] {
-				seenLoc[key] = true
-				sweep.Reports = append(sweep.Reports, r)
-			}
-		}
-	}
-
-	sweep.Baseline = Run(site, cfg)
-	sweep.Runs = 1
-	record("", sweep.Baseline)
-	baseline := map[string]bool{}
-	for _, r := range sweep.Baseline.Reports {
-		baseline[r.Loc.String()] = true
-	}
-
-	urls := make([]string, 0, len(site.Resources))
-	for url := range site.Resources {
-		urls = append(urls, url)
-	}
-	sort.Strings(urls)
-	for _, url := range urls {
-		c := cfg
-		c.Seed = cfg.Seed + 1 // keep jitter stable; the override is the perturbation
-		lat := c.Browser.Latency
-		if lat.Base == 0 && lat.PerURL == nil {
-			lat = loader.DefaultLatency()
-		}
-		per := map[string]float64{url: 2_000}
-		for k, v := range lat.PerURL {
-			if k != url {
-				per[k] = v
-			}
-		}
-		lat.PerURL = per
-		c.Browser.Latency = lat
-		res := Run(site, c)
-		sweep.Runs++
-		record("slow:"+url, res)
-	}
-
-	for loc := range sweep.ByLocation {
-		if !baseline[loc] {
-			sweep.NewlyExposed = append(sweep.NewlyExposed, loc)
-		}
-	}
-	sort.Strings(sweep.NewlyExposed)
+	sweep, _ := ExploreSchedulesParallel(site, cfg, ParallelConfig{Workers: 1})
 	return sweep
 }
 

@@ -156,14 +156,11 @@ func Run(site *loader.Site, cfg Config) *Result {
 }
 
 // RunCorpus runs the detector over n synthetic sites (see sitegen) and
-// returns one Result per site. The gen callback supplies site i.
+// returns one Result per site. The gen callback supplies site i. This is
+// the serial path; RunCorpusParallel shards the same sweep over workers
+// with identical output.
 func RunCorpus(n int, gen func(i int) *loader.Site, cfg Config) []*Result {
-	out := make([]*Result, n)
-	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)*101
-		out[i] = Run(gen(i), c)
-	}
+	out, _ := RunCorpusParallel(n, gen, cfg, ParallelConfig{Workers: 1})
 	return out
 }
 
@@ -184,23 +181,10 @@ type SeedSweep struct {
 	PerSeed []int
 }
 
-// RunSeeds performs a seed sweep over the site.
+// RunSeeds performs a seed sweep over the site (serial; see
+// RunSeedsParallel).
 func RunSeeds(site *loader.Site, cfg Config, n int) *SeedSweep {
-	sweep := &SeedSweep{Locations: map[string]int{}, Seeds: n}
-	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)*7919
-		res := Run(site, c)
-		sweep.PerSeed = append(sweep.PerSeed, len(res.Reports))
-		seen := map[string]bool{}
-		for _, r := range res.Reports {
-			key := r.Loc.String()
-			if !seen[key] {
-				seen[key] = true
-				sweep.Locations[key]++
-			}
-		}
-	}
+	sweep, _ := RunSeedsParallel(site, cfg, n, ParallelConfig{Workers: 1})
 	return sweep
 }
 
@@ -248,30 +232,28 @@ func (h *Harm) Total() int {
 
 // ClassifyHarmful re-runs site under adversarial schedules (cfg.HarmRuns of
 // them) and marks which of res.Reports are harmful: a race is harmful if
-// any adversarial run exhibits its failure behaviour.
+// any adversarial run exhibits its failure behaviour. (Serial; see
+// ClassifyHarmfulParallel.)
 func ClassifyHarmful(site *loader.Site, cfg Config, res *Result) *Harm {
-	runs := cfg.HarmRuns
-	if runs <= 0 {
-		runs = 1
-	}
-	h := &Harm{Harmful: make([]bool, len(res.Reports))}
-	for n := 0; n < runs; n++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(n)*104729
-		adv := runAdversarial(site, c)
-		for i, r := range res.Reports {
-			if h.Harmful[i] {
-				continue
-			}
-			harmful, why := adv.judge(res.Browser, r)
-			if harmful {
-				h.Harmful[i] = true
-				h.Counts[report.Classify(r)]++
-				h.Evidence = append(h.Evidence, fmt.Sprintf("%s: %s", report.Classify(r), why))
-			}
+	h, _ := ClassifyHarmfulParallel(site, cfg, res, ParallelConfig{Workers: 1})
+	return h
+}
+
+// judge folds one adversarial run's observations into the
+// classification: a report already marked harmful keeps its first
+// evidence.
+func (h *Harm) judge(adv *adversary, res *Result) {
+	for i, r := range res.Reports {
+		if h.Harmful[i] {
+			continue
+		}
+		harmful, why := adv.judge(res.Browser, r)
+		if harmful {
+			h.Harmful[i] = true
+			h.Counts[report.Classify(r)]++
+			h.Evidence = append(h.Evidence, fmt.Sprintf("%s: %s", report.Classify(r), why))
 		}
 	}
-	return h
 }
 
 // adversary holds the bad behaviours observed in the adversarial run.
