@@ -1,6 +1,10 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench examples experiments outputs clean
+.PHONY: all build vet test bench bench-all benchcmp examples experiments outputs clean
+
+# Repetitions for the detector benchmarks; raise for benchstat-grade noise
+# bounds (e.g. `make bench BENCH_COUNT=10`).
+BENCH_COUNT ?= 5
 
 all: build vet test
 
@@ -12,11 +16,21 @@ vet:
 
 # -race: the detector hunts web races while racing its own sharded
 # sweeps; the engine must be race-clean under the Go race detector.
-test:
+test: vet
 	go test -race ./...
 
+# The detector/replay benchmarks (the E4 speedup battery), repeated
+# BENCH_COUNT times so scripts/benchcmp.sh can bound the noise.
 bench:
+	go test -run '^$$' -bench 'Detector|ReplayVC' -benchmem -count $(BENCH_COUNT) .
+
+# Every benchmark in the repo, single pass.
+bench-all:
 	go test -bench=. -benchmem ./...
+
+# Compare two saved benchmark outputs (benchstat when available).
+benchcmp:
+	./scripts/benchcmp.sh $(OLD) $(NEW)
 
 examples: build
 	go run ./examples/quickstart

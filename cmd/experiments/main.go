@@ -28,7 +28,6 @@ import (
 	"webracer"
 	"webracer/internal/hb"
 	"webracer/internal/loader"
-	"webracer/internal/op"
 	"webracer/internal/pool"
 	"webracer/internal/race"
 	"webracer/internal/report"
@@ -112,19 +111,6 @@ func sweepStats(n int, elapsed time.Duration) string {
 		float64(n)/elapsed.Seconds())
 }
 
-// replayGraphInto feeds a finished graph's edges to a live-clock engine in
-// node order.
-func replayGraphInto(g *hb.Graph, live *hb.LiveClocks) {
-	live.AddNode(opID(g.Len()))
-	for i := 1; i <= g.Len(); i++ {
-		for _, p := range g.Preds(opID(i)) {
-			live.Edge(p, opID(i))
-		}
-	}
-}
-
-func opID(i int) op.ID { return op.ID(i) }
-
 func kb(b int) string { return fmt.Sprintf("%.0fKiB", float64(b)/1024) }
 
 // runExtensions measures the E6 extension knobs over a corpus slice: the
@@ -140,7 +126,7 @@ func runExtensions(seed int64, n int) {
 			cfg := webracer.DefaultConfig(seed)
 			cfg.Seed = seed + int64(i)*101
 			mut(&cfg)
-			return len(webracer.Run(sitegen.Generate(sitegen.SpecFor(seed, i)), cfg).RawReports)
+			return len(webracer.RunConfig(sitegen.Generate(sitegen.SpecFor(seed, i)), cfg).RawReports)
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -224,7 +210,7 @@ func runTable2(seed int64, n int) {
 		site := sitegen.Generate(spec)
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*101
-		res := webracer.Run(site, c)
+		res := webracer.RunConfig(site, c)
 		h := webracer.ClassifyHarmful(site, c, res)
 		var hc report.Counts
 		for j, r := range res.Reports {
@@ -300,7 +286,7 @@ func runPerf(seed int64) {
 				cfg := webracer.DefaultConfig(seed + int64(i))
 				cfg.Explore = false
 				cfg.Browser.NoInstrument = !detector
-				webracer.Run(site, cfg)
+				webracer.RunConfig(site, cfg)
 			}
 			return time.Since(start) / reps
 		}
@@ -318,8 +304,11 @@ func runPerf(seed int64) {
 	fmt.Printf(" detection-only overheads. See EXPERIMENTS.md E3 for the full argument.)\n\n")
 }
 
-// runAblation compares the graph-reachability oracle against the
-// vector-clock replay on the recorded corpus traces (E4).
+// runAblation compares happens-before representations on the recorded
+// corpus traces (E4): the paper's graph reachability, the pre-epoch dense
+// vector clocks (one eagerly built full-width clock per operation), and
+// the epoch-optimized vector clocks (lazy chain coordinates, clock
+// vectors materialized only for genuinely shared locations).
 func runAblation(seed int64, n int) {
 	if n > 30 {
 		n = 30 // traces are memory-hungry; a slice of the corpus suffices
@@ -329,34 +318,67 @@ func runAblation(seed int64, n int) {
 	results := webracer.RunCorpus(n, func(i int) *loader.Site {
 		return sitegen.Generate(sitegen.SpecFor(seed, i))
 	}, cfg)
-	var graphTime, vcTime time.Duration
-	races, vcRaces := 0, 0
-	graphBytes, vcBytes := 0, 0
+	// The representations are also compared at §6 scale: wide pages with
+	// thousands of operations across hundreds of handler tasks, where the
+	// pre-epoch eager construction dominates analysis time.
+	results = append(results, webracer.RunCorpus(4, func(i int) *loader.Site {
+		return sitegen.Generate(sitegen.StressSpec(i))
+	}, cfg)...)
+	var graphTime, denseTime, epochTime time.Duration
+	graphRaces, denseRaces, epochRaces := 0, 0, 0
+	graphBytes, denseBytes, epochBytes := 0, 0, 0
+	ops, mats := 0, 0
+	for _, res := range results {
+		ops += res.Ops
+	}
+
+	runtime.GC() // settle between phases so no arm pays its predecessor's debt
+	t0 := time.Now()
+	for _, res := range results {
+		d := race.NewPairwise(res.Browser.HB)
+		graphRaces += len(race.Replay(res.Browser.Trace(), d))
+	}
+	graphTime = time.Since(t0)
+	for _, res := range results {
+		graphBytes += res.Browser.HB.MemoryBytes()
+	}
+
+	runtime.GC()
+	t1 := time.Now()
+	for _, res := range results {
+		dense := hb.NewDenseClocks(res.Browser.HB)
+		d := race.NewPairwise(dense)
+		denseRaces += len(race.Replay(res.Browser.Trace(), d))
+		denseBytes += dense.MemoryBytes()
+	}
+	denseTime = time.Since(t1)
+
+	runtime.GC()
+	t2 := time.Now()
 	for _, res := range results {
 		trace := res.Browser.Trace()
-		t0 := time.Now()
-		d := race.NewPairwise(res.Browser.HB)
-		g := race.Replay(trace, d)
-		graphTime += time.Since(t0)
-		graphBytes += res.Browser.HB.MemoryBytes()
-		t1 := time.Now()
-		live := hb.NewLiveClocks()
-		res.Browser.HB.Mirror = nil
-		replayGraphInto(res.Browser.HB, live)
-		d2 := race.NewPairwise(live)
-		v := race.Replay(trace, d2)
-		vcTime += time.Since(t1)
-		vcBytes += live.MemoryBytes()
-		races += len(g)
-		vcRaces += len(v)
+		clocks := hb.NewClocks(res.Browser.HB)
+		d := race.NewPairwise(clocks, race.LocHint(len(trace)/4))
+		epochRaces += len(race.Replay(trace, d))
+		epochBytes += clocks.MemoryBytes()
+		mats += clocks.MaterializedClocks()
 	}
-	fmt.Printf("== E4 ablation: happens-before representation (replay over %d recorded sites) ==\n", n)
-	fmt.Printf("graph reachability: %v, %d races, %s of memoized closures\n",
-		graphTime.Round(time.Millisecond), races, kb(graphBytes))
-	fmt.Printf("vector clocks:      %v, %d races, %s of clocks (incl. construction)\n",
-		vcTime.Round(time.Millisecond), vcRaces, kb(vcBytes))
-	if races != vcRaces {
-		fmt.Fprintf(os.Stderr, "WARNING: representations disagree (%d vs %d)\n", races, vcRaces)
+	epochTime = time.Since(t2)
+
+	fmt.Printf("== E4 ablation: happens-before representation (replay over %d recorded sites) ==\n", len(results))
+	fmt.Printf("graph reachability:  %v, %d races, %s of memoized closures\n",
+		graphTime.Round(time.Millisecond), graphRaces, kb(graphBytes))
+	fmt.Printf("dense vector clocks: %v, %d races, %s of eager clocks (pre-epoch baseline)\n",
+		denseTime.Round(time.Millisecond), denseRaces, kb(denseBytes))
+	fmt.Printf("epoch vector clocks: %v, %d races, %s of clocks, %d of %d ops materialized\n",
+		epochTime.Round(time.Millisecond), epochRaces, kb(epochBytes), mats, ops)
+	if epochTime > 0 {
+		fmt.Printf("epoch speedup: %.2fx vs dense construction+replay, clock memory %s -> %s\n",
+			float64(denseTime)/float64(epochTime), kb(denseBytes), kb(epochBytes))
+	}
+	if graphRaces != denseRaces || graphRaces != epochRaces {
+		fmt.Fprintf(os.Stderr, "WARNING: representations disagree (graph %d, dense %d, epoch %d)\n",
+			graphRaces, denseRaces, epochRaces)
 	}
 	fmt.Println()
 }

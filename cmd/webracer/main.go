@@ -11,7 +11,7 @@
 //	-explore            automatic exploration after load (default true)
 //	-filters            apply the §5.3 report filters
 //	-harm               classify harmful races via the adversarial replay
-//	-detector pairwise  pairwise | accessset
+//	-detector pairwise  pairwise | pairwise-vc | accessset
 //	-workers N          parallel workers for -seeds / -harm sweeps
 //	-v                  also print page errors and console output
 //
@@ -36,7 +36,7 @@ func main() {
 		expl     = flag.Bool("explore", true, "simulate user interactions after load (§5.2.2)")
 		filters  = flag.Bool("filters", false, "apply the §5.3 report filters")
 		harm     = flag.Bool("harm", false, "classify harmful races (adversarial replay)")
-		detector = flag.String("detector", "pairwise", "race detector: pairwise | accessset")
+		detector = flag.String("detector", "pairwise", "race detector: pairwise | pairwise-vc | accessset")
 		verbose  = flag.Bool("v", false, "print page errors and console output")
 		dotFile  = flag.String("dot", "", "write the happens-before graph in Graphviz DOT form to this file")
 		jsonFile = flag.String("json", "", "write the full session (ops, edges, races) as JSON to this file")
@@ -59,24 +59,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := webracer.Config{
-		Seed:       *seed,
-		Explore:    *expl,
-		Exhaustive: *exhaust,
-		Filters:    *filters,
-		EntryURL:   *entry,
+	opts := []webracer.Option{
+		webracer.WithSeed(*seed),
+		webracer.WithExplore(*expl),
+		webracer.WithEntry(*entry),
+	}
+	if *exhaust {
+		opts = append(opts, webracer.WithExhaustive())
+	}
+	if *filters {
+		opts = append(opts, webracer.WithFilters())
 	}
 	switch *detector {
 	case "pairwise":
+	case "pairwise-vc":
+		opts = append(opts, webracer.WithDetector(webracer.DetectorPairwiseVC))
 	case "accessset":
-		cfg.Detector = webracer.DetectorAccessSet
+		opts = append(opts, webracer.WithDetector(webracer.DetectorAccessSet))
 	default:
 		fmt.Fprintf(os.Stderr, "webracer: unknown detector %q\n", *detector)
 		os.Exit(2)
 	}
+	cfg := webracer.NewConfig(opts...)
 
 	pcfg := webracer.ParallelConfig{Workers: *workers}
-	res := webracer.Run(site, cfg)
+	res := webracer.RunConfig(site, cfg)
 	var harmful *webracer.Harm
 	if *harm {
 		var err error

@@ -78,17 +78,17 @@ func TestDifferentialDetectors(t *testing.T) {
 			base.Browser.ReportAll = true
 
 			pw := base
-			res := Run(site, pw)
+			res := RunConfig(site, pw)
 
 			as := base
 			as.Browser.Detector = func(g *hb.Graph) race.Detector {
 				return race.NewAccessSet(g) // full history, all pairs
 			}
-			resAS := Run(site, as)
+			resAS := RunConfig(site, as)
 
 			vc := base
 			vc.Detector = DetectorPairwiseVC
-			resVC := Run(site, vc)
+			resVC := RunConfig(site, vc)
 
 			pwPairs, asPairs := racePairs(res), racePairs(resAS)
 			if missing := setDiff(pwPairs, asPairs); len(missing) != 0 {
@@ -134,11 +134,11 @@ func TestDifferentialDetectorsShipped(t *testing.T) {
 			cfg := DefaultConfig(seed)
 			cfg.Seed = seed + int64(i)*101
 
-			res := Run(site, cfg)
+			res := RunConfig(site, cfg)
 
 			as := cfg
 			as.Detector = DetectorAccessSet
-			resAS := Run(site, as)
+			resAS := RunConfig(site, as)
 
 			pwLocs, asLocs := raceLocs(res), raceLocs(resAS)
 			if missing := setDiff(pwLocs, asLocs); len(missing) != 0 {

@@ -14,7 +14,7 @@ func ExampleRun() {
 <input type="text" id="depart" />
 <script>document.getElementById("depart").value = "City of Departure";</script>`)
 
-	res := webracer.Run(site, webracer.DefaultConfig(1))
+	res := webracer.Run(site, webracer.WithSeed(1))
 	for _, r := range res.Reports {
 		fmt.Println(report.Classify(r), "race on the form value — two unordered writes")
 	}
@@ -35,8 +35,8 @@ function openPanel() {
 <a href="javascript:openPanel()">Open</a>
 <div id="panel" style="display:none"></div>`)
 
-	cfg := webracer.DefaultConfig(1)
-	res := webracer.Run(site, cfg)
+	cfg := webracer.NewConfig(webracer.WithSeed(1))
+	res := webracer.RunConfig(site, cfg)
 	harm := webracer.ClassifyHarmful(site, cfg, res)
 	for i, r := range res.Reports {
 		if report.Classify(r) == report.HTML {
@@ -58,9 +58,8 @@ func ExampleDiffRaces() {
 <script>function boost() { boosted = 1; }</script>
 <div id="hover" onmouseover="boost();">deals</div>`)
 
-	cfg := webracer.DefaultConfig(1)
-	before := webracer.Export(webracer.Run(buggy, cfg), 1, nil, false)
-	after := webracer.Export(webracer.Run(fixedSite, cfg), 1, nil, false)
+	before := webracer.Export(webracer.Run(buggy, webracer.WithSeed(1)), 1, nil, false)
+	after := webracer.Export(webracer.Run(fixedSite, webracer.WithSeed(1)), 1, nil, false)
 	fixed, introduced := webracer.DiffRaces(before, after)
 	fmt.Printf("fixed %d race location(s), introduced %d\n", len(fixed), len(introduced))
 	// Output:
@@ -74,7 +73,7 @@ func Example_advise() {
 <script src="menu.js" async="true"></script>`).
 		Add("menu.js", `function openMenu() { open = 1; }`)
 
-	res := webracer.Run(site, webracer.DefaultConfig(1))
+	res := webracer.Run(site, webracer.WithSeed(1))
 	for _, r := range res.Reports {
 		if report.Classify(r) == report.Function {
 			fmt.Println(report.Advise(r)[:59], "…")

@@ -53,7 +53,7 @@ function openCart() {
 func analyze(site *loader.Site) (*webracer.Session, int) {
 	cfg := webracer.DefaultConfig(1)
 	cfg.Filters = true
-	res := webracer.Run(site, cfg)
+	res := webracer.RunConfig(site, cfg)
 	harm := webracer.ClassifyHarmful(site, cfg, res)
 	return webracer.Export(res, cfg.Seed, harm, false), harm.Total()
 }

@@ -42,7 +42,7 @@ func main() {
 	cfg.Filters = true
 	cfg.HarmRuns = 2
 
-	res := webracer.Run(site(), cfg)
+	res := webracer.RunConfig(site(), cfg)
 	harm := webracer.ClassifyHarmful(site(), cfg, res)
 
 	fmt.Printf("%s: %d race(s) after filtering (%d raw), %d harmful\n\n",

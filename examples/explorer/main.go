@@ -43,8 +43,8 @@ func main() {
 	passive := webracer.Config{Seed: 1, Explore: false}
 	active := webracer.DefaultConfig(1)
 
-	quiet := webracer.Run(site(), passive)
-	loud := webracer.Run(site(), active)
+	quiet := webracer.RunConfig(site(), passive)
+	loud := webracer.RunConfig(site(), active)
 
 	fmt.Printf("passive load:         %d race(s)\n", len(quiet.Reports))
 	for _, r := range quiet.Reports {

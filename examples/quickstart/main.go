@@ -26,7 +26,7 @@ func main() {
   </script>
 </body></html>`)
 
-	res := webracer.Run(site, webracer.DefaultConfig(1))
+	res := webracer.Run(site, webracer.WithSeed(1))
 
 	fmt.Printf("loaded %q: %d operations, %d race(s)\n\n", res.Site, res.Ops, len(res.Reports))
 	for _, r := range res.Reports {

@@ -2,6 +2,7 @@ package webracer
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -46,11 +47,55 @@ func goldenPath(name string) string {
 	return filepath.Join("testdata", "golden", name+".json")
 }
 
+// TestGoldenSweeps pins the aggregate outputs — seed sweep and harm
+// classification — as byte-exact JSON, exercising the stable tags and
+// deterministic marshal order of SeedSweep, Harm and report.Counts.
+// Regenerate deliberately with
+//
+//	go test -run TestGoldenSweeps -update .
+func TestGoldenSweeps(t *testing.T) {
+	for _, tc := range goldenCases()[:2] { // fig1 and fig4: cheap, race-bearing
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			sweep := RunSeeds(tc.site, cfg, 3)
+			res := RunConfig(tc.site, cfg)
+			harm := ClassifyHarmful(tc.site, cfg, res)
+			got, err := json.MarshalIndent(struct {
+				Sweep *SeedSweep `json:"sweep"`
+				Harm  *Harm      `json:"harm"`
+			}{sweep, harm}, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := goldenPath(tc.name + "-sweep")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("sweep output drifted from golden file %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}
+
 func TestGoldenSessions(t *testing.T) {
 	for _, tc := range goldenCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := DefaultConfig(1)
-			res := Run(tc.site, cfg)
+			res := RunConfig(tc.site, cfg)
 			got := Export(res, cfg.Seed, nil, false)
 
 			path := goldenPath(tc.name)

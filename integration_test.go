@@ -67,7 +67,7 @@ document.body.appendChild(s);
 func TestCompositeSiteEndToEnd(t *testing.T) {
 	cfg := DefaultConfig(3)
 	cfg.RecordTrace = true
-	res := Run(compositeSite(), cfg)
+	res := RunConfig(compositeSite(), cfg)
 	b := res.Browser
 
 	// The page must have finished loading and computed its state.
@@ -137,7 +137,7 @@ func TestCompositeSiteEndToEnd(t *testing.T) {
 	// race must come out harmful under the adversarial schedule.
 	cfg2 := cfg
 	cfg2.Filters = true
-	res2 := Run(compositeSite(), cfg2)
+	res2 := RunConfig(compositeSite(), cfg2)
 	h := ClassifyHarmful(compositeSite(), cfg2, res2)
 	if h.Total() == 0 {
 		t.Errorf("no harmful races on the composite site; reports: %v", res2.Reports)
@@ -158,13 +158,13 @@ func TestCompositeSiteEndToEnd(t *testing.T) {
 // TestCompositeDeterminismAcrossDetectors: the pairwise/VC/AccessSet
 // detectors agree on the composite page (AccessSet may only add races).
 func TestCompositeDeterminismAcrossDetectors(t *testing.T) {
-	base := Run(compositeSite(), DefaultConfig(3))
+	base := RunConfig(compositeSite(), DefaultConfig(3))
 	vcCfg := DefaultConfig(3)
 	vcCfg.Detector = DetectorPairwiseVC
-	vc := Run(compositeSite(), vcCfg)
+	vc := RunConfig(compositeSite(), vcCfg)
 	asCfg := DefaultConfig(3)
 	asCfg.Detector = DetectorAccessSet
-	as := Run(compositeSite(), asCfg)
+	as := RunConfig(compositeSite(), asCfg)
 
 	if len(vc.RawReports) != len(base.RawReports) {
 		t.Errorf("VC oracle disagrees: %d vs %d", len(vc.RawReports), len(base.RawReports))

@@ -154,9 +154,11 @@ func New(site *loader.Site, cfg Config) *Browser {
 	if cfg.Detector != nil {
 		b.detector = cfg.Detector(b.HB)
 	} else {
-		p := race.NewPairwise(b.HB)
-		p.ReportAll = cfg.ReportAll
-		b.detector = p
+		var opts []race.Option
+		if cfg.ReportAll {
+			opts = append(opts, race.ReportAll())
+		}
+		b.detector = race.NewPairwise(b.HB, opts...)
 	}
 	if cfg.RecordTrace {
 		b.recorder = &race.Recorder{Inner: b.detector}

@@ -6,9 +6,9 @@ import (
 	"webracer/internal/op"
 )
 
-// Oracle answers can-happen-concurrently queries. Both Graph and Clocks
-// implement it; race detectors are written against the interface so the two
-// representations can be swapped (experiment E4).
+// Oracle answers can-happen-concurrently queries. Graph, Clocks and
+// LiveClocks implement it; race detectors are written against the interface
+// so the representations can be swapped (experiment E4).
 type Oracle interface {
 	// Concurrent reports CHC(a, b) per §5.1: a and b are distinct real
 	// operations and neither happens before the other.
@@ -20,35 +20,143 @@ type Oracle interface {
 var (
 	_ Oracle = (*Graph)(nil)
 	_ Oracle = (*Clocks)(nil)
+	_ Oracle = (*DenseClocks)(nil)
 )
 
-// Clocks is a vector-clock view of a happens-before graph — the "more
-// efficient vector-clock representation" the paper plans as future work
-// (§5.2.1). The DAG is decomposed greedily into chains (an operation joins
-// the chain of one of its predecessors when that predecessor is still the
-// chain's tail, else it starts a new chain); each operation then carries a
-// clock with one entry per chain: the highest position on that chain known
-// to happen before (or be) the operation. a ⇝ b iff b's clock covers a's
-// position on a's chain.
+// Epoch is an operation's coordinate in the chain decomposition: the pair
+// chain@position, the FastTrack-style compressed form of "everything this
+// operation's own task has done so far". A Chain of -1 is the invalid
+// epoch (unknown operation); epoch-based fast paths must fall back to the
+// plain oracle for it.
 //
-// Clocks is built once from a finished Graph; it answers queries in O(1)
-// after O(n·c) construction for c chains.
+// Two facts make epochs powerful: operations on the same chain are totally
+// ordered by Pos (a chain is a path in the DAG), and e ⇝ b for a
+// cross-chain b is a single clock lookup. Detectors exploit both to answer
+// the common same-task/already-ordered access in O(1) without a vector in
+// sight.
+type Epoch struct {
+	Chain int32
+	Pos   int32
+}
+
+func (e Epoch) String() string { return fmt.Sprintf("%d@%d", e.Chain, e.Pos) }
+
+// EpochOracle is an Oracle that additionally exposes the epoch
+// representation. Both vector-clock engines implement it; Graph does not,
+// so detectors feature-test with a type assertion and keep their plain
+// path for graph oracles.
+type EpochOracle interface {
+	Oracle
+	// Epoch returns id's chain@position coordinate, finalizing it lazily.
+	Epoch(id op.ID) Epoch
+	// OrderedEpoch reports that the operation at e happens before (or is)
+	// b. With e = Epoch(a), OrderedEpoch(e, b) ≡ HappensBefore(a, b) ∨ a = b.
+	OrderedEpoch(e Epoch, b op.ID) bool
+	// Gen is bumped whenever finalized coordinates may have been
+	// reassigned (late-edge invalidation). Epochs cached across calls are
+	// only valid while Gen is unchanged; ordering conclusions themselves
+	// stay valid forever (happens-before only grows).
+	Gen() uint32
+}
+
+var (
+	_ EpochOracle = (*Clocks)(nil)
+	_ EpochOracle = (*LiveClocks)(nil)
+)
+
+// Clocks is the vector-clock view of a *finished* happens-before graph —
+// the "more efficient vector-clock representation" the paper plans as
+// future work (§5.2.1), in its epoch-optimized form. Construction is O(n)
+// bookkeeping: chain assignment and clock materialization are inherited
+// lazily from the LiveClocks engine, so a replay that only ever compares
+// same-chain operations never allocates a single clock vector. Compare
+// DenseClocks, the pre-epoch eager form kept as the E4 ablation baseline.
 type Clocks struct {
+	lc LiveClocks
+}
+
+// NewClocks builds the epoch-optimized vector-clock representation of g.
+// Operation IDs must form a DAG in which every edge a→b satisfies the
+// registration invariant used throughout this codebase (predecessors were
+// registered before their successors began), which makes increasing-ID
+// order a topological order. NewClocks verifies that assumption eagerly and
+// panics otherwise; the property tests construct adversarial DAGs through
+// the same front door. The snapshot shares g's adjacency (it never adds
+// edges of its own).
+func NewClocks(g *Graph) *Clocks {
+	n := g.Len()
+	c := &Clocks{}
+	for i := 1; i <= n; i++ {
+		for _, p := range g.preds[i-1] {
+			if p >= op.ID(i) {
+				panic(fmt.Sprintf("hb: edge %d→%d violates topological ID order", p, i))
+			}
+		}
+	}
+	// A snapshot adds no nodes or edges of its own, so the adjacency lists
+	// are shared with the graph rather than copied.
+	c.lc.preds = g.preds[:n:n]
+	c.lc.succs = g.succs[:n:n]
+	c.lc.pos = make([]int32, n)
+	c.lc.clock = make([][]int32, n)
+	c.lc.chain = make([]int32, n)
+	for i := range c.lc.chain {
+		c.lc.chain[i] = -1
+	}
+	return c
+}
+
+// Chains reports how many chains the decomposition produces — a measure of
+// the execution's logical concurrency width. It finalizes every epoch (in
+// ID order, the same greedy order the eager construction used) but
+// materializes no clocks.
+func (c *Clocks) Chains() int {
+	for i := 1; i <= len(c.lc.preds); i++ {
+		c.lc.finalizeEpoch(op.ID(i))
+	}
+	return len(c.lc.tails)
+}
+
+// HappensBefore reports a ⇝ b.
+func (c *Clocks) HappensBefore(a, b op.ID) bool { return c.lc.HappensBefore(a, b) }
+
+// Concurrent reports CHC(a, b).
+func (c *Clocks) Concurrent(a, b op.ID) bool { return c.lc.Concurrent(a, b) }
+
+// Epoch implements EpochOracle.
+func (c *Clocks) Epoch(id op.ID) Epoch { return c.lc.Epoch(id) }
+
+// OrderedEpoch implements EpochOracle.
+func (c *Clocks) OrderedEpoch(e Epoch, b op.ID) bool { return c.lc.OrderedEpoch(e, b) }
+
+// Gen implements EpochOracle. A snapshot never invalidates, so cached
+// epochs stay valid for its whole lifetime.
+func (c *Clocks) Gen() uint32 { return c.lc.Gen() }
+
+// MaterializedClocks reports how many full clock vectors queries have
+// forced so far (zero for purely same-chain workloads).
+func (c *Clocks) MaterializedClocks() int { return c.lc.MaterializedClocks() }
+
+// MemoryBytes estimates the memory held by materialized clocks.
+func (c *Clocks) MemoryBytes() int { return c.lc.MemoryBytes() }
+
+// DenseClocks is the pre-epoch vector-clock representation: one eagerly
+// built full-width clock per operation, O(n·c) construction with a fresh
+// allocation per join. It answers exactly the same relation as Clocks and
+// exists as the baseline arm of the E4 ablation (and BenchmarkReplayVC),
+// quantifying what the epoch fast path buys.
+type DenseClocks struct {
 	chain []int32   // chain index of ID(i+1)
 	pos   []int32   // position of ID(i+1) within its chain
 	clock [][]int32 // clock[i][c] = max position on chain c ordered ≤ ID(i+1)
 	n     int
 }
 
-// NewClocks builds the vector-clock representation of g. Operation IDs must
-// form a DAG in which every edge a→b satisfies the registration invariant
-// used throughout this codebase (predecessors were registered before their
-// successors began), which makes increasing-ID order a topological order.
-// NewClocks verifies that assumption and panics otherwise; the property
-// tests construct adversarial DAGs through the same front door.
-func NewClocks(g *Graph) *Clocks {
+// NewDenseClocks builds the dense representation of g (see NewClocks for
+// the topological-order requirement).
+func NewDenseClocks(g *Graph) *DenseClocks {
 	n := g.Len()
-	c := &Clocks{
+	c := &DenseClocks{
 		chain: make([]int32, n),
 		pos:   make([]int32, n),
 		clock: make([][]int32, n),
@@ -100,9 +208,8 @@ func NewClocks(g *Graph) *Clocks {
 	return c
 }
 
-// Chains reports how many chains the decomposition produced — a measure of
-// the execution's logical concurrency width.
-func (c *Clocks) Chains() int {
+// Chains reports how many chains the decomposition produced.
+func (c *DenseClocks) Chains() int {
 	if c.n == 0 {
 		return 0
 	}
@@ -110,7 +217,7 @@ func (c *Clocks) Chains() int {
 }
 
 // HappensBefore reports a ⇝ b.
-func (c *Clocks) HappensBefore(a, b op.ID) bool {
+func (c *DenseClocks) HappensBefore(a, b op.ID) bool {
 	if a == b || a == op.None || b == op.None || int(a) > c.n || int(b) > c.n {
 		return false
 	}
@@ -120,9 +227,18 @@ func (c *Clocks) HappensBefore(a, b op.ID) bool {
 }
 
 // Concurrent reports CHC(a, b).
-func (c *Clocks) Concurrent(a, b op.ID) bool {
+func (c *DenseClocks) Concurrent(a, b op.ID) bool {
 	if a == op.None || b == op.None || a == b {
 		return false
 	}
 	return !c.HappensBefore(a, b) && !c.HappensBefore(b, a)
+}
+
+// MemoryBytes estimates the memory held by the eager clock table.
+func (c *DenseClocks) MemoryBytes() int {
+	total := 0
+	for _, clk := range c.clock {
+		total += len(clk) * 4
+	}
+	return total
 }

@@ -357,6 +357,135 @@ func TestClocksChains(t *testing.T) {
 	}
 }
 
+// TestDenseClocksEquivalence: the pre-epoch eager representation (the E4
+// baseline) answers exactly the same relation as the graph.
+func TestDenseClocksEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(40)
+		g := randomDAG(r, n, 0.1+r.Float64()*0.3)
+		c := NewDenseClocks(g)
+		for a := op.ID(1); int(a) <= n; a++ {
+			for b := op.ID(1); int(b) <= n; b++ {
+				if g.HappensBefore(a, b) != c.HappensBefore(a, b) {
+					return false
+				}
+				if g.Concurrent(a, b) != c.Concurrent(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEpochOrderingProperty pins the EpochOracle contract on random DAGs:
+// OrderedEpoch(Epoch(a), b) ≡ HappensBefore(a, b) ∨ a = b, for both the
+// snapshot and the incremental engine.
+func TestEpochOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(30)
+		g := randomDAG(r, n, 0.1+r.Float64()*0.3)
+		for _, eo := range []EpochOracle{NewClocks(g), liveFrom(g, n)} {
+			for a := op.ID(1); int(a) <= n; a++ {
+				ea := eo.Epoch(a)
+				if ea.Chain < 0 {
+					return false // every known op gets a valid epoch
+				}
+				for b := op.ID(1); int(b) <= n; b++ {
+					want := g.HappensBefore(a, b) || a == b
+					if eo.OrderedEpoch(ea, b) != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// liveFrom replays g's structure into a fresh incremental engine.
+func liveFrom(g *Graph, n int) *LiveClocks {
+	live := NewLiveClocks()
+	live.AddNode(op.ID(n))
+	for b := 1; b <= n; b++ {
+		for _, a := range g.Preds(op.ID(b)) {
+			live.Edge(a, op.ID(b))
+		}
+	}
+	return live
+}
+
+func TestEpochInvalidForUnknownOps(t *testing.T) {
+	g := NewGraph()
+	g.Edge(1, 2)
+	c := NewClocks(g)
+	if e := c.Epoch(op.None); e.Chain >= 0 {
+		t.Errorf("⊥ got valid epoch %v", e)
+	}
+	if e := c.Epoch(99); e.Chain >= 0 {
+		t.Errorf("out-of-range op got valid epoch %v", e)
+	}
+	if c.OrderedEpoch(Epoch{Chain: -1}, 2) {
+		t.Error("invalid epoch claims ordering")
+	}
+}
+
+// TestClocksLaziness: same-chain queries must never materialize a clock
+// vector; the first cross-chain query does.
+func TestClocksLaziness(t *testing.T) {
+	g := NewGraph()
+	for i := op.ID(1); i < 50; i++ {
+		g.Edge(i, i+1) // one long chain
+	}
+	g.AddNode(52) // 51, 52 isolated: their own chains
+	g.Edge(51, 52)
+	c := NewClocks(g)
+	for a := op.ID(1); a < 50; a++ {
+		if !c.HappensBefore(a, a+1) || c.Concurrent(a, a+1) {
+			t.Fatalf("chain ordering wrong at %d", a)
+		}
+	}
+	if got := c.MaterializedClocks(); got != 0 {
+		t.Errorf("same-chain queries materialized %d clocks, want 0", got)
+	}
+	if !c.Concurrent(3, 51) { // crosses chains
+		t.Error("isolated chain not concurrent with main chain")
+	}
+	if got := c.MaterializedClocks(); got == 0 {
+		t.Error("cross-chain query materialized no clocks")
+	}
+}
+
+// TestLiveClocksGenBumpsOnInvalidation: cached epochs are guarded by Gen;
+// a late edge into finalized state must change it.
+func TestLiveClocksGenBumpsOnInvalidation(t *testing.T) {
+	c := NewLiveClocks()
+	c.Edge(1, 4)
+	c.Edge(4, 5)
+	g0 := c.Gen()
+	if c.Epoch(5).Chain < 0 { // finalizes 4, 5
+		t.Fatal("epoch of 5 invalid")
+	}
+	if c.Gen() != g0 {
+		t.Fatal("finalization alone must not bump Gen")
+	}
+	c.Edge(3, 4) // invalidates 4 and 5
+	if c.Gen() == g0 {
+		t.Error("late edge into finalized op did not bump Gen")
+	}
+	if !c.HappensBefore(3, 5) {
+		t.Error("3 ⇝ 5 missing after invalidation")
+	}
+}
+
 func TestClocksTopologicalViolation(t *testing.T) {
 	g := NewGraph()
 	g.Edge(5, 2) // violates registration order

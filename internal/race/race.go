@@ -8,8 +8,16 @@
 // Three detectors are provided:
 //
 //   - Pairwise is the paper's algorithm: constant auxiliary state per
-//     location (LastRead and LastWrite maps) checked with CHC. It can miss
-//     races (§5.1 Limitation), which the tests demonstrate.
+//     location (last read and last write) checked with CHC. It can miss
+//     races (§5.1 Limitation), which the tests demonstrate. When its oracle
+//     exposes the epoch representation (hb.EpochOracle), the checks run on
+//     a FastTrack-style fast path: same-operation and same-chain accesses
+//     are dismissed in O(1), and ordering conclusions are cached as
+//     per-location epoch certificates, so full vector-clock comparisons are
+//     reserved for genuinely shared locations. The fast path answers
+//     exactly the same queries — reports are byte-identical to the plain
+//     path (the differential battery asserts this against the graph
+//     oracle).
 //
 //   - AccessSet keeps the full access history per location and therefore
 //     reports every race of the execution — the fix the paper leaves to
@@ -18,6 +26,9 @@
 //   - Recorder wraps another detector while capturing the access trace so
 //     the same execution can be replayed against a different happens-before
 //     representation (experiment E4).
+//
+// Detector knobs are constructor options (ReportAll, OnePerLoc) rather than
+// mutable fields, so a detector's behaviour is fixed at construction.
 package race
 
 import (
@@ -67,6 +78,82 @@ type Detector interface {
 	Reports() []Report
 }
 
+// Option configures a detector at construction time.
+type Option func(*options)
+
+type options struct {
+	reportAll bool
+	onePerLoc bool
+	noEpochs  bool
+	locHint   int
+}
+
+// ReportAll disables Pairwise's one-race-per-location cap (used by tests
+// and by the harm oracle, which wants every racing pair it can get).
+func ReportAll() Option { return func(o *options) { o.reportAll = true } }
+
+// OnePerLoc gives AccessSet WebRacer's at-most-one-race-per-location
+// reporting.
+func OnePerLoc() Option { return func(o *options) { o.onePerLoc = true } }
+
+// WithoutEpochs disables the epoch fast path even when the oracle supports
+// it (the E4 ablation isolates what the fast path buys).
+func WithoutEpochs() Option { return func(o *options) { o.noEpochs = true } }
+
+// LocHint pre-sizes Pairwise's per-location tables for roughly n distinct
+// locations, sparing large replays the incremental rehash churn. It is
+// purely a capacity hint: any value (including zero) is correct.
+func LocHint(n int) Option { return func(o *options) { o.locHint = n } }
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return o
+}
+
+// PairwiseStats counts how the epoch fast path resolved concurrency
+// checks; the laziness tests and benchmarks read it.
+type PairwiseStats struct {
+	// Checks is the number of concurrency checks performed.
+	Checks int
+	// EpochHits were answered from epochs alone (same operation, same
+	// chain, or a cached ordering certificate) — no clock vector touched.
+	EpochHits int
+	// VectorChecks fell through to full epoch/vector comparison (and may
+	// have materialized clocks in the oracle).
+	VectorChecks int
+}
+
+// pairState is Pairwise's constant per-location state: the paper's
+// LastRead/LastWrite pair rewritten as epochs. writeEp/readEp cache the
+// chain@pos coordinates of the remembered accesses so the hot path
+// compares integers without calling back into the oracle; gen guards the
+// cached coordinates against late-edge invalidation. certs caches
+// ordering certificates for the current write: an entry (chain → pos)
+// means the write happens before the operation that sat at chain@pos —
+// and therefore before anything later on that chain. The certificate side
+// is adaptive in the FastTrack sense: a location read from one chain
+// carries at most a single certificate inline (cert); reads from a second
+// chain promote it to the certs map (read-shared); the next write demotes
+// the location back to the inline form, since certificates describe only
+// the write they were minted against.
+type pairState struct {
+	write    Access
+	read     Access
+	hasWrite bool
+	hasRead  bool
+	reported bool
+
+	gen     uint32
+	writeEp hb.Epoch
+	readEp  hb.Epoch
+	cert    hb.Epoch
+	hasCert bool
+	certs   map[int32]int32
+}
+
 // Pairwise is the detector of §5.1: for each location it remembers only the
 // most recent read and the most recent write, and reports a race when the
 // current access can happen concurrently with the remembered conflicting
@@ -74,57 +161,235 @@ type Detector interface {
 // location per run.
 type Pairwise struct {
 	oracle    hb.Oracle
-	lastRead  map[mem.Loc]Access
-	lastWrite map[mem.Loc]Access
-	reported  map[mem.Loc]bool
+	epochs    hb.EpochOracle // non-nil when the epoch fast path is active
+	state     map[mem.Loc]*pairState
+	slab      []pairState // block-allocated states: stable pointers, no per-loc box
+	block     int         // slab block capacity
 	reports   []Report
-	// ReportAll disables the one-race-per-location cap (used by tests and
-	// by the harm oracle, which wants every racing pair it can get).
-	ReportAll bool
+	reportAll bool
+	stats     PairwiseStats
 }
 
-// NewPairwise returns the paper's detector querying the given oracle.
-func NewPairwise(o hb.Oracle) *Pairwise {
-	return &Pairwise{
-		oracle:    o,
-		lastRead:  make(map[mem.Loc]Access),
-		lastWrite: make(map[mem.Loc]Access),
-		reported:  make(map[mem.Loc]bool),
+// NewPairwise returns the paper's detector querying the given oracle. The
+// epoch fast path engages automatically when the oracle implements
+// hb.EpochOracle (both vector-clock engines do; the graph does not).
+func NewPairwise(o hb.Oracle, opts ...Option) *Pairwise {
+	cfg := buildOptions(opts)
+	hint := cfg.locHint
+	if hint < 256 {
+		hint = 256
 	}
+	d := &Pairwise{
+		oracle:    o,
+		state:     make(map[mem.Loc]*pairState, hint),
+		block:     hint,
+		reportAll: cfg.reportAll,
+	}
+	if eo, ok := o.(hb.EpochOracle); ok && !cfg.noEpochs {
+		d.epochs = eo
+	}
+	return d
+}
+
+// Stats returns fast-path counters (zero-valued for plain-oracle runs).
+func (d *Pairwise) Stats() PairwiseStats { return d.stats }
+
+func (d *Pairwise) stateFor(l mem.Loc) *pairState {
+	if s, ok := d.state[l]; ok {
+		return s
+	}
+	if len(d.slab) == cap(d.slab) {
+		// Fresh block: existing pointers stay valid, appends never copy.
+		d.slab = make([]pairState, 0, d.block)
+	}
+	d.slab = append(d.slab, pairState{})
+	s := &d.slab[len(d.slab)-1]
+	d.state[l] = s
+	return s
+}
+
+// epochUnfetched marks a cached coordinate that has not been asked of the
+// oracle yet: epochs are fetched only when a check actually needs them, so
+// an access with no conflicting prior costs no oracle call at all.
+var epochUnfetched = hb.Epoch{Chain: -2}
+
+// concurrentEpoch decides CHC(prior.Op, cur) exactly like
+// oracle.Concurrent, from epochs. pe points at prior's cached coordinate
+// (s.writeEp or s.readEp) and ce at the current operation's per-call
+// cache; both are fetched lazily and at most once per OnAccess. s caches
+// write-ordering certificates; they are only consulted (and only written)
+// when prior is s.write.
+func (d *Pairwise) concurrentEpoch(s *pairState, prior Access, pe *hb.Epoch, isWrite bool, cur op.ID, ce *hb.Epoch) bool {
+	d.stats.Checks++
+	if prior.Op == cur {
+		d.stats.EpochHits++
+		return false
+	}
+	if gen := d.epochs.Gen(); gen != s.gen {
+		// Late edges invalidated coordinates: drop the cached epochs and
+		// the certificates minted under the old decomposition.
+		s.gen = gen
+		s.hasCert = false
+		s.certs = nil
+		s.writeEp = epochUnfetched
+		s.readEp = epochUnfetched
+	}
+	if pe.Chain == epochUnfetched.Chain {
+		*pe = d.epochs.Epoch(prior.Op)
+	}
+	if ce.Chain == epochUnfetched.Chain {
+		*ce = d.epochs.Epoch(cur)
+	}
+	if pe.Chain < 0 || ce.Chain < 0 {
+		// Unknown operation: mirror the plain oracle bit for bit.
+		return d.oracle.Concurrent(prior.Op, cur)
+	}
+	if pe.Chain == ce.Chain {
+		// A chain is a path in the DAG: same-chain operations are
+		// totally ordered, whichever direction — never concurrent.
+		d.stats.EpochHits++
+		return false
+	}
+	if isWrite {
+		// Certificate hit: the write is known ordered before an earlier
+		// point of cur's chain, hence before cur.
+		if s.hasCert && s.cert.Chain == ce.Chain && s.cert.Pos <= ce.Pos {
+			d.stats.EpochHits++
+			return false
+		}
+		if p, ok := s.certs[ce.Chain]; ok && p <= ce.Pos {
+			d.stats.EpochHits++
+			return false
+		}
+	}
+	d.stats.VectorChecks++
+	ordered := d.epochs.OrderedEpoch(*pe, cur)
+	if ordered && isWrite {
+		d.certify(s, *ce)
+	}
+	if ordered {
+		return false
+	}
+	return !d.epochs.OrderedEpoch(*ce, prior.Op)
+}
+
+// certify records that the current write happens before chain@pos,
+// promoting the inline certificate to the read-shared map when a second
+// chain shows up.
+func (d *Pairwise) certify(s *pairState, e hb.Epoch) {
+	if !s.hasCert && s.certs == nil {
+		s.cert, s.hasCert = e, true
+		return
+	}
+	if s.hasCert {
+		if s.cert.Chain == e.Chain {
+			if e.Pos < s.cert.Pos {
+				s.cert.Pos = e.Pos
+			}
+			return
+		}
+		// Read-share promotion: certificates now span chains.
+		s.certs = map[int32]int32{s.cert.Chain: s.cert.Pos}
+		s.hasCert = false
+	}
+	if p, ok := s.certs[e.Chain]; !ok || e.Pos < p {
+		s.certs[e.Chain] = e.Pos
+	}
+}
+
+// demote clears the write-ordering certificates: they were minted against
+// the previous write, and the read-shared map collapses back to the inline
+// form (write-after-read-share demotion).
+func (s *pairState) demote() {
+	s.hasCert = false
+	s.certs = nil
 }
 
 // OnAccess implements Detector.
 func (d *Pairwise) OnAccess(a Access) {
+	s := d.stateFor(a.Loc)
+	if s.reported && !d.reportAll {
+		// The location's one report is spent; nothing below can change
+		// the output, so skip the oracle entirely (an O(1) exit the
+		// plain path pays full queries for). Cached epochs go stale but
+		// are never read again for this location.
+		if a.Kind == mem.Read {
+			s.read, s.hasRead = a, true
+		} else {
+			s.write, s.hasWrite = a, true
+			s.demote()
+		}
+		return
+	}
+	if d.epochs != nil {
+		d.onAccessEpoch(s, a)
+		return
+	}
 	switch a.Kind {
 	case mem.Read:
-		if w, ok := d.lastWrite[a.Loc]; ok && d.oracle.Concurrent(w.Op, a.Op) {
-			d.report(w, a, false)
+		if s.hasWrite && d.concurrentPlain(s.write, a.Op) {
+			d.report(s, s.write, a, false)
 		}
-		d.lastRead[a.Loc] = a
+		s.read, s.hasRead = a, true
 	case mem.Write:
 		// Check-then-write detection: the most recent read of this
 		// location was by the same operation (operations are atomic,
 		// so that read directly preceded this write).
-		readFirst := false
-		if r, ok := d.lastRead[a.Loc]; ok && r.Op == a.Op {
-			readFirst = true
+		readFirst := s.hasRead && s.read.Op == a.Op
+		if s.hasWrite && d.concurrentPlain(s.write, a.Op) {
+			d.report(s, s.write, a, readFirst)
 		}
-		if w, ok := d.lastWrite[a.Loc]; ok && d.oracle.Concurrent(w.Op, a.Op) {
-			d.report(w, a, readFirst)
+		if s.hasRead && s.read.Op != a.Op && d.concurrentPlain(s.read, a.Op) {
+			d.report(s, s.read, a, readFirst)
 		}
-		if r, ok := d.lastRead[a.Loc]; ok && r.Op != a.Op && d.oracle.Concurrent(r.Op, a.Op) {
-			d.report(r, a, readFirst)
-		}
-		d.lastWrite[a.Loc] = a
+		s.write, s.hasWrite = a, true
 	}
 }
 
-func (d *Pairwise) report(prior, cur Access, writerReadFirst bool) {
-	if !d.ReportAll {
-		if d.reported[cur.Loc] {
+// concurrentPlain is the pre-epoch check: one oracle call per conflicting
+// prior access.
+func (d *Pairwise) concurrentPlain(prior Access, cur op.ID) bool {
+	d.stats.Checks++
+	if prior.Op == cur {
+		return false
+	}
+	return d.oracle.Concurrent(prior.Op, cur)
+}
+
+// onAccessEpoch is OnAccess over the epoch representation: coordinates are
+// fetched lazily — an access with no conflicting prior never calls the
+// oracle at all — and the common same-chain case resolves with integer
+// compares only.
+func (d *Pairwise) onAccessEpoch(s *pairState, a Access) {
+	ce := epochUnfetched
+	switch a.Kind {
+	case mem.Read:
+		if s.hasWrite && d.concurrentEpoch(s, s.write, &s.writeEp, true, a.Op, &ce) {
+			d.report(s, s.write, a, false)
+		}
+		s.read, s.hasRead, s.readEp = a, true, ce
+	case mem.Write:
+		// Check-then-write detection: the most recent read of this
+		// location was by the same operation (operations are atomic,
+		// so that read directly preceded this write).
+		readFirst := s.hasRead && s.read.Op == a.Op
+		if s.hasWrite && d.concurrentEpoch(s, s.write, &s.writeEp, true, a.Op, &ce) {
+			d.report(s, s.write, a, readFirst)
+		}
+		if s.hasRead && s.read.Op != a.Op && d.concurrentEpoch(s, s.read, &s.readEp, false, a.Op, &ce) {
+			d.report(s, s.read, a, readFirst)
+		}
+		s.write, s.hasWrite, s.writeEp = a, true, ce
+		s.demote()
+	}
+}
+
+func (d *Pairwise) report(s *pairState, prior, cur Access, writerReadFirst bool) {
+	if !d.reportAll {
+		if s.reported {
 			return
 		}
-		d.reported[cur.Loc] = true
+		s.reported = true
 	}
 	d.reports = append(d.reports, Report{
 		Loc:             cur.Loc,
@@ -143,19 +408,21 @@ func (d *Pairwise) Reports() []Report { return d.reports }
 type AccessSet struct {
 	oracle  hb.Oracle
 	history map[mem.Loc][]Access
-	// OnePerLoc mirrors WebRacer's at-most-one-race-per-location
-	// reporting when set.
-	OnePerLoc bool
+	// onePerLoc mirrors WebRacer's at-most-one-race-per-location
+	// reporting (the OnePerLoc option).
+	onePerLoc bool
 	reported  map[mem.Loc]bool
 	reports   []Report
 }
 
 // NewAccessSet returns the complete-history detector.
-func NewAccessSet(o hb.Oracle) *AccessSet {
+func NewAccessSet(o hb.Oracle, opts ...Option) *AccessSet {
+	cfg := buildOptions(opts)
 	return &AccessSet{
-		oracle:   o,
-		history:  make(map[mem.Loc][]Access),
-		reported: make(map[mem.Loc]bool),
+		oracle:    o,
+		history:   make(map[mem.Loc][]Access),
+		onePerLoc: cfg.onePerLoc,
+		reported:  make(map[mem.Loc]bool),
 	}
 }
 
@@ -177,14 +444,14 @@ func (d *AccessSet) OnAccess(a Access) {
 			continue
 		}
 		if d.oracle.Concurrent(h.Op, a.Op) {
-			if d.OnePerLoc {
+			if d.onePerLoc {
 				if d.reported[a.Loc] {
 					break
 				}
 				d.reported[a.Loc] = true
 			}
 			d.reports = append(d.reports, Report{Loc: a.Loc, Prior: h, Current: a, WriterReadFirst: readFirst})
-			if d.OnePerLoc {
+			if d.onePerLoc {
 				break
 			}
 		}

@@ -102,8 +102,7 @@ func TestOneReportPerLocation(t *testing.T) {
 	if len(d.Reports()) != 1 {
 		t.Errorf("got %d reports, want 1 (per-location cap)", len(d.Reports()))
 	}
-	d2 := NewPairwise(chainGraph())
-	d2.ReportAll = true
+	d2 := NewPairwise(chainGraph(), ReportAll())
 	d2.OnAccess(wr(loc("x"), 1))
 	d2.OnAccess(wr(loc("x"), 2))
 	d2.OnAccess(wr(loc("x"), 3))
@@ -115,8 +114,7 @@ func TestOneReportPerLocation(t *testing.T) {
 func TestWriterReadFirstFlag(t *testing.T) {
 	// op2 reads then writes (check-then-write); the race with op1's
 	// write carries WriterReadFirst.
-	d := NewPairwise(chainGraph())
-	d.ReportAll = true // the read already reports; we want the write's report too
+	d := NewPairwise(chainGraph(), ReportAll()) // the read already reports; we want the write's report too
 	d.OnAccess(wr(loc("v"), 1))
 	d.OnAccess(rd(loc("v"), 2))
 	d.OnAccess(wr(loc("v"), 2))
@@ -167,8 +165,7 @@ func TestAccessSetWriteChains(t *testing.T) {
 	// ops 1,2,3; edges 2⇝3 only. Accesses: w1, w2 (race 1-2), w3:
 	// pairwise checks lastWrite=2, ordered, no report; misses 1-3.
 	g2 := chainGraph([2]op.ID{2, 3})
-	p := NewPairwise(g2)
-	p.ReportAll = true
+	p := NewPairwise(g2, ReportAll())
 	s := NewAccessSet(g2)
 	for _, a := range []Access{wr(loc("x"), 1), wr(loc("x"), 2), wr(loc("x"), 3)} {
 		p.OnAccess(a)
@@ -200,6 +197,166 @@ func TestRecorderReplay(t *testing.T) {
 	}
 }
 
+// liveFor mirrors g's structure into the incremental vector-clock engine,
+// the oracle that activates Pairwise's epoch fast path.
+func liveFor(g *hb.Graph, n int) *hb.LiveClocks {
+	live := hb.NewLiveClocks()
+	live.AddNode(op.ID(n))
+	for b := 1; b <= n; b++ {
+		for _, a := range g.Preds(op.ID(b)) {
+			live.Edge(a, op.ID(b))
+		}
+	}
+	return live
+}
+
+// TestEpochPairwiseMatchesGraph is the unit-level form of the differential
+// battery: on random executions, Pairwise over the epoch oracle produces
+// reports identical (same order, same fields) to Pairwise over the graph.
+func TestEpochPairwiseMatchesGraph(t *testing.T) {
+	f := func(seed int64, reportAll bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(14)
+		g := hb.NewGraph()
+		g.AddNode(op.ID(n))
+		for b := 2; b <= n; b++ {
+			for a := 1; a < b; a++ {
+				if r.Float64() < 0.25 {
+					g.Edge(op.ID(a), op.ID(b))
+				}
+			}
+		}
+		locs := []mem.Loc{loc("a"), loc("b")}
+		var trace []Access
+		for i := 0; i < 40; i++ {
+			a := Access{Loc: locs[r.Intn(len(locs))], Op: op.ID(r.Intn(n) + 1)}
+			if r.Intn(2) == 0 {
+				a.Kind = mem.Write
+			}
+			trace = append(trace, a)
+		}
+		var opts []Option
+		if reportAll {
+			opts = append(opts, ReportAll())
+		}
+		want := Replay(trace, NewPairwise(g, opts...))
+		epoch := NewPairwise(liveFor(g, n), opts...)
+		got := Replay(trace, epoch)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return epoch.Stats().Checks > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSameTaskReadsStayO1: accesses confined to one chain must be resolved
+// entirely from epochs — no clock vector materialized, no vector check.
+func TestSameTaskReadsStayO1(t *testing.T) {
+	g := chainGraph([2]op.ID{1, 2}, [2]op.ID{2, 3}, [2]op.ID{3, 4})
+	live := liveFor(g, 4)
+	d := NewPairwise(live)
+	d.OnAccess(wr(loc("x"), 1))
+	for i := 0; i < 10; i++ {
+		d.OnAccess(rd(loc("x"), 2))
+		d.OnAccess(rd(loc("x"), 3))
+	}
+	d.OnAccess(wr(loc("x"), 4))
+	if len(d.Reports()) != 0 {
+		t.Fatalf("chain-ordered accesses raced: %v", d.Reports())
+	}
+	st := d.Stats()
+	if st.VectorChecks != 0 {
+		t.Errorf("same-chain workload fell through to %d vector checks", st.VectorChecks)
+	}
+	if st.EpochHits == 0 {
+		t.Error("no epoch hits recorded")
+	}
+	if live.MaterializedClocks() != 0 {
+		t.Errorf("same-chain workload materialized %d clocks, want 0", live.MaterializedClocks())
+	}
+}
+
+// TestWriteAfterReadShareDemotion (white-box): reads from two chains
+// promote the write's inline certificate to the read-shared map; the next
+// write demotes the location back to the inline form, because certificates
+// only describe the write they were minted against.
+func TestWriteAfterReadShareDemotion(t *testing.T) {
+	// 1⇝2 keeps 2 on 1's chain; 1⇝3 and 1⇝4 start fresh chains. Epochs
+	// are finalized lazily in query order, so pin the decomposition by
+	// finalizing in ID order up front.
+	g := chainGraph([2]op.ID{1, 2}, [2]op.ID{1, 3}, [2]op.ID{1, 4})
+	live := liveFor(g, 5)
+	for i := op.ID(1); i <= 5; i++ {
+		live.Epoch(i)
+	}
+	d := NewPairwise(live, ReportAll())
+	x := loc("x")
+	d.OnAccess(wr(x, 1))
+	d.OnAccess(rd(x, 3)) // cross-chain, ordered: mints inline cert for chain(3)
+	s := d.state[x]
+	if !s.hasCert {
+		t.Fatal("ordered cross-chain read minted no certificate")
+	}
+	d.OnAccess(rd(x, 4)) // second chain: promotes to the cert map
+	if s.hasCert || s.certs == nil {
+		t.Fatalf("read-share promotion missing: hasCert=%v certs=%v", s.hasCert, s.certs)
+	}
+	if len(s.certs) != 2 {
+		t.Errorf("cert map has %d chains, want 2", len(s.certs))
+	}
+	d.OnAccess(wr(x, 5)) // op 5 is unordered: races, and demotes the certs
+	if s.hasCert || s.certs != nil {
+		t.Errorf("write did not demote certificates: hasCert=%v certs=%v", s.hasCert, s.certs)
+	}
+	if len(d.Reports()) != 2 {
+		// 5 races with the last write (1) and the last read (4).
+		t.Errorf("got %d reports, want 2: %v", len(d.Reports()), d.Reports())
+	}
+}
+
+// TestCrossChainForcesVectors: a location genuinely shared between chains
+// must fall through to full clock comparison at least once.
+func TestCrossChainForcesVectors(t *testing.T) {
+	g := chainGraph([2]op.ID{1, 2}, [2]op.ID{1, 3})
+	live := liveFor(g, 3)
+	d := NewPairwise(live)
+	d.OnAccess(wr(loc("x"), 2))
+	d.OnAccess(wr(loc("x"), 3)) // cross-chain, concurrent
+	if len(d.Reports()) != 1 {
+		t.Fatalf("cross-chain race missed: %v", d.Reports())
+	}
+	if d.Stats().VectorChecks == 0 {
+		t.Error("cross-chain check did not reach the vector path")
+	}
+	if live.MaterializedClocks() == 0 {
+		t.Error("cross-chain check materialized no clocks")
+	}
+}
+
+// TestWithoutEpochsOptOut: the ablation option forces the plain path even
+// over an epoch-capable oracle.
+func TestWithoutEpochsOptOut(t *testing.T) {
+	g := chainGraph([2]op.ID{1, 2})
+	live := liveFor(g, 2)
+	d := NewPairwise(live, WithoutEpochs())
+	d.OnAccess(wr(loc("x"), 1))
+	d.OnAccess(wr(loc("x"), 2))
+	if len(d.Reports()) != 0 {
+		t.Fatalf("ordered writes raced: %v", d.Reports())
+	}
+	if st := d.Stats(); st.EpochHits != 0 {
+		t.Errorf("opt-out still took %d epoch hits", st.EpochHits)
+	}
+}
+
 // TestDetectorSoundnessProperty: on random executions, no detector ever
 // reports a pair that the happens-before orders, and every pairwise report
 // is also found by AccessSet.
@@ -225,8 +382,7 @@ func TestDetectorSoundnessProperty(t *testing.T) {
 			}
 			trace = append(trace, a)
 		}
-		p := NewPairwise(g)
-		p.ReportAll = true
+		p := NewPairwise(g, ReportAll())
 		s := NewAccessSet(g)
 		pr := Replay(trace, p)
 		sr := Replay(trace, s)

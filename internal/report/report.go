@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -155,8 +156,35 @@ func Apply(reports []race.Report, filters ...Filter) []race.Report {
 	return kept
 }
 
-// Counts is the per-type race tally for one site.
+// Counts is the per-type race tally for one site. It marshals as an object
+// with one key per race type in Table 1 order (HTML, Function, Variable,
+// EventDispatch) — a stable, self-describing form suitable for golden
+// files, instead of the positional array encoding of the underlying type.
 type Counts [numTypes]int
+
+// MarshalJSON implements json.Marshaler with a fixed key order.
+func (c Counts) MarshalJSON() ([]byte, error) {
+	buf := []byte{'{'}
+	for i, t := range Types {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, fmt.Sprintf("%q:%d", t.String(), c[t])...)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the object form.
+func (c *Counts) UnmarshalJSON(data []byte) error {
+	m := map[string]int{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for _, t := range Types {
+		(*c)[t] = m[t.String()]
+	}
+	return nil
+}
 
 // Count tallies reports by type.
 func Count(reports []race.Report) Counts {

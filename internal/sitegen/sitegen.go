@@ -89,6 +89,31 @@ var companyNames = []string{
 	"Oscorp Chemical", "Gekko Capital", "Nakatomi Trading", "Weyland Air", "Soylent Grocers",
 }
 
+// StressSpec returns the blueprint of wide-page i of the performance
+// workload: the corpus patterns scaled toward the execution sizes the
+// paper reports for production pages (§6, thousands of operations across
+// hundreds of concurrent handler tasks). The E4 ablation and the replay
+// benchmarks use these pages to compare happens-before representations at
+// a scale where construction cost is visible.
+func StressSpec(i int) Spec {
+	return Spec{
+		Index:         900 + i,
+		Name:          fmt.Sprintf("stress%02d", i),
+		Paragraphs:    50,
+		DecorImgs:     40,
+		HTMLBenign:    80,
+		FordPolls:     20,
+		FuncBenign:    80,
+		FormGuarded:   80,
+		PlainVars:     40,
+		GomezImages:   200,
+		DelayedMenus:  100,
+		IframePairs:   20,
+		MultiHandlers: 40,
+		AjaxRaces:     40,
+	}
+}
+
 // SpecFor deterministically derives the blueprint for site index under the
 // given corpus seed. The draws are heavy-tailed: most sites carry few or no
 // planted races, a handful carry dozens (the Ford and Gomez outliers of

@@ -49,7 +49,7 @@ func RunCorpusParallel(n int, gen func(i int) *loader.Site, cfg Config, p Parall
 	return pool.Map(p.opts(), n, func(i int) *Result {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*101
-		return Run(gen(i), c)
+		return RunConfig(gen(i), c)
 	})
 }
 
@@ -63,7 +63,7 @@ func RunSeedsParallel(site *loader.Site, cfg Config, n int, p ParallelConfig) (*
 		func(i int) *Result {
 			c := cfg
 			c.Seed = cfg.Seed + int64(i)*7919
-			return Run(site, c)
+			return RunConfig(site, c)
 		},
 		func(i int, res *Result) error {
 			sweep.PerSeed = append(sweep.PerSeed, len(res.Reports))
@@ -109,12 +109,12 @@ func ExploreSchedulesParallel(site *loader.Site, cfg Config, p ParallelConfig) (
 	err := pool.Each(p.opts(), 1+len(urls),
 		func(i int) *Result {
 			if i == 0 {
-				return Run(site, cfg)
+				return RunConfig(site, cfg)
 			}
 			c := cfg
 			c.Seed = cfg.Seed + 1 // keep jitter stable; the override is the perturbation
 			c.Browser.Latency = slowOne(c.Browser.Latency, urls[i-1])
-			return Run(site, c)
+			return RunConfig(site, c)
 		},
 		func(i int, res *Result) error {
 			sweep.Runs++

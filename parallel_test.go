@@ -102,7 +102,7 @@ func TestClassifyHarmfulParallelDeterministic(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.Filters = true
 	cfg.HarmRuns = 4
-	res := Run(site, cfg)
+	res := RunConfig(site, cfg)
 	serial := ClassifyHarmful(site, cfg, res)
 	if serial.Total() == 0 {
 		t.Fatal("test site produced no harmful races; pick a busier site")

@@ -1,0 +1,38 @@
+#!/bin/sh
+# benchcmp.sh OLD NEW — compare two `go test -bench` outputs.
+#
+# Uses benchstat (golang.org/x/perf/cmd/benchstat) when it is on PATH,
+# which gives proper statistics over `-count` repetitions. Falls back to a
+# plain side-by-side diff of the benchmark lines so the script works on a
+# bare toolchain.
+#
+# Typical flow:
+#   make bench > old.txt
+#   ... hack ...
+#   make bench > new.txt
+#   ./scripts/benchcmp.sh old.txt new.txt
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD NEW" >&2
+    exit 2
+fi
+old=$1
+new=$2
+for f in "$old" "$new"; do
+    if [ ! -r "$f" ]; then
+        echo "benchcmp: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+if command -v benchstat >/dev/null 2>&1; then
+    exec benchstat "$old" "$new"
+fi
+
+echo "benchcmp: benchstat not found; falling back to raw comparison" >&2
+echo "== $old =="
+grep '^Benchmark' "$old" || true
+echo
+echo "== $new =="
+grep '^Benchmark' "$new" || true

@@ -11,7 +11,7 @@ import (
 func TestSessionExportRoundTrip(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.RecordTrace = true
-	res := Run(demoSite(), cfg)
+	res := RunConfig(demoSite(), cfg)
 	h := ClassifyHarmful(demoSite(), cfg, res)
 	s := Export(res, cfg.Seed, h, true)
 
@@ -62,8 +62,8 @@ func TestDiffRaces(t *testing.T) {
 <script>function open1() { var e = document.getElementById("p"); if (e != null) { e.style.display = "block"; } }</script>`)
 
 	cfg := DefaultConfig(1)
-	before := Export(Run(buggy, cfg), 1, nil, false)
-	after := Export(Run(fixed, cfg), 1, nil, false)
+	before := Export(RunConfig(buggy, cfg), 1, nil, false)
+	after := Export(RunConfig(fixed, cfg), 1, nil, false)
 	gone, introduced := DiffRaces(before, after)
 	sort.Strings(gone)
 	foundP := false

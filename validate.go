@@ -70,7 +70,7 @@ func ValidateRace(site *loader.Site, cfg Config, r race.Report, runs int) *Valid
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*7919 + 13
 		c.RecordTrace = true
-		res := Run(site, c)
+		res := RunConfig(site, c)
 		trace := res.Browser.Trace()
 		i1 := findAccess(trace, k1)
 		i2 := findAccess(trace, k2)

@@ -15,7 +15,7 @@ func TestValidateRaceFlips(t *testing.T) {
 		Add("a.html", `<script>x = 2;</script>`).
 		Add("b.html", `<script>y = x;</script>`)
 	cfg := DefaultConfig(1)
-	res := Run(site, cfg)
+	res := RunConfig(site, cfg)
 	var target *int
 	for i, r := range res.Reports {
 		if report.Classify(r) == report.Variable && r.Loc.Name == "x" {
@@ -44,7 +44,7 @@ func TestValidateRaceStableOrder(t *testing.T) {
 <input type="text" id="depart" />
 <script>document.getElementById("depart").value = "City of Departure";</script>`)
 	cfg := DefaultConfig(1)
-	res := Run(site, cfg)
+	res := RunConfig(site, cfg)
 	if len(res.Reports) == 0 {
 		t.Fatal("no race found")
 	}

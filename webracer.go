@@ -14,10 +14,13 @@
 // Quick start:
 //
 //	site := loader.NewSite("demo").Add("index.html", `...`)
-//	res := webracer.Run(site, webracer.DefaultConfig(1))
+//	res := webracer.Run(site, webracer.WithSeed(1))
 //	for _, r := range res.Reports {
 //	    fmt.Println(report.Classify(r), r)
 //	}
+//
+// Run takes functional options (WithSeed, WithDetector, WithFilters, ...);
+// RunConfig accepts a fully built Config for callers that prefer a struct.
 package webracer
 
 import (
@@ -84,6 +87,54 @@ func DefaultConfig(seed int64) Config {
 	return Config{Seed: seed, Explore: true}
 }
 
+// Option configures a detection session; see Run. The zero-option session
+// equals DefaultConfig(0).
+type Option func(*Config)
+
+// WithSeed sets the seed driving all simulated nondeterminism.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithExplore switches automatic exploration (§5.2.2) on or off; it is on
+// by default, matching the paper's evaluation.
+func WithExplore(on bool) Option { return func(c *Config) { c.Explore = on } }
+
+// WithExhaustive enables feedback-directed exploration (repeated rounds
+// until no new handlers appear); it implies exploration.
+func WithExhaustive() Option {
+	return func(c *Config) { c.Explore, c.Exhaustive = true, true }
+}
+
+// WithFilters enables the §5.3 report filters.
+func WithFilters() Option { return func(c *Config) { c.Filters = true } }
+
+// WithDetector selects the detection algorithm.
+func WithDetector(kind DetectorKind) Option { return func(c *Config) { c.Detector = kind } }
+
+// WithTrace records the access trace (required for ReplayVC and used by
+// the harm oracle).
+func WithTrace() Option { return func(c *Config) { c.RecordTrace = true } }
+
+// WithHarmRuns sets how many adversarial schedules ClassifyHarmful tries.
+func WithHarmRuns(n int) Option { return func(c *Config) { c.HarmRuns = n } }
+
+// WithEntry sets the page to load (default "index.html").
+func WithEntry(url string) Option { return func(c *Config) { c.EntryURL = url } }
+
+// WithBrowser tweaks low-level simulation knobs on the embedded
+// browser.Config.
+func WithBrowser(f func(*browser.Config)) Option {
+	return func(c *Config) { f(&c.Browser) }
+}
+
+// NewConfig builds a Config from options, starting from DefaultConfig(0).
+func NewConfig(opts ...Option) Config {
+	cfg := DefaultConfig(0)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
 // Result is the outcome of running the detector over one site.
 type Result struct {
 	Site string
@@ -106,27 +157,49 @@ type Result struct {
 	Browser *browser.Browser
 }
 
-// Run loads the site, optionally explores it, and reports races.
-func Run(site *loader.Site, cfg Config) *Result {
+// Run loads the site, optionally explores it, and reports races. The
+// zero-option call reproduces the paper's evaluation configuration
+// (exploration on, filters off); see the With* options for every knob. Use
+// RunConfig to pass a prebuilt Config.
+func Run(site *loader.Site, opts ...Option) *Result {
+	return RunConfig(site, NewConfig(opts...))
+}
+
+// detectorFactory builds the browser-level detector constructor for kind —
+// the single parameterized factory behind all DetectorKind values.
+func detectorFactory(kind DetectorKind, reportAll bool) func(*hb.Graph) race.Detector {
+	var ropts []race.Option
+	if reportAll {
+		ropts = append(ropts, race.ReportAll())
+	}
+	switch kind {
+	case DetectorAccessSet:
+		// Complete history, but WebRacer's one-report-per-location cap so
+		// counts stay comparable across detectors.
+		return func(g *hb.Graph) race.Detector {
+			return race.NewAccessSet(g, race.OnePerLoc())
+		}
+	case DetectorPairwiseVC:
+		return func(g *hb.Graph) race.Detector {
+			live := hb.NewLiveClocks()
+			g.Mirror = live
+			return race.NewPairwise(live, ropts...)
+		}
+	default:
+		return func(g *hb.Graph) race.Detector {
+			return race.NewPairwise(g, ropts...)
+		}
+	}
+}
+
+// RunConfig is Run with an explicit Config (the original struct API).
+func RunConfig(site *loader.Site, cfg Config) *Result {
 	bcfg := cfg.Browser
 	bcfg.Seed = cfg.Seed
 	bcfg.SharedFrameGlobals = true
 	bcfg.RecordTrace = cfg.RecordTrace
-	switch cfg.Detector {
-	case DetectorAccessSet:
-		bcfg.Detector = func(g *hb.Graph) race.Detector {
-			d := race.NewAccessSet(g)
-			d.OnePerLoc = true
-			return d
-		}
-	case DetectorPairwiseVC:
-		bcfg.Detector = func(g *hb.Graph) race.Detector {
-			live := hb.NewLiveClocks()
-			g.Mirror = live
-			p := race.NewPairwise(live)
-			p.ReportAll = cfg.Browser.ReportAll
-			return p
-		}
+	if bcfg.Detector == nil {
+		bcfg.Detector = detectorFactory(cfg.Detector, bcfg.ReportAll)
 	}
 	b := browser.New(site, bcfg)
 	entry := cfg.EntryURL
@@ -171,14 +244,16 @@ func RunCorpus(n int, gen func(i int) *loader.Site, cfg Config) []*Result {
 // every seed (the paper: "races reported across different runs for the same
 // site had little variance"); the sweep quantifies that and catches the
 // remainder — races whose code only executes under some schedules.
+// SeedSweep marshals deterministically (encoding/json emits string-keyed
+// maps in sorted key order), so sweeps can be golden-tested like sessions.
 type SeedSweep struct {
 	// Locations maps each racing location (as a string) to the number of
 	// seeds that reported it.
-	Locations map[string]int
+	Locations map[string]int `json:"locations"`
 	// Seeds is the number of runs performed.
-	Seeds int
+	Seeds int `json:"seeds"`
 	// PerSeed is the race count of each run.
-	PerSeed []int
+	PerSeed []int `json:"perSeed"`
 }
 
 // RunSeeds performs a seed sweep over the site (serial; see
@@ -212,11 +287,11 @@ func (s *SeedSweep) Stable() (stable, flaky []string) {
 // run.
 type Harm struct {
 	// Harmful[i] corresponds to Reports[i] of the classified Result.
-	Harmful []bool
+	Harmful []bool `json:"harmful"`
 	// Counts tallies harmful races by type.
-	Counts report.Counts
+	Counts report.Counts `json:"counts"`
 	// Evidence explains each harmful classification.
-	Evidence []string
+	Evidence []string `json:"evidence"`
 }
 
 // Total reports the number of harmful races.
@@ -481,6 +556,6 @@ func cutSuffixWord(s, suffix string) (string, bool) {
 func ReplayVC(res *Result) []race.Report {
 	trace := res.Browser.Trace()
 	clocks := hb.NewClocks(res.Browser.HB)
-	d := race.NewPairwise(clocks)
+	d := race.NewPairwise(clocks, race.LocHint(len(trace)/4))
 	return race.Replay(trace, d)
 }

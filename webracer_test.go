@@ -3,6 +3,7 @@ package webracer
 import (
 	"testing"
 
+	"webracer/internal/browser"
 	"webracer/internal/hb"
 	"webracer/internal/loader"
 	"webracer/internal/mem"
@@ -36,7 +37,7 @@ document.getElementById("depart").value = "City of Departure";
 }
 
 func TestRunFindsAllFourRaceTypes(t *testing.T) {
-	res := Run(demoSite(), DefaultConfig(1))
+	res := RunConfig(demoSite(), DefaultConfig(1))
 	c := res.RawCounts
 	if c.Of(report.HTML) == 0 {
 		t.Error("no HTML race found")
@@ -55,7 +56,7 @@ func TestRunFindsAllFourRaceTypes(t *testing.T) {
 func TestFiltersReduceReports(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.Filters = true
-	res := Run(demoSite(), cfg)
+	res := RunConfig(demoSite(), cfg)
 	if len(res.Reports) >= len(res.RawReports) && len(res.RawReports) > 0 {
 		// Filters must drop at least the non-form variable races and
 		// multi-dispatch event races the demo generates.
@@ -75,7 +76,7 @@ func TestFiltersReduceReports(t *testing.T) {
 func TestHarmOracleDemoSite(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.Filters = true
-	res := Run(demoSite(), cfg)
+	res := RunConfig(demoSite(), cfg)
 	h := ClassifyHarmful(demoSite(), cfg, res)
 	if h.Total() == 0 {
 		t.Fatalf("harm oracle found nothing harmful; reports: %v", res.Reports)
@@ -106,7 +107,7 @@ addPopUp();
 <p>a</p><p>b</p>
 <div id="last"></div>`)
 	cfg := DefaultConfig(1)
-	res := Run(site, cfg)
+	res := RunConfig(site, cfg)
 	h := ClassifyHarmful(site, cfg, res)
 	for i, r := range res.Reports {
 		if report.Classify(r) == report.HTML && h.Harmful[i] {
@@ -118,7 +119,7 @@ addPopUp();
 func TestReplayVCEquivalence(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.RecordTrace = true
-	res := Run(demoSite(), cfg)
+	res := RunConfig(demoSite(), cfg)
 	vc := ReplayVC(res)
 	if len(vc) != len(res.RawReports) {
 		t.Fatalf("vector-clock replay found %d races, graph found %d", len(vc), len(res.RawReports))
@@ -133,10 +134,10 @@ func TestReplayVCEquivalence(t *testing.T) {
 // TestLiveVCDetectorMatchesGraph: the online vector-clock oracle produces
 // the same reports as the graph oracle, end to end through the browser.
 func TestLiveVCDetectorMatchesGraph(t *testing.T) {
-	base := Run(demoSite(), DefaultConfig(1))
+	base := RunConfig(demoSite(), DefaultConfig(1))
 	cfg := DefaultConfig(1)
 	cfg.Detector = DetectorPairwiseVC
-	vc := Run(demoSite(), cfg)
+	vc := RunConfig(demoSite(), cfg)
 	if len(vc.RawReports) != len(base.RawReports) {
 		t.Fatalf("live VC found %d races, graph found %d", len(vc.RawReports), len(base.RawReports))
 	}
@@ -147,12 +148,87 @@ func TestLiveVCDetectorMatchesGraph(t *testing.T) {
 	}
 }
 
+// TestCrossFrameSharedGlobalForcesVectors: the Fig. 1 site shares a global
+// across frames, so its accesses genuinely cross chains: the epoch fast
+// path must fall back to full clock vectors there — and still produce the
+// graph detector's reports.
+func TestCrossFrameSharedGlobalForcesVectors(t *testing.T) {
+	site := loader.NewSite("fig1").
+		Add("index.html", `<script>x = 1;</script>
+<iframe src="a.html"></iframe><iframe src="b.html"></iframe>`).
+		Add("a.html", `<script>x = 2;</script>`).
+		Add("b.html", `<script>alert(x);</script>`)
+	base := Run(site, WithSeed(1))
+	vc := Run(site, WithSeed(1), WithDetector(DetectorPairwiseVC))
+	if len(vc.RawReports) != len(base.RawReports) {
+		t.Fatalf("live VC found %d races, graph found %d", len(vc.RawReports), len(base.RawReports))
+	}
+	for i := range vc.RawReports {
+		if vc.RawReports[i].Loc != base.RawReports[i].Loc {
+			t.Errorf("report %d differs: %v vs %v", i, vc.RawReports[i].Loc, base.RawReports[i].Loc)
+		}
+	}
+	live := vc.Browser.HB.Mirror
+	if live == nil {
+		t.Fatal("DetectorPairwiseVC did not mirror the graph into LiveClocks")
+	}
+	if live.MaterializedClocks() == 0 {
+		t.Error("cross-frame shared-global run materialized no clock vectors")
+	}
+	// Laziness: clocks exist only where sharing forced them, not per op.
+	if ops := vc.Ops; live.MaterializedClocks() >= ops {
+		t.Errorf("materialized %d clocks for %d ops — lazy path not engaged",
+			live.MaterializedClocks(), ops)
+	}
+}
+
+// TestOptionsBuildConfig pins the functional-options surface to the Config
+// it builds.
+func TestOptionsBuildConfig(t *testing.T) {
+	got := NewConfig(
+		WithSeed(7),
+		WithDetector(DetectorAccessSet),
+		WithFilters(),
+		WithExhaustive(),
+		WithTrace(),
+		WithHarmRuns(3),
+		WithEntry("start.html"),
+		WithBrowser(func(b *browser.Config) { b.ReportAll = true }),
+	)
+	if got.Seed != 7 || got.Detector != DetectorAccessSet || !got.Filters ||
+		!got.Explore || !got.Exhaustive || !got.RecordTrace ||
+		got.HarmRuns != 3 || got.EntryURL != "start.html" || !got.Browser.ReportAll {
+		t.Errorf("options built wrong config: %+v", got)
+	}
+	if z := NewConfig(); z.Seed != 0 || !z.Explore || z.Filters || z.Detector != DetectorPairwise {
+		t.Errorf("zero-option config %+v != DefaultConfig(0)", z)
+	}
+	if WithExplore(false); NewConfig(WithExplore(false)).Explore {
+		t.Error("WithExplore(false) left exploration on")
+	}
+}
+
+// TestRunOptionsMatchesRunConfig: the options entry point is a strict
+// front-end over RunConfig.
+func TestRunOptionsMatchesRunConfig(t *testing.T) {
+	a := Run(demoSite(), WithSeed(1))
+	b := RunConfig(demoSite(), DefaultConfig(1))
+	if len(a.RawReports) != len(b.RawReports) {
+		t.Fatalf("Run found %d races, RunConfig %d", len(a.RawReports), len(b.RawReports))
+	}
+	for i := range a.RawReports {
+		if a.RawReports[i].Loc != b.RawReports[i].Loc {
+			t.Errorf("report %d differs", i)
+		}
+	}
+}
+
 func TestAccessSetFindsAtLeastAsMany(t *testing.T) {
 	cfg := DefaultConfig(1)
-	res := Run(demoSite(), cfg)
+	res := RunConfig(demoSite(), cfg)
 	cfg2 := cfg
 	cfg2.Detector = DetectorAccessSet
-	res2 := Run(demoSite(), cfg2)
+	res2 := RunConfig(demoSite(), cfg2)
 	if len(res2.RawReports) < len(res.RawReports) {
 		t.Errorf("AccessSet found fewer races (%d) than Pairwise (%d)",
 			len(res2.RawReports), len(res.RawReports))
@@ -160,8 +236,8 @@ func TestAccessSetFindsAtLeastAsMany(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a := Run(demoSite(), DefaultConfig(42))
-	b := Run(demoSite(), DefaultConfig(42))
+	a := RunConfig(demoSite(), DefaultConfig(42))
+	b := RunConfig(demoSite(), DefaultConfig(42))
 	if len(a.RawReports) != len(b.RawReports) {
 		t.Fatalf("same seed, different race counts: %d vs %d", len(a.RawReports), len(b.RawReports))
 	}
@@ -176,7 +252,7 @@ func TestHarmRunsMultiple(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.Filters = true
 	cfg.HarmRuns = 3
-	res := Run(demoSite(), cfg)
+	res := RunConfig(demoSite(), cfg)
 	h := ClassifyHarmful(demoSite(), cfg, res)
 	if h.Total() == 0 {
 		t.Fatal("multi-run harm oracle found nothing")
@@ -189,7 +265,7 @@ func TestHarmRunsMultiple(t *testing.T) {
 func TestAjaxRacePattern(t *testing.T) {
 	spec := sitegen.Spec{Index: 0, Name: "ajax", Paragraphs: 1, AjaxRaces: 1}
 	site := sitegen.Generate(spec)
-	res := Run(site, DefaultConfig(3))
+	res := Run(site, WithSeed(3))
 	found := false
 	for _, r := range res.RawReports {
 		if report.Classify(r) == report.Variable && r.Loc.Name == "shownPrice0" {
@@ -247,7 +323,7 @@ document.getElementById("menu").onmouseover = function() {
 </script>`)
 	cfg := DefaultConfig(1)
 	cfg.Exhaustive = true
-	res := Run(site, cfg)
+	res := RunConfig(site, cfg)
 	if res.ExploreStats.Rounds < 2 {
 		t.Errorf("exhaustive exploration ran %d rounds, want >= 2", res.ExploreStats.Rounds)
 	}
