@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-all benchcmp examples experiments outputs clean
+.PHONY: all build vet test chaos bench bench-all benchcmp examples experiments outputs clean
 
 # Repetitions for the detector benchmarks; raise for benchstat-grade noise
 # bounds (e.g. `make bench BENCH_COUNT=10`).
@@ -18,6 +18,14 @@ vet:
 # sweeps; the engine must be race-clean under the Go race detector.
 test: vet
 	go test -race ./...
+
+# Deterministic chaos battery under the Go race detector: fault sweeps
+# (worker-count determinism, fault-exposed races, panic/timeout
+# degradation), injector unit tests, XHR error paths and the pinned
+# fault-sweep golden — the robustness surface in one command.
+chaos:
+	go test -race -run 'TestFault|TestGoldenFaultSweep|TestXHR' . ./internal/fault/ ./internal/browser/
+	go run ./cmd/experiments -faults
 
 # The detector/replay benchmarks (the E4 speedup battery), repeated
 # BENCH_COUNT times so scripts/benchcmp.sh can bound the noise.

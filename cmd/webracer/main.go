@@ -12,7 +12,10 @@
 //	-filters            apply the §5.3 report filters
 //	-harm               classify harmful races via the adversarial replay
 //	-detector pairwise  pairwise | pairwise-vc | accessset
-//	-workers N          parallel workers for -seeds / -harm sweeps
+//	-faults N           also sweep N deterministic fault plans (error-path races)
+//	-fault-seed S       base seed for fault-plan derivation (default: -seed)
+//	-timeout D          per-run wall-clock budget (tripped runs degrade, not fail)
+//	-workers N          parallel workers for -seeds / -faults / -harm sweeps
 //	-v                  also print page errors and console output
 //
 // Exit status is 1 when races are found (useful in CI for your own site).
@@ -25,26 +28,30 @@ import (
 	"runtime"
 
 	"webracer"
+	"webracer/internal/fault"
 	"webracer/internal/loader"
 	"webracer/internal/report"
 )
 
 func main() {
 	var (
-		entry    = flag.String("entry", "index.html", "entry page within the site directory")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		expl     = flag.Bool("explore", true, "simulate user interactions after load (§5.2.2)")
-		filters  = flag.Bool("filters", false, "apply the §5.3 report filters")
-		harm     = flag.Bool("harm", false, "classify harmful races (adversarial replay)")
-		detector = flag.String("detector", "pairwise", "race detector: pairwise | pairwise-vc | accessset")
-		verbose  = flag.Bool("v", false, "print page errors and console output")
-		dotFile  = flag.String("dot", "", "write the happens-before graph in Graphviz DOT form to this file")
-		jsonFile = flag.String("json", "", "write the full session (ops, edges, races) as JSON to this file")
-		long     = flag.Bool("long", false, "detailed multi-line report format")
-		advise   = flag.Bool("advise", false, "print a suggested remediation for each race")
-		exhaust  = flag.Bool("exhaustive", false, "feedback-directed exploration rounds (deeper than §5.2.2)")
-		seeds    = flag.Int("seeds", 1, "run under N seeds and report the union of races")
-		workers  = flag.Int("workers", runtime.NumCPU(), "parallel workers for seed sweeps and harm replays (results are identical at any count)")
+		entry     = flag.String("entry", "index.html", "entry page within the site directory")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		expl      = flag.Bool("explore", true, "simulate user interactions after load (§5.2.2)")
+		filters   = flag.Bool("filters", false, "apply the §5.3 report filters")
+		harm      = flag.Bool("harm", false, "classify harmful races (adversarial replay)")
+		detector  = flag.String("detector", "pairwise", "race detector: pairwise | pairwise-vc | accessset")
+		verbose   = flag.Bool("v", false, "print page errors and console output")
+		dotFile   = flag.String("dot", "", "write the happens-before graph in Graphviz DOT form to this file")
+		jsonFile  = flag.String("json", "", "write the full session (ops, edges, races) as JSON to this file")
+		long      = flag.Bool("long", false, "detailed multi-line report format")
+		advise    = flag.Bool("advise", false, "print a suggested remediation for each race")
+		exhaust   = flag.Bool("exhaustive", false, "feedback-directed exploration rounds (deeper than §5.2.2)")
+		seeds     = flag.Int("seeds", 1, "run under N seeds and report the union of races")
+		faults    = flag.Int("faults", 0, "also sweep N deterministic fault plans and report error-path races")
+		faultSeed = flag.Int64("fault-seed", 0, "base seed for the fault-plan derivation (default: -seed)")
+		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget; tripped runs report partial results as degraded")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel workers for seed sweeps, fault sweeps and harm replays (results are identical at any count)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -69,6 +76,9 @@ func main() {
 	}
 	if *filters {
 		opts = append(opts, webracer.WithFilters())
+	}
+	if *timeout > 0 {
+		opts = append(opts, webracer.WithTimeout(*timeout))
 	}
 	switch *detector {
 	case "pairwise":
@@ -105,6 +115,30 @@ func main() {
 		for _, loc := range flaky {
 			fmt.Printf("  schedule-dependent: %s (%d/%d seeds)\n",
 				loc, sweep.Locations[loc], sweep.Seeds)
+		}
+	}
+
+	if *faults > 0 {
+		fc := webracer.FaultSweepConfig{Plans: *faults}
+		if *faultSeed != 0 {
+			base := *faultSeed
+			fc.PlanFor = func(i int) fault.Plan { return fault.ForSeed(base, i) }
+		}
+		sweep, err := webracer.RunFaultSweep(site, cfg, fc, pcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("fault sweep (%d plans): %d location(s) total, %d only under faults\n",
+			*faults, len(sweep.Locations), len(sweep.NewlyExposed))
+		for _, loc := range sweep.NewlyExposed {
+			fmt.Printf("  fault-exposed: %s (%d/%d runs)\n", loc, sweep.Locations[loc], len(sweep.Runs))
+		}
+		for _, d := range sweep.Degraded {
+			fmt.Printf("  degraded: %s\n", d)
+		}
+		for _, s := range sweep.Skipped {
+			fmt.Printf("  skipped: %s\n", s)
 		}
 	}
 

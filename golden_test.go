@@ -91,6 +91,50 @@ func TestGoldenSweeps(t *testing.T) {
 	}
 }
 
+// TestGoldenFaultSweep pins a full fault sweep over a fault-corpus page —
+// including a race only reachable on the error path (the fragile-image
+// onerror fallback), absent from the baseline run and listed in
+// newlyExposed. Any change to fault decisions, error-path happens-before
+// or sweep aggregation shows up as a byte diff. Regenerate deliberately
+// with
+//
+//	go test -run TestGoldenFaultSweep -update .
+func TestGoldenFaultSweep(t *testing.T) {
+	site := sitegen.Generate(sitegen.FaultSpec(0))
+	cfg := DefaultConfig(3)
+	sweep, err := RunFaultSweep(site, cfg, FaultSweepConfig{Plans: 12}, ParallelConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sweep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := goldenPath("faultsweep-00")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d newly exposed)", path, len(sweep.NewlyExposed))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fault sweep drifted from golden file %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+	if len(sweep.NewlyExposed) == 0 {
+		t.Error("golden fault sweep exposes no error-path race; the fixture lost its point")
+	}
+}
+
 func TestGoldenSessions(t *testing.T) {
 	for _, tc := range goldenCases() {
 		t.Run(tc.name, func(t *testing.T) {

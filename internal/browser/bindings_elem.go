@@ -454,10 +454,10 @@ func (w *Window) loadInsertedScript(n *dom.Node, src string) {
 	if blocking {
 		w.blockers++
 	}
-	w.fetchScript(n, src, func(body string, ok bool) {
+	w.fetchScript(n, src, func(body string, ok bool, failLast op.ID) {
 		if !ok {
 			if blocking {
-				w.resourceDone(op.None)
+				w.resourceDone(failLast)
 			}
 			return
 		}

@@ -570,16 +570,31 @@ func (w *Window) nativeClearTimer(it *js.Interp, _ js.Value, args []js.Value) (j
 // ---- XMLHttpRequest (§3.3 rule 10) ----
 
 type xhrHost struct {
-	w       *Window
-	node    *dom.Node // hidden dispatch target for readystatechange
-	obj     *js.Object
-	method  string
-	url     string
-	sent    bool
-	state   int
-	status  int
-	body    string
-	sendErr error
+	w      *Window
+	node   *dom.Node // hidden dispatch target for readystatechange/load/error/...
+	obj    *js.Object
+	method string
+	url    string
+	sent   bool
+	// done marks the request settled (response arrived, timed out, or
+	// aborted); later settlement attempts are ignored.
+	done     bool
+	aborted  bool
+	timedOut bool
+	timeout  float64
+	state    int
+	status   int
+	body     string
+	sendErr  error
+}
+
+// xhrHandlerProps maps on-event properties to their event names.
+var xhrHandlerProps = map[string]string{
+	"onreadystatechange": "readystatechange",
+	"onload":             "load",
+	"onerror":            "error",
+	"ontimeout":          "timeout",
+	"onabort":            "abort",
 }
 
 func (w *Window) nativeXHR(it *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
@@ -609,45 +624,57 @@ func (h *xhrHost) HostGet(it *js.Interp, name string) (js.Value, bool, error) {
 			}
 			h.sent = true
 			sendOp := b.curOp
-			body, lat, err := b.Loader.Fetch(h.url)
-			b.schedule(lat, func() {
-				// Response arrival: a network operation writes the
-				// response fields, then the readystatechange event
-				// dispatches with send ⇝ disp₀ (HB rule 10).
-				resp := b.newOp(op.KindNetwork, "xhr response "+h.url)
-				b.HB.Edge(sendOp, resp)
-				b.withOp(resp, func() {
-					if err != nil {
-						h.state, h.status, h.body, h.sendErr = 4, 404, "", err
-					} else {
-						h.state, h.status, h.body = 4, 200, body
-					}
-					b.Access(mem.Write, mem.VarLoc(h.obj.Serial, "readyState"), mem.CtxPlain, "xhr readyState")
-					b.Access(mem.Write, mem.VarLoc(h.obj.Serial, "responseText"), mem.CtxPlain, "xhr responseText")
-				})
-				w.Dispatch(h.node, "readystatechange",
-					DispatchOpts{ExtraPreds: []op.ID{sendOp, resp}}) // HB rule 10
+			resp := b.Loader.Fetch(h.url)
+			if h.timeout > 0 && h.timeout < resp.Latency {
+				// The deadline beats the response: the request settles as
+				// a timeout and the (still-scheduled) arrival is ignored.
+				b.schedule(h.timeout, func() { h.settle(sendOp, "timeout", 0, "", nil) })
+			}
+			b.schedule(resp.Latency, func() {
+				// HTTP completion — any status, including 404/500 — fires
+				// load; a transport error (status 0) fires error instead.
+				event := "load"
+				if resp.Status == 0 {
+					event = "error"
+				}
+				h.settle(sendOp, event, resp.Status, resp.Body, resp.Err)
 			})
 			return js.Undefined, nil
 		}), true, nil
 	case "abort":
 		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			if !h.sent || h.done {
+				return js.Undefined, nil
+			}
+			// abort settles the request synchronously inside the calling
+			// script: the field writes happen under the current operation,
+			// then readystatechange and abort dispatch inline (the current
+			// op splits around them, Appendix A).
+			h.done, h.aborted = true, true
+			h.state, h.status, h.body = 4, 0, ""
+			h.writeFields("xhr abort")
+			disp := w.InlineDispatch(h.node, "readystatechange", DispatchOpts{Detail: "abort"})
+			w.InlineDispatch(h.node, "abort", DispatchOpts{ExtraPreds: []op.ID{disp.Last}})
 			return js.Undefined, nil
 		}), true, nil
 	case "setRequestHeader":
 		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
 			return js.Undefined, nil
 		}), true, nil
+	case "timeout":
+		return js.Number(h.timeout), true, nil
 	case "readyState":
 		b.Access(mem.Read, mem.VarLoc(h.obj.Serial, "readyState"), mem.CtxPlain, "xhr readyState")
 		return js.Number(float64(h.state)), true, nil
 	case "status":
+		b.Access(mem.Read, mem.VarLoc(h.obj.Serial, "status"), mem.CtxPlain, "xhr status")
 		return js.Number(float64(h.status)), true, nil
 	case "responseText":
 		b.Access(mem.Read, mem.VarLoc(h.obj.Serial, "responseText"), mem.CtxPlain, "xhr responseText")
 		return js.Str(h.body), true, nil
-	case "onreadystatechange":
-		b.Access(mem.Read, mem.HandlerLoc(h.node.Serial, "readystatechange", 0), mem.CtxHandlerFire, "xhr handler")
+	case "onreadystatechange", "onload", "onerror", "ontimeout", "onabort":
+		b.Access(mem.Read, mem.HandlerLoc(h.node.Serial, xhrHandlerProps[name], 0),
+			mem.CtxHandlerFire, "xhr handler")
 		return js.Null, true, nil
 	case "addEventListener":
 		return it.NativeFunc(name, func(it *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
@@ -659,17 +686,53 @@ func (h *xhrHost) HostGet(it *js.Interp, name string) (js.Value, bool, error) {
 }
 
 func (h *xhrHost) HostSet(it *js.Interp, name string, v js.Value) (bool, error) {
-	if name == "onreadystatechange" {
-		h.w.b.Access(mem.Write, mem.HandlerLoc(h.node.Serial, "readystatechange", 0),
-			mem.CtxHandlerAdd, "xhr.onreadystatechange=")
+	if name == "timeout" {
+		h.timeout = v.ToNumber()
+		return true, nil
+	}
+	if event, ok := xhrHandlerProps[name]; ok {
+		h.w.b.Access(mem.Write, mem.HandlerLoc(h.node.Serial, event, 0),
+			mem.CtxHandlerAdd, "xhr."+name+"=")
 		var fn any
 		if v.IsCallable() {
 			fn = v
 		}
-		h.node.AddListener("readystatechange", &dom.Listener{HandlerID: 0, Fn: fn})
+		h.node.AddListener(event, &dom.Listener{HandlerID: 0, Fn: fn})
 		return true, nil
 	}
 	return false, nil
+}
+
+// writeFields records the §4 writes of settling an XHR (readyState,
+// status, responseText) under the current operation.
+func (h *xhrHost) writeFields(why string) {
+	b := h.w.b
+	b.Access(mem.Write, mem.VarLoc(h.obj.Serial, "readyState"), mem.CtxPlain, why+" readyState")
+	b.Access(mem.Write, mem.VarLoc(h.obj.Serial, "status"), mem.CtxPlain, why+" status")
+	b.Access(mem.Write, mem.VarLoc(h.obj.Serial, "responseText"), mem.CtxPlain, why+" responseText")
+}
+
+// settle completes a request asynchronously: a network operation (with
+// send ⇝ it, HB rule 10) writes the response fields, readystatechange
+// dispatches, then the settlement event (load / error / timeout) follows.
+// A request settles at most once — an arrival after a timeout or abort is
+// dropped.
+func (h *xhrHost) settle(sendOp op.ID, event string, status int, body string, err error) {
+	if h.done {
+		return
+	}
+	h.done = true
+	h.timedOut = event == "timeout"
+	w, b := h.w, h.w.b
+	netOp := b.newOp(op.KindNetwork, "xhr "+event+" "+h.url)
+	b.HB.Edge(sendOp, netOp)
+	b.withOp(netOp, func() {
+		h.state, h.status, h.body, h.sendErr = 4, status, body, err
+		h.writeFields("xhr " + event)
+	})
+	disp := w.Dispatch(h.node, "readystatechange",
+		DispatchOpts{ExtraPreds: []op.ID{sendOp, netOp}}) // HB rule 10
+	w.Dispatch(h.node, event, DispatchOpts{ExtraPreds: []op.ID{netOp, disp.Last}})
 }
 
 // nativeImage implements `new Image()`: a detached <img> whose src

@@ -13,8 +13,10 @@ package browser
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"webracer/internal/dom"
 	"webracer/internal/hb"
@@ -72,6 +74,22 @@ type Config struct {
 	// Detector overrides the default Pairwise detector. It receives the
 	// browser's happens-before graph.
 	Detector func(*hb.Graph) race.Detector
+	// WrapFetcher, when non-nil, wraps the session's base loader —
+	// the hook internal/fault uses to inject deterministic network
+	// faults without the browser knowing.
+	WrapFetcher func(loader.Fetcher) loader.Fetcher
+	// WallBudget caps the session's real (wall-clock) run time; 0 means
+	// unlimited. A tripped budget stops the event loop between tasks,
+	// marks the session Interrupted, and leaves all results gathered so
+	// far intact — the partial-results path that keeps one pathological
+	// page from stalling a whole sweep. Interrupted sessions are not
+	// deterministic (the trip point depends on host speed); sweeps
+	// report them as degraded rather than folding them into aggregates.
+	WallBudget time.Duration
+	// Ctx cancels the session between tasks (nil means never). Like
+	// WallBudget, cancellation marks the session Interrupted with
+	// partial results.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -109,12 +127,17 @@ type Browser struct {
 	Ops     *op.Table
 	HB      *hb.Graph
 	Serials *dom.Serials
-	Loader  *loader.Loader
+	Loader  loader.Fetcher
 
 	// Errors collects script crashes and resource failures.
 	Errors []PageError
 	// Console collects console.log/alert output.
 	Console []string
+	// Interrupted is non-empty when the session was stopped early —
+	// wall-clock budget, context cancellation, or the virtual-time/task
+	// safety bounds — and names the reason. Results gathered before the
+	// interrupt remain valid (partial-results path).
+	Interrupted string
 
 	cfg      Config
 	rng      *rand.Rand
@@ -122,6 +145,7 @@ type Browser struct {
 	tasks    taskHeap
 	seq      int64
 	tasksRun int
+	started  time.Time
 
 	detector race.Detector
 	recorder *race.Recorder
@@ -150,7 +174,11 @@ func New(site *loader.Site, cfg Config) *Browser {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		createOps: map[*dom.Node]op.ID{},
 	}
+	b.started = time.Now()
 	b.Loader = loader.New(site, cfg.Latency, cfg.Seed+1)
+	if cfg.WrapFetcher != nil {
+		b.Loader = cfg.WrapFetcher(b.Loader)
+	}
 	if cfg.Detector != nil {
 		b.detector = cfg.Detector(b.HB)
 	} else {
@@ -342,7 +370,15 @@ const weakGraceTurns = 8
 func (b *Browser) Run() {
 	grace := weakGraceTurns
 	for len(b.tasks) > 0 {
-		if b.tasksRun >= b.cfg.MaxTasks || b.clock > b.cfg.MaxVirtualTime {
+		if b.tasksRun >= b.cfg.MaxTasks {
+			b.interrupt("task budget")
+			return
+		}
+		if b.clock > b.cfg.MaxVirtualTime {
+			b.interrupt("virtual-time budget")
+			return
+		}
+		if b.tasksRun&63 == 0 && b.overWallBudget() {
 			return
 		}
 		if b.onlyWeakTasks() {
@@ -365,6 +401,32 @@ func (b *Browser) Run() {
 		t.run()
 	}
 	b.quiesced = true
+}
+
+// interrupt records the first early-stop reason (later trips keep it).
+func (b *Browser) interrupt(reason string) {
+	if b.Interrupted == "" {
+		b.Interrupted = reason
+	}
+}
+
+// overWallBudget checks the wall-clock budget and context; once either
+// trips, the session stays interrupted — subsequent Run calls (automatic
+// exploration schedules several) return immediately.
+func (b *Browser) overWallBudget() bool {
+	switch b.Interrupted {
+	case "wall-clock budget", "canceled":
+		return true
+	}
+	if b.cfg.WallBudget > 0 && time.Since(b.started) > b.cfg.WallBudget {
+		b.interrupt("wall-clock budget")
+		return true
+	}
+	if b.cfg.Ctx != nil && b.cfg.Ctx.Err() != nil {
+		b.interrupt("canceled")
+		return true
+	}
+	return false
 }
 
 func (b *Browser) onlyWeakTasks() bool {

@@ -8,6 +8,7 @@ import (
 	"webracer/internal/dom"
 	"webracer/internal/html"
 	"webracer/internal/js"
+	"webracer/internal/loader"
 	"webracer/internal/mem"
 	"webracer/internal/op"
 )
@@ -93,13 +94,17 @@ type timerRec struct {
 // to quiescence. It returns the top window.
 func (b *Browser) LoadPage(url string) *Window {
 	w := b.newWindow(url, nil, nil)
-	body, lat, err := b.Loader.Fetch(url)
-	if err != nil {
-		b.pageError("fetch "+url, err)
+	resp := b.Loader.Fetch(url)
+	if resp.Err != nil {
+		b.pageError("fetch "+url, resp.Err)
+		return w
+	}
+	if !resp.OK() {
+		b.pageError("fetch "+url, fmt.Errorf("status %d for %q", resp.Status, url))
 		return w
 	}
 	w.chainOp = b.initOp
-	b.schedule(lat, func() { w.beginParse(body) })
+	b.schedule(resp.Latency, func() { w.beginParse(resp.Body) })
 	b.Run()
 	return w
 }
@@ -310,16 +315,17 @@ func (w *Window) handleParsedScript(n *dom.Node, parseOp op.ID) bool {
 	case deferred:
 		job := &deferJob{node: n, parseOp: parseOp}
 		w.deferQ = append(w.deferQ, job)
-		w.fetchScript(n, src, func(body string, ok bool) {
+		w.fetchScript(n, src, func(body string, ok bool, failLast op.ID) {
 			job.arrived = true
 			job.failed = !ok
 			job.body = body
+			job.ldLast = failLast // error handlers feed rules 5/14 like load would
 			w.pumpDefers()
 		})
 		return false
 	case async:
 		w.blockers++
-		w.fetchScript(n, src, func(body string, ok bool) {
+		w.fetchScript(n, src, func(body string, ok bool, failLast op.ID) {
 			if ok {
 				exe := b.newOp(op.KindScript, "exe async "+src)
 				b.HB.Edge(parseOp, exe) // HB rule 2
@@ -328,19 +334,23 @@ func (w *Window) handleParsedScript(n *dom.Node, parseOp op.ID) bool {
 				w.resourceDone(ld.Last)
 				return
 			}
-			w.resourceDone(op.None)
+			w.resourceDone(failLast) // error handlers precede ld(W) (rule 15 analogue)
 		})
 		return false
 	default:
 		// Synchronous external script: parsing pauses until the script
-		// has executed and its load event fired (HB rule 1c).
-		w.fetchScript(n, src, func(body string, ok bool) {
+		// has executed and its load event fired (HB rule 1c) — or, on
+		// the error path, until its error event fired (the error
+		// handlers happen-before everything parsed after the script).
+		w.fetchScript(n, src, func(body string, ok bool, failLast op.ID) {
 			if ok {
 				exe := b.newOp(op.KindScript, "exe "+src)
 				b.HB.Edge(parseOp, exe) // HB rule 2
 				b.withOp(exe, func() { w.runScript(body, src) })
 				ld := w.fireScriptLoad(n, exe) // HB rules 3, 1c
 				w.chainOp = ld.Last            // HB rule 1c
+			} else if failLast != op.None {
+				w.chainOp = failLast // rule 1c, error-path variant
 			}
 			b.schedule(b.cfg.ParseStepCost, w.parseStep)
 		})
@@ -353,16 +363,41 @@ func hasTruthyAttr(n *dom.Node, name string) bool {
 	return ok && v != "false"
 }
 
-func (w *Window) fetchScript(n *dom.Node, src string, done func(body string, ok bool)) {
-	body, lat, err := w.b.Loader.Fetch(src)
-	w.b.schedule(lat, func() {
-		if err != nil {
-			w.b.pageError("fetch "+src, err)
-			done("", false)
+// fetchScript fetches a script resource. On success done runs with the body
+// and failLast == op.None; on failure (transport error or HTTP error
+// status) the element's error event is dispatched first — the §4.3
+// handler-location read that makes "handler attached only after the load
+// started" an observable race — and done runs with ok == false and
+// failLast the dispatch's Last op, so callers can order what follows the
+// error path (resumed parsing, window-load accounting) after the error
+// handlers, mirroring what rules 1c/15 do for load.
+func (w *Window) fetchScript(n *dom.Node, src string, done func(body string, ok bool, failLast op.ID)) {
+	resp := w.b.Loader.Fetch(src)
+	w.b.schedule(resp.Latency, func() {
+		if !resp.OK() {
+			w.b.pageError("fetch "+src, respError(src, resp))
+			disp := w.Dispatch(n, "error", DispatchOpts{Detail: fetchFailDetail(resp)})
+			done("", false, disp.Last)
 			return
 		}
-		done(body, true)
+		done(resp.Body, true, op.None)
 	})
+}
+
+// respError normalizes a failed response to an error value.
+func respError(url string, resp loader.Response) error {
+	if resp.Err != nil {
+		return resp.Err
+	}
+	return fmt.Errorf("status %d for %q", resp.Status, url)
+}
+
+// fetchFailDetail labels an error dispatch with what failed.
+func fetchFailDetail(resp loader.Response) string {
+	if resp.Err != nil {
+		return "network error"
+	}
+	return fmt.Sprintf("status %d", resp.Status)
 }
 
 // runScript executes script source under the current operation, recording
@@ -425,14 +460,17 @@ func (w *Window) handleIframe(n *dom.Node, creator op.ID) {
 	}
 	child := b.newWindow(src, w, n)
 	child.chainOp = creator // HB rule 6: create(I) ⇝ create(E in nested doc)
-	body, lat, err := b.Loader.Fetch(src)
-	b.schedule(lat, func() {
-		if err != nil {
-			b.pageError("fetch iframe "+src, err)
-			w.resourceDone(op.None)
+	resp := b.Loader.Fetch(src)
+	b.schedule(resp.Latency, func() {
+		if !resp.OK() {
+			b.pageError("fetch iframe "+src, respError(src, resp))
+			// The iframe element's error event fires in the parent
+			// document; its handlers precede ld(W) like a load would.
+			disp := w.Dispatch(n, "error", DispatchOpts{Detail: fetchFailDetail(resp)})
+			w.resourceDone(disp.Last)
 			return
 		}
-		child.beginParse(body)
+		child.beginParse(resp.Body)
 	})
 }
 
@@ -447,12 +485,13 @@ func (w *Window) maybeLoadImage(n *dom.Node, creator op.ID) {
 	if blocking {
 		w.blockers++
 	}
-	_, lat, err := b.Loader.Fetch(src)
-	b.schedule(lat, func() {
-		if err != nil {
-			b.pageError("fetch img "+src, err)
+	resp := b.Loader.Fetch(src)
+	b.schedule(resp.Latency, func() {
+		if !resp.OK() {
+			b.pageError("fetch img "+src, respError(src, resp))
+			disp := w.Dispatch(n, "error", DispatchOpts{Detail: fetchFailDetail(resp)})
 			if blocking {
-				w.resourceDone(op.None)
+				w.resourceDone(disp.Last)
 			}
 			return
 		}

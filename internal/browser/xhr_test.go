@@ -3,6 +3,7 @@ package browser
 import (
 	"testing"
 
+	"webracer/internal/fault"
 	"webracer/internal/loader"
 	"webracer/internal/report"
 )
@@ -78,6 +79,128 @@ var poll = setInterval(function() {
 	// The poll's readyState read races with the response's write.
 	if raceOnName(racesOfType(b, report.Variable), "readyState") == nil {
 		t.Errorf("readyState polling race not reported; reports: %v", b.Reports())
+	}
+}
+
+// globalSet reports whether a global was ever assigned — for asserting a
+// handler did NOT run (globalNum fatals on unset globals).
+func globalSet(b *Browser, name string) bool {
+	_, ok := b.Top().It.LookupGlobal(name)
+	return ok
+}
+
+// faultCfg returns a Config whose loader injects faults per plan.
+func faultCfg(plan fault.Plan) Config {
+	return Config{Seed: 1, WrapFetcher: func(f loader.Fetcher) loader.Fetcher {
+		return fault.New(f, plan)
+	}}
+}
+
+// TestXHRErrorStatusDelivered: an injected HTTP error status settles the
+// request through the load path (the transport worked; the server said
+// no), with readyState 4 and the error status observable.
+func TestXHRErrorStatusDelivered(t *testing.T) {
+	site := loader.NewSite("xhrstatus").
+		Add("index.html", `
+<script>
+var x = new XMLHttpRequest();
+x.onload = function() { gotStatus = x.status; gotBody = x.responseText; };
+x.onerror = function() { gotError = 1; };
+x.open("GET", "api.json");
+x.send();
+</script>`).
+		Add("api.json", `{"ok": true}`)
+	plan := fault.Plan{Seed: 7, PerURL: map[string]fault.Kind{"api.json": fault.KindStatus}}
+	b := runSite(t, site, faultCfg(plan))
+	if s := globalNum(t, b, "gotStatus"); s < 400 {
+		t.Errorf("injected error status not delivered: got %v", s)
+	}
+	if globalStr(t, b, "gotBody") != "" {
+		t.Error("error status should deliver an empty body")
+	}
+	if globalSet(b, "gotError") {
+		t.Error("HTTP error status fired the error event; it belongs to transport failures")
+	}
+}
+
+// TestXHRDroppedConnectionFiresError: a dropped connection (no status at
+// all) settles through the error path, not load.
+func TestXHRDroppedConnectionFiresError(t *testing.T) {
+	site := loader.NewSite("xhrdrop").
+		Add("index.html", `
+<script>
+var x = new XMLHttpRequest();
+x.onload = function() { gotLoad = 1; };
+x.onerror = function() { gotError = 1; errStatus = x.status; errState = x.readyState; };
+x.open("GET", "api.json");
+x.send();
+</script>`).
+		Add("api.json", `{"ok": true}`)
+	plan := fault.Plan{Seed: 7, PerURL: map[string]fault.Kind{"api.json": fault.KindDrop}}
+	b := runSite(t, site, faultCfg(plan))
+	if globalNum(t, b, "gotError") != 1 {
+		t.Fatalf("dropped connection did not fire the error event; errors: %v", b.Errors)
+	}
+	if globalSet(b, "gotLoad") {
+		t.Error("dropped connection also fired load")
+	}
+	if globalNum(t, b, "errStatus") != 0 {
+		t.Error("transport failure should leave status 0")
+	}
+	if globalNum(t, b, "errState") != 4 {
+		t.Error("the request must still settle to readyState 4")
+	}
+}
+
+// TestXHRTimeoutOnStalledResponse: a response stalled beyond x.timeout
+// fires ontimeout and the stalled arrival is discarded — the
+// never-arriving-response path a retry loop depends on.
+func TestXHRTimeoutOnStalledResponse(t *testing.T) {
+	site := loader.NewSite("xhrstall").
+		Add("index.html", `
+<script>
+var x = new XMLHttpRequest();
+x.timeout = 50;
+x.onload = function() { gotLoad = 1; };
+x.ontimeout = function() { gotTimeout = 1; timeoutStatus = x.status; };
+x.open("GET", "api.json");
+x.send();
+</script>`).
+		Add("api.json", `{"ok": true}`)
+	plan := fault.Plan{Seed: 7, StallMS: 5_000,
+		PerURL: map[string]fault.Kind{"api.json": fault.KindStall}}
+	b := runSite(t, site, faultCfg(plan))
+	if globalNum(t, b, "gotTimeout") != 1 {
+		t.Fatalf("stalled response did not fire ontimeout; errors: %v", b.Errors)
+	}
+	if globalSet(b, "gotLoad") {
+		t.Error("the stalled arrival must be discarded after a timeout")
+	}
+	if globalNum(t, b, "timeoutStatus") != 0 {
+		t.Error("a timed-out request has no status")
+	}
+}
+
+// TestXHRHandlerAttachedAfterSendRaces: registering onload from a timer
+// after send() races the response's dispatch — whether the handler sees
+// its event depends on which of timer and network fires first. This is
+// the single-dispatch event race of §3.3 on an XHR.
+func TestXHRHandlerAttachedAfterSendRaces(t *testing.T) {
+	site := loader.NewSite("xhrlate").
+		Add("index.html", `
+<script>
+var x = new XMLHttpRequest();
+x.open("GET", "api.json");
+x.send();
+setTimeout(function() {
+  x.onload = function() { handled = 1; };
+}, 5);
+</script>`).
+		Add("api.json", `{"ok": true}`)
+	b := runSite(t, site, Config{Seed: 1,
+		Latency: fixedLatency(map[string]float64{"api.json": 40})})
+	if raceOnName(racesOfType(b, report.EventDispatch), "load") == nil {
+		t.Errorf("late-attached onload race not reported; reports: %v", b.Reports())
 	}
 }
 

@@ -1,0 +1,298 @@
+// Package fault is the deterministic network fault injector. The paper
+// attributes web races to environmental asynchrony (§2.1) but its
+// evaluation — like the plain loader — only varies *timing*: every
+// resource eventually arrives intact. Real pages also lose races on the
+// error path: a script that never loads leaves its functions undeclared, a
+// 500 skips the handler registrations gated on success, a stalled XHR
+// races its retry timer. This package makes those orderings explorable
+// while keeping the simulation replayable: every injection decision is a
+// pure function of (plan seed, URL, per-URL fetch index), so a given
+// (site, seed, plan) triple produces the same execution byte for byte, on
+// any worker of a sweep, in any order.
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"webracer/internal/loader"
+)
+
+// Kind is one fault shape.
+type Kind uint8
+
+const (
+	// KindUnset lets the plan's probabilities decide (zero value).
+	KindUnset Kind = iota
+	// KindNone forces a fault-free fetch (used to protect entry pages).
+	KindNone
+	// KindDrop severs the connection: the fetch errors after its normal
+	// latency, as if the response was lost mid-flight.
+	KindDrop
+	// KindRefuse fails immediately (DNS failure / connection refused):
+	// the error is observable after ~1ms.
+	KindRefuse
+	// KindStatus delivers an HTTP error status (404/500/503) with an
+	// empty body.
+	KindStatus
+	// KindStall delivers the resource intact but only after the plan's
+	// StallMS window — far beyond any normal latency, so everything that
+	// can race the late arrival does.
+	KindStall
+	// KindTruncate delivers a prefix of the body (a cut connection that
+	// still flushed some bytes).
+	KindTruncate
+)
+
+var kindNames = map[Kind]string{
+	KindUnset: "unset", KindNone: "none", KindDrop: "drop", KindRefuse: "refuse",
+	KindStatus: "status", KindStall: "stall", KindTruncate: "truncate",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// errStatuses are the HTTP statuses KindStatus draws from.
+var errStatuses = []int{404, 500, 503}
+
+// Plan is a deterministic fault plan: per-shape probabilities plus forced
+// per-URL overrides. The zero Plan injects nothing. Probabilities are
+// evaluated in order (drop, refuse, status, stall, truncate) against a
+// single roll, so their sum is the overall fault rate and must not exceed
+// 1 for the intended semantics.
+type Plan struct {
+	// Seed drives every injection decision (independently of the
+	// browser's simulation seed, so schedules and faults vary
+	// independently).
+	Seed int64
+	// DropProb is the probability a fetch errors after its normal
+	// latency (response lost mid-flight).
+	DropProb float64
+	// FailProb is the probability a fetch fails immediately
+	// (ErrNotFound-equivalent: connection refused).
+	FailProb float64
+	// StatusProb is the probability a fetch returns an HTTP error
+	// status (404/500/503) instead of its body.
+	StatusProb float64
+	// StallProb is the probability a fetch is delayed to StallMS —
+	// effectively pushing the arrival beyond the page's normal window.
+	StallProb float64
+	// TruncProb is the probability a body arrives truncated.
+	TruncProb float64
+	// StallMS is the stalled-arrival latency; 0 means 30000 virtual ms.
+	StallMS float64
+	// PerURL forces a fault kind for specific URLs regardless of the
+	// probabilities (KindNone protects a URL; entry pages usually are).
+	PerURL map[string]Kind
+}
+
+// stallMS returns the effective stall window.
+func (p Plan) stallMS() float64 {
+	if p.StallMS <= 0 {
+		return 30_000
+	}
+	return p.StallMS
+}
+
+// Zero reports whether the plan can never inject a fault.
+func (p Plan) Zero() bool {
+	if p.DropProb > 0 || p.FailProb > 0 || p.StatusProb > 0 || p.StallProb > 0 || p.TruncProb > 0 {
+		return false
+	}
+	for _, k := range p.PerURL {
+		if k != KindUnset && k != KindNone {
+			return false
+		}
+	}
+	return true
+}
+
+// Label is the plan's stable human-readable identity, embedded in reports
+// so a race can be traced back to the exact environment that exposed it.
+// Probabilities are printed only when nonzero; PerURL overrides are listed
+// in sorted URL order so the label is deterministic.
+func (p Plan) Label() string {
+	var parts []string
+	add := func(name string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%.3g", name, v))
+		}
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	add("drop", p.DropProb)
+	add("fail", p.FailProb)
+	add("status", p.StatusProb)
+	add("stall", p.StallProb)
+	add("trunc", p.TruncProb)
+	urls := make([]string, 0, len(p.PerURL))
+	for url, k := range p.PerURL {
+		if k != KindUnset {
+			urls = append(urls, url)
+		}
+	}
+	sort.Strings(urls)
+	for _, url := range urls {
+		parts = append(parts, fmt.Sprintf("%s:%s", url, p.PerURL[url]))
+	}
+	return "fault{" + strings.Join(parts, " ") + "}"
+}
+
+// ForSeed derives sweep plan i from a base seed: a rotation through
+// single-shape and mixed plans at stepped fault rates, so a small sweep
+// already covers every error-path family. The derivation is pure — the
+// same (seed, i) always yields the same plan.
+func ForSeed(seed int64, i int) Plan {
+	rate := []float64{0.15, 0.35, 0.6}[i/6%3]
+	p := Plan{Seed: seed*1_000_003 + int64(i)}
+	switch i % 6 {
+	case 0:
+		p.DropProb = rate
+	case 1:
+		p.FailProb = rate
+	case 2:
+		p.StatusProb = rate
+	case 3:
+		p.StallProb = rate
+	case 4:
+		p.TruncProb = rate
+	default: // mixed: every shape at a fifth of the rate
+		each := rate / 5
+		p.DropProb, p.FailProb, p.StatusProb, p.StallProb, p.TruncProb = each, each, each, each, each
+	}
+	return p
+}
+
+// ErrInjected is the transport error of a dropped or refused fetch.
+type ErrInjected struct {
+	URL  string
+	Kind Kind
+}
+
+func (e *ErrInjected) Error() string {
+	return fmt.Sprintf("fault: %s of %q injected", e.Kind, e.URL)
+}
+
+// Event records one injected fault, for report annotation.
+type Event struct {
+	URL string `json:"url"`
+	// Index is the per-URL fetch index the decision was derived from.
+	Index  int    `json:"index"`
+	Kind   string `json:"kind"`
+	Status int    `json:"status,omitempty"`
+}
+
+// Injector wraps a Fetcher with a Plan. Not safe for concurrent use — like
+// the Loader it wraps, each browser session owns its own instance.
+type Injector struct {
+	inner loader.Fetcher
+	plan  Plan
+	// perURL counts fetches per URL so retries of one resource roll
+	// independent decisions (a retried fetch may succeed — that is what
+	// makes retry loops race their own late responses).
+	perURL map[string]int
+	events []Event
+}
+
+// New wraps inner with plan.
+func New(inner loader.Fetcher, plan Plan) *Injector {
+	return &Injector{inner: inner, plan: plan, perURL: map[string]int{}}
+}
+
+// Plan returns the active plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Events returns the faults injected so far, in fetch order.
+func (in *Injector) Events() []Event { return in.events }
+
+// Fetches reports how many fetches have been issued (delegated: every
+// faulted fetch still consumes an underlying fetch and its latency draw,
+// keeping the schedule RNG aligned with the fault-free run).
+func (in *Injector) Fetches() int { return in.inner.Fetches() }
+
+// Site returns the site being served.
+func (in *Injector) Site() *loader.Site { return in.inner.Site() }
+
+// Fetch resolves url through the inner fetcher, then applies the plan's
+// decision for (url, fetchIndex). Crucially the inner fetch always runs
+// first: the latency RNG advances exactly as in the fault-free run, so a
+// plan perturbs only the faulted resources, never the whole schedule.
+func (in *Injector) Fetch(url string) loader.Response {
+	resp := in.inner.Fetch(url)
+	idx := in.perURL[url]
+	in.perURL[url] = idx + 1
+	kind := in.decide(url, idx)
+	if kind == KindNone || kind == KindUnset {
+		return resp
+	}
+	if resp.Err != nil {
+		// Already failed (missing resource): faults don't resurrect it.
+		return resp
+	}
+	ev := Event{URL: url, Index: idx, Kind: kind.String()}
+	switch kind {
+	case KindDrop:
+		resp.Body, resp.Status, resp.Err = "", 0, &ErrInjected{URL: url, Kind: KindDrop}
+	case KindRefuse:
+		resp.Body, resp.Status, resp.Err = "", 0, &ErrInjected{URL: url, Kind: KindRefuse}
+		resp.Latency = 1
+	case KindStatus:
+		resp.Body = ""
+		resp.Status = errStatuses[int(in.roll(url, idx, "status")*float64(len(errStatuses)))%len(errStatuses)]
+		ev.Status = resp.Status
+	case KindStall:
+		resp.Latency = in.plan.stallMS() + resp.Latency
+	case KindTruncate:
+		cut := int(in.roll(url, idx, "cut") * float64(len(resp.Body)))
+		resp.Body = resp.Body[:cut]
+		resp.Truncated = true
+	}
+	in.events = append(in.events, ev)
+	return resp
+}
+
+// decide picks the fault kind for the (url, idx) fetch.
+func (in *Injector) decide(url string, idx int) Kind {
+	if k, ok := in.plan.PerURL[url]; ok && k != KindUnset {
+		return k
+	}
+	u := in.roll(url, idx, "kind")
+	p := in.plan
+	for _, step := range []struct {
+		prob float64
+		kind Kind
+	}{
+		{p.DropProb, KindDrop},
+		{p.FailProb, KindRefuse},
+		{p.StatusProb, KindStatus},
+		{p.StallProb, KindStall},
+		{p.TruncProb, KindTruncate},
+	} {
+		if u < step.prob {
+			return step.kind
+		}
+		u -= step.prob
+	}
+	return KindNone
+}
+
+// roll maps hash(planSeed, url, idx, salt) to [0, 1). FNV-1a over the
+// exact byte encoding — no floating-point accumulation, no map iteration,
+// nothing platform-dependent — so decisions replay everywhere.
+func (in *Injector) roll(url string, idx int, salt string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(in.plan.Seed))
+	h.Write(b[:])
+	h.Write([]byte(url))
+	binary.LittleEndian.PutUint64(b[:], uint64(idx))
+	h.Write(b[:])
+	h.Write([]byte(salt))
+	return float64(h.Sum64()>>11) / (1 << 53)
+}

@@ -1,0 +1,206 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"webracer/internal/loader"
+)
+
+func testSite() *loader.Site {
+	return loader.NewSite("t").
+		Add("index.html", "<html></html>").
+		Add("a.js", "var a = 1;").
+		Add("b.js", "var b = 2;")
+}
+
+func fixed() loader.Latency { return loader.Latency{Base: 10} }
+
+// replay performs n fetches of each URL and returns the responses.
+func replay(plan Plan, urls []string, n int) []loader.Response {
+	in := New(loader.New(testSite(), fixed(), 1), plan)
+	var out []loader.Response
+	for i := 0; i < n; i++ {
+		for _, url := range urls {
+			out = append(out, in.Fetch(url))
+		}
+	}
+	return out
+}
+
+// TestDeterministicReplay: the same (plan, fetch sequence) yields identical
+// responses — the property every fault sweep rests on.
+func TestDeterministicReplay(t *testing.T) {
+	plan := Plan{Seed: 42, DropProb: 0.2, StatusProb: 0.2, StallProb: 0.2, TruncProb: 0.2}
+	urls := []string{"a.js", "b.js", "index.html"}
+	r1 := replay(plan, urls, 20)
+	r2 := replay(plan, urls, 20)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("identical plans produced different response sequences")
+	}
+}
+
+// TestSeedChangesDecisions: different plan seeds explore different faults.
+func TestSeedChangesDecisions(t *testing.T) {
+	urls := []string{"a.js", "b.js"}
+	r1 := replay(Plan{Seed: 1, DropProb: 0.5}, urls, 20)
+	r2 := replay(Plan{Seed: 2, DropProb: 0.5}, urls, 20)
+	if reflect.DeepEqual(r1, r2) {
+		t.Fatal("different seeds produced identical fault decisions")
+	}
+}
+
+// TestPerURLOverrides: forced kinds win over probabilities, and KindNone
+// protects a URL under an otherwise always-failing plan.
+func TestPerURLOverrides(t *testing.T) {
+	plan := Plan{Seed: 7, DropProb: 1,
+		PerURL: map[string]Kind{"index.html": KindNone, "a.js": KindStatus}}
+	in := New(loader.New(testSite(), fixed(), 1), plan)
+	if resp := in.Fetch("index.html"); !resp.OK() {
+		t.Errorf("KindNone did not protect the entry page: %+v", resp)
+	}
+	if resp := in.Fetch("a.js"); resp.Err != nil || resp.Status < 400 {
+		t.Errorf("KindStatus override not applied: %+v", resp)
+	} else if resp.Status != 404 && resp.Status != 500 && resp.Status != 503 {
+		t.Errorf("unexpected injected status %d", resp.Status)
+	}
+	if resp := in.Fetch("b.js"); resp.Err == nil {
+		t.Errorf("DropProb=1 let b.js through: %+v", resp)
+	}
+}
+
+// TestFaultShapes: each kind produces its documented response shape.
+func TestFaultShapes(t *testing.T) {
+	for kind, check := range map[Kind]func(t *testing.T, r loader.Response){
+		KindDrop: func(t *testing.T, r loader.Response) {
+			if r.Err == nil || r.Status != 0 || r.Body != "" {
+				t.Errorf("drop: %+v", r)
+			}
+		},
+		KindRefuse: func(t *testing.T, r loader.Response) {
+			if r.Err == nil || r.Latency != 1 {
+				t.Errorf("refuse: %+v", r)
+			}
+		},
+		KindStatus: func(t *testing.T, r loader.Response) {
+			if r.Err != nil || r.Status < 400 || r.Body != "" {
+				t.Errorf("status: %+v", r)
+			}
+		},
+		KindStall: func(t *testing.T, r loader.Response) {
+			if r.Err != nil || r.Latency < 30_000 || r.Body == "" {
+				t.Errorf("stall: %+v", r)
+			}
+		},
+		KindTruncate: func(t *testing.T, r loader.Response) {
+			if r.Err != nil || !r.Truncated || len(r.Body) >= len("var a = 1;") {
+				t.Errorf("truncate: %+v", r)
+			}
+		},
+	} {
+		in := New(loader.New(testSite(), fixed(), 1), Plan{Seed: 3, PerURL: map[string]Kind{"a.js": kind}})
+		check(t, in.Fetch("a.js"))
+		if evs := in.Events(); len(evs) != 1 || evs[0].URL != "a.js" || evs[0].Kind != kind.String() {
+			t.Errorf("%s: event log %+v", kind, evs)
+		}
+	}
+}
+
+// TestRetryIndependence: successive fetches of one URL roll independent
+// decisions, so a retry loop can eventually succeed under a partial plan.
+func TestRetryIndependence(t *testing.T) {
+	in := New(loader.New(testSite(), fixed(), 1), Plan{Seed: 11, DropProb: 0.5})
+	failed, succeeded := false, false
+	for i := 0; i < 40; i++ {
+		if in.Fetch("a.js").OK() {
+			succeeded = true
+		} else {
+			failed = true
+		}
+	}
+	if !failed || !succeeded {
+		t.Errorf("40 retries at p=0.5 should both fail and succeed (failed=%v succeeded=%v)",
+			failed, succeeded)
+	}
+}
+
+// TestRateRoughlyHonored: the empirical fault rate tracks the plan.
+func TestRateRoughlyHonored(t *testing.T) {
+	plan := Plan{Seed: 5, DropProb: 0.3}
+	in := New(loader.New(testSite(), fixed(), 1), plan)
+	n, dropped := 2000, 0
+	for i := 0; i < n; i++ {
+		if in.Fetch("a.js").Err != nil {
+			dropped++
+		}
+	}
+	got := float64(dropped) / float64(n)
+	if math.Abs(got-0.3) > 0.05 {
+		t.Errorf("empirical drop rate %.3f, plan 0.3", got)
+	}
+}
+
+// TestLatencyRNGAlignment: a plan perturbs only faulted resources — the
+// latency draws of untouched URLs match the fault-free run exactly.
+func TestLatencyRNGAlignment(t *testing.T) {
+	lat := loader.DefaultLatency()
+	plain := loader.New(testSite(), lat, 9)
+	faulted := New(loader.New(testSite(), lat, 9), Plan{Seed: 1, PerURL: map[string]Kind{"a.js": KindDrop}})
+	for i := 0; i < 10; i++ {
+		p1 := plain.Fetch("a.js")
+		p2 := plain.Fetch("b.js")
+		f1 := faulted.Fetch("a.js")
+		f2 := faulted.Fetch("b.js")
+		if f2.Latency != p2.Latency {
+			t.Fatalf("fetch %d: b.js latency drifted under faults (%.3f vs %.3f)", i, f2.Latency, p2.Latency)
+		}
+		if f1.Err == nil {
+			t.Fatalf("fetch %d: forced drop did not fire", i)
+		}
+		_ = p1
+	}
+}
+
+// TestLabelStable: labels are deterministic (PerURL in sorted order) and
+// distinguish plans.
+func TestLabelStable(t *testing.T) {
+	p := Plan{Seed: 4, DropProb: 0.25, PerURL: map[string]Kind{"b.js": KindStall, "a.js": KindNone}}
+	want := "fault{seed=4 drop=0.25 a.js:none b.js:stall}"
+	for i := 0; i < 5; i++ {
+		if got := p.Label(); got != want {
+			t.Fatalf("Label = %q, want %q", got, want)
+		}
+	}
+	if ForSeed(1, 0).Label() == ForSeed(1, 1).Label() {
+		t.Error("derived plans 0 and 1 share a label")
+	}
+}
+
+// TestForSeedCoversShapes: the first six derived plans cover every shape.
+func TestForSeedCoversShapes(t *testing.T) {
+	var drop, fail, status, stall, trunc bool
+	for i := 0; i < 6; i++ {
+		p := ForSeed(1, i)
+		drop = drop || p.DropProb > 0
+		fail = fail || p.FailProb > 0
+		status = status || p.StatusProb > 0
+		stall = stall || p.StallProb > 0
+		trunc = trunc || p.TruncProb > 0
+		if p.Zero() {
+			t.Errorf("derived plan %d is a no-op", i)
+		}
+	}
+	if !(drop && fail && status && stall && trunc) {
+		t.Error("first six derived plans do not cover all fault shapes")
+	}
+}
+
+// TestMissingResourceStaysMissing: faults never resurrect a 404.
+func TestMissingResourceStaysMissing(t *testing.T) {
+	in := New(loader.New(testSite(), fixed(), 1), Plan{Seed: 1, PerURL: map[string]Kind{"gone.js": KindStall}})
+	resp := in.Fetch("gone.js")
+	if resp.Err == nil || resp.Status != 404 {
+		t.Errorf("missing resource under a stall plan: %+v", resp)
+	}
+}

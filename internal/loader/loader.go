@@ -5,6 +5,11 @@
 // latency drawn from a seeded distribution, so a given (site, seed) pair
 // always produces the same execution, and different seeds explore different
 // interleavings.
+//
+// Fetching goes through the Fetcher interface so the network model is
+// swappable: Loader is the plain success-only model; internal/fault wraps
+// any Fetcher with a deterministic fault plan (drops, HTTP error statuses,
+// stalls, truncated bodies) so error-path orderings become explorable too.
 package loader
 
 import (
@@ -52,7 +57,40 @@ type Latency struct {
 // DefaultLatency models a broadband connection: 5–80ms per resource.
 func DefaultLatency() Latency { return Latency{Base: 5, Jitter: 75} }
 
-// Loader resolves fetches against a site with simulated latency.
+// Response is the outcome of one fetch: the resource body, an HTTP-style
+// status, the virtual latency until the outcome is observable, and the
+// transport error (nil unless the resource failed to arrive at all).
+// Status is 200 on success; a missing resource is a 404 with ErrNotFound.
+// Fault injectors produce the remaining shapes: 4xx/5xx statuses with
+// empty bodies, transport errors (drop/refuse), stalled latencies, and
+// truncated bodies (Truncated set).
+type Response struct {
+	Body    string
+	Status  int
+	Latency float64
+	Err     error
+	// Truncated marks a body cut short mid-transfer by a fault.
+	Truncated bool
+}
+
+// OK reports whether the response delivered the resource: no transport
+// error and a non-error status.
+func (r Response) OK() bool { return r.Err == nil && r.Status < 400 }
+
+// Fetcher resolves URL fetches against a site. Implementations must be
+// deterministic for a fixed construction (same call sequence → same
+// responses); the browser relies on that for replayable executions.
+type Fetcher interface {
+	// Fetch returns the simulated outcome of requesting url.
+	Fetch(url string) Response
+	// Fetches reports how many fetches have been issued.
+	Fetches() int
+	// Site returns the site being served.
+	Site() *Site
+}
+
+// Loader is the plain Fetcher: every registered resource succeeds with a
+// latency drawn from the seeded distribution.
 type Loader struct {
 	site    *Site
 	lat     Latency
@@ -124,24 +162,24 @@ type ErrNotFound struct{ URL string }
 
 func (e *ErrNotFound) Error() string { return fmt.Sprintf("loader: resource %q not found", e.URL) }
 
-// Fetch returns the body of url and the simulated latency until its bytes
-// arrive. Image URLs (and any other URL ending in a known binary suffix)
-// succeed with an empty body even when unregistered: pages reference decor
-// images that only matter for their load events.
-func (l *Loader) Fetch(url string) (body string, latency float64, err error) {
+// Fetch returns the outcome of requesting url: the body and the simulated
+// latency until its bytes arrive. Image URLs (and any other URL ending in a
+// known binary suffix) succeed with an empty body even when unregistered:
+// pages reference decor images that only matter for their load events.
+func (l *Loader) Fetch(url string) Response {
 	l.fetches++
-	latency = l.lat.Base + l.rng.Float64()*l.lat.Jitter
+	lat := l.lat.Base + l.rng.Float64()*l.lat.Jitter
 	if over, ok := l.lat.PerURL[url]; ok {
-		latency = over
+		lat = over
 	}
 	b, ok := l.site.Resources[url]
 	if !ok {
 		if isBinary(url) {
-			return "", latency, nil
+			return Response{Status: 200, Latency: lat}
 		}
-		return "", latency, &ErrNotFound{URL: url}
+		return Response{Status: 404, Latency: lat, Err: &ErrNotFound{URL: url}}
 	}
-	return b, latency, nil
+	return Response{Body: b, Status: 200, Latency: lat}
 }
 
 // Fetches reports how many fetches have been issued.
@@ -150,7 +188,15 @@ func (l *Loader) Fetches() int { return l.fetches }
 // Site returns the site being served.
 func (l *Loader) Site() *Site { return l.site }
 
+// isBinary reports whether url names a decor resource (image, stylesheet,
+// font) that may succeed with an empty body when unregistered. The match
+// ignores case and any query string or fragment, so `logo.PNG` and
+// `a.png?v=2` take the binary fast path like `a.png` does.
 func isBinary(url string) bool {
+	if i := strings.IndexAny(url, "?#"); i >= 0 {
+		url = url[:i]
+	}
+	url = strings.ToLower(url)
 	for _, suf := range []string{".png", ".jpg", ".jpeg", ".gif", ".ico", ".css", ".svg", ".woff"} {
 		if strings.HasSuffix(url, suf) {
 			return true

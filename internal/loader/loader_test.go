@@ -8,15 +8,18 @@ import (
 func TestFetchRegistered(t *testing.T) {
 	site := NewSite("t").Add("a.js", "x = 1;")
 	l := New(site, Latency{Base: 10, Jitter: 5}, 1)
-	body, lat, err := l.Fetch("a.js")
-	if err != nil {
-		t.Fatal(err)
+	resp := l.Fetch("a.js")
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
 	}
-	if body != "x = 1;" {
-		t.Errorf("body = %q", body)
+	if resp.Body != "x = 1;" {
+		t.Errorf("body = %q", resp.Body)
 	}
-	if lat < 10 || lat > 15 {
-		t.Errorf("latency %v outside [10,15]", lat)
+	if resp.Status != 200 || !resp.OK() {
+		t.Errorf("status = %d", resp.Status)
+	}
+	if resp.Latency < 10 || resp.Latency > 15 {
+		t.Errorf("latency %v outside [10,15]", resp.Latency)
 	}
 	if l.Fetches() != 1 {
 		t.Errorf("Fetches = %d", l.Fetches())
@@ -25,31 +28,53 @@ func TestFetchRegistered(t *testing.T) {
 
 func TestFetchMissing(t *testing.T) {
 	l := New(NewSite("t"), Latency{Base: 1}, 1)
-	_, _, err := l.Fetch("missing.js")
+	resp := l.Fetch("missing.js")
 	var nf *ErrNotFound
-	if !errors.As(err, &nf) || nf.URL != "missing.js" {
-		t.Fatalf("err = %v", err)
+	if !errors.As(resp.Err, &nf) || nf.URL != "missing.js" {
+		t.Fatalf("err = %v", resp.Err)
+	}
+	if resp.Status != 404 || resp.OK() {
+		t.Errorf("missing resource status = %d", resp.Status)
 	}
 }
 
 func TestFetchBinaryAlwaysSucceeds(t *testing.T) {
 	l := New(NewSite("t"), Latency{Base: 1}, 1)
 	for _, url := range []string{"decor.png", "a.jpg", "b.gif", "c.css", "d.ico"} {
-		if _, _, err := l.Fetch(url); err != nil {
-			t.Errorf("binary fetch %s failed: %v", url, err)
+		if resp := l.Fetch(url); resp.Err != nil {
+			t.Errorf("binary fetch %s failed: %v", url, resp.Err)
 		}
 	}
-	if _, _, err := l.Fetch("page.html"); err == nil {
+	if resp := l.Fetch("page.html"); resp.Err == nil {
 		t.Error("missing html succeeded")
+	}
+}
+
+// TestIsBinaryCaseAndQuery: the binary fast path is case-insensitive and
+// ignores query strings and fragments — `logo.PNG` and `a.png?v=2` must
+// not spuriously 404.
+func TestIsBinaryCaseAndQuery(t *testing.T) {
+	l := New(NewSite("t"), Latency{Base: 1}, 1)
+	for _, url := range []string{
+		"logo.PNG", "a.png?v=2", "hero.JPG?cache=1&x=2", "style.CSS",
+		"icon.Ico#frag", "pic.JPEG?",
+	} {
+		if resp := l.Fetch(url); resp.Err != nil {
+			t.Errorf("binary fetch %s failed: %v", url, resp.Err)
+		}
+	}
+	for _, url := range []string{"page.html?v=2", "app.js?x=png", "png.html"} {
+		if resp := l.Fetch(url); resp.Err == nil {
+			t.Errorf("non-binary fetch %s spuriously succeeded", url)
+		}
 	}
 }
 
 func TestPerURLOverride(t *testing.T) {
 	site := NewSite("t").Add("slow.js", "x")
 	l := New(site, Latency{Base: 5, Jitter: 10, PerURL: map[string]float64{"slow.js": 500}}, 1)
-	_, lat, _ := l.Fetch("slow.js")
-	if lat != 500 {
-		t.Errorf("override ignored: %v", lat)
+	if resp := l.Fetch("slow.js"); resp.Latency != 500 {
+		t.Errorf("override ignored: %v", resp.Latency)
 	}
 }
 
@@ -59,8 +84,7 @@ func TestDeterministicLatency(t *testing.T) {
 		l := New(site, DefaultLatency(), 42)
 		var out []float64
 		for i := 0; i < 10; i++ {
-			_, lat, _ := l.Fetch("a.js")
-			out = append(out, lat)
+			out = append(out, l.Fetch("a.js").Latency)
 		}
 		return out
 	}
@@ -72,8 +96,7 @@ func TestDeterministicLatency(t *testing.T) {
 	}
 	// Different seed: different draws (overwhelmingly likely).
 	l2 := New(site, DefaultLatency(), 43)
-	_, lat2, _ := l2.Fetch("a.js")
-	if lat2 == a[0] {
+	if lat2 := l2.Fetch("a.js").Latency; lat2 == a[0] {
 		t.Log("different seeds coincided on first draw (possible but unlikely)")
 	}
 }

@@ -22,11 +22,68 @@ package pool
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// PanicError reports a panic recovered from one work item. The sweep is
+// not torn down: the remaining items still run, the panicked item's slot
+// holds the zero value (Map) or is skipped (Each), and the panic surfaces
+// in the returned error so callers can report the run as degraded instead
+// of crashing the whole sweep with it.
+type PanicError struct {
+	// Index is the input index of the item whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: item %d panicked: %v", e.Index, e.Value)
+}
+
+// Panics extracts every PanicError from an error returned by Map or Each
+// (walking joined and wrapped errors).
+func Panics(err error) []*PanicError {
+	var out []*PanicError
+	var walk func(error)
+	walk = func(err error) {
+		if err == nil {
+			return
+		}
+		if pe, ok := err.(*PanicError); ok {
+			out = append(out, pe)
+			return
+		}
+		switch u := err.(type) {
+		case interface{ Unwrap() []error }:
+			for _, e := range u.Unwrap() {
+				walk(e)
+			}
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		}
+	}
+	walk(err)
+	return out
+}
+
+// guard runs fn(i), converting a panic into a PanicError (and a zero T).
+func guard[T any](i int, fn func(i int) T) (v T, pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(i), nil
+}
 
 // Options configures one sweep.
 type Options struct {
@@ -140,6 +197,10 @@ func (c *Counters) Snapshot() Snapshot {
 //
 // On cancellation Map returns the context error; out is still n long and
 // holds the results of the items that completed (zero values elsewhere).
+//
+// A panic in fn does not crash the sweep: the item's slot keeps its zero
+// value, every other item still runs, and the panics are returned joined
+// into the error (extract them with Panics).
 func Map[T any](opts Options, n int, fn func(i int) T) ([]T, error) {
 	out := make([]T, n)
 	w := opts.workers()
@@ -147,20 +208,31 @@ func Map[T any](opts Options, n int, fn func(i int) T) ([]T, error) {
 	if opts.Counters != nil {
 		opts.Counters.Begin(n, w)
 	}
+	var mu sync.Mutex
+	var panics []error
+	run := func(worker, i int) {
+		if opts.Counters != nil {
+			opts.Counters.inFlight.Add(1)
+		}
+		v, pe := guard(i, fn)
+		out[i] = v
+		if pe != nil {
+			mu.Lock()
+			panics = append(panics, pe)
+			mu.Unlock()
+		}
+		if opts.Counters != nil {
+			opts.Counters.item(worker, 1)
+		}
+	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				return out, err
+				return out, errors.Join(append(panics, err)...)
 			}
-			if opts.Counters != nil {
-				opts.Counters.inFlight.Add(1)
-			}
-			out[i] = fn(i)
-			if opts.Counters != nil {
-				opts.Counters.item(0, 1)
-			}
+			run(0, i)
 		}
-		return out, nil
+		return out, errors.Join(panics...)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -173,18 +245,12 @@ func Map[T any](opts Options, n int, fn func(i int) T) ([]T, error) {
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				if opts.Counters != nil {
-					opts.Counters.inFlight.Add(1)
-				}
-				out[i] = fn(i)
-				if opts.Counters != nil {
-					opts.Counters.item(worker, 1)
-				}
+				run(worker, i)
 			}
 		}(wi)
 	}
 	wg.Wait()
-	return out, ctx.Err()
+	return out, errors.Join(append(panics, ctx.Err())...)
 }
 
 // Each computes fn(0..n-1) over the configured workers and delivers each
@@ -193,35 +259,47 @@ func Map[T any](opts Options, n int, fn func(i int) T) ([]T, error) {
 // items ahead of the delivery point, bounding memory for sweeps whose
 // results are large (recorded traces, full sessions) or whose n is
 // unbounded. A non-nil error from sink stops the sweep and is returned.
+//
+// A panic in fn does not crash the sweep: the panicked item is skipped —
+// sink never sees it — the remaining items still run and are delivered in
+// order, and the panics are joined into the returned error (extract them
+// with Panics).
 func Each[T any](opts Options, n int, fn func(i int) T, sink func(i int, v T) error) error {
 	w := opts.workers()
 	ctx := opts.ctx()
 	if opts.Counters != nil {
 		opts.Counters.Begin(n, w)
 	}
+	var panicsMu sync.Mutex
+	var panics []error
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				return err
+				return errors.Join(append(panics, err)...)
 			}
 			if opts.Counters != nil {
 				opts.Counters.inFlight.Add(1)
 			}
-			v := fn(i)
+			v, pe := guard(i, fn)
 			if opts.Counters != nil {
 				opts.Counters.item(0, 1)
 			}
+			if pe != nil {
+				panics = append(panics, pe)
+				continue
+			}
 			if err := sink(i, v); err != nil {
-				return err
+				return errors.Join(append(panics, err)...)
 			}
 		}
-		return nil
+		return errors.Join(panics...)
 	}
 
 	window := opts.window()
 	type slot struct {
-		i int
-		v T
+		i  int
+		v  T
+		pe *PanicError
 	}
 	// tickets admits an item only once the delivery point is within
 	// `window` of it; results carries finished items to the collector.
@@ -242,12 +320,17 @@ func Each[T any](opts Options, n int, fn func(i int) T, sink func(i int, v T) er
 				if opts.Counters != nil {
 					opts.Counters.inFlight.Add(1)
 				}
-				v := fn(i)
+				v, pe := guard(i, fn)
 				if opts.Counters != nil {
 					opts.Counters.item(worker, 1)
 				}
+				if pe != nil {
+					panicsMu.Lock()
+					panics = append(panics, pe)
+					panicsMu.Unlock()
+				}
 				select {
-				case results <- slot{i, v}:
+				case results <- slot{i, v, pe}:
 				case <-cctx.Done():
 					return
 				}
@@ -278,15 +361,19 @@ func Each[T any](opts Options, n int, fn func(i int) T, sink func(i int, v T) er
 	// Collector: reorders into input order and feeds sink. The token
 	// accounting never blocks: undelivered issued items ≤ window, so
 	// `results` holds ≤ window slots and `delivered` ≤ window tokens.
-	buf := make(map[int]T, window)
+	// Panicked slots still occupy their position — they advance the
+	// delivery point like any result — but are never handed to sink.
+	buf := make(map[int]slot, window)
 	next := 0
 	var sinkErr error
 	for next < n && sinkErr == nil && cctx.Err() == nil {
-		if v, ok := buf[next]; ok {
+		if s, ok := buf[next]; ok {
 			delete(buf, next)
-			if err := sink(next, v); err != nil {
-				sinkErr = err
-				break
+			if s.pe == nil {
+				if err := sink(next, s.v); err != nil {
+					sinkErr = err
+					break
+				}
 			}
 			next++
 			select {
@@ -297,14 +384,16 @@ func Each[T any](opts Options, n int, fn func(i int) T, sink func(i int, v T) er
 		}
 		select {
 		case s := <-results:
-			buf[s.i] = s.v
+			buf[s.i] = s
 		case <-cctx.Done():
 		}
 	}
 	cancel()
 	wg.Wait()
+	panicsMu.Lock()
+	defer panicsMu.Unlock()
 	if sinkErr != nil {
-		return sinkErr
+		return errors.Join(append(panics, sinkErr)...)
 	}
-	return ctx.Err()
+	return errors.Join(append(panics, ctx.Err())...)
 }

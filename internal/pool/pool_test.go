@@ -162,6 +162,88 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+// TestMapPanicRecovered: a panicking item does not take down the sweep —
+// every other item completes, the panicked slot holds the zero value, and
+// the panic surfaces as a PanicError carrying the failing index.
+func TestMapPanicRecovered(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		out, err := Map(Options{Workers: w}, 20, func(i int) int {
+			if i == 7 {
+				panic("injected worker crash")
+			}
+			return i + 1
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic not reported", w)
+		}
+		pes := Panics(err)
+		if len(pes) != 1 || pes[0].Index != 7 {
+			t.Fatalf("workers=%d: Panics = %+v", w, pes)
+		}
+		if pes[0].Value != "injected worker crash" || pes[0].Stack == "" {
+			t.Fatalf("workers=%d: panic detail %+v", w, pes[0])
+		}
+		for i, v := range out {
+			want := i + 1
+			if i == 7 {
+				want = 0 // zero value at the panicked slot
+			}
+			if v != want {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, want)
+			}
+		}
+	}
+}
+
+// TestEachPanicSkipsSink: the panicked item is skipped — sink never sees
+// it — but in-order delivery of everything else is preserved.
+func TestEachPanicSkipsSink(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		var got []int
+		err := Each(Options{Workers: w, Window: 3}, 30,
+			func(i int) int {
+				if i == 11 {
+					panic(i)
+				}
+				return i
+			},
+			func(i, v int) error {
+				got = append(got, i)
+				return nil
+			})
+		pes := Panics(err)
+		if len(pes) != 1 || pes[0].Index != 11 {
+			t.Fatalf("workers=%d: Panics = %+v (err %v)", w, pes, err)
+		}
+		if len(got) != 29 {
+			t.Fatalf("workers=%d: delivered %d of 29", w, len(got))
+		}
+		want := 0
+		for _, i := range got {
+			if i == 11 {
+				t.Fatalf("workers=%d: sink saw the panicked item", w)
+			}
+			if want == 11 {
+				want++
+			}
+			if i != want {
+				t.Fatalf("workers=%d: delivery order broken: %v", w, got)
+			}
+			want++
+		}
+	}
+}
+
+// TestPanicsNil: no panics, no extraction.
+func TestPanicsNil(t *testing.T) {
+	if pes := Panics(nil); pes != nil {
+		t.Fatalf("Panics(nil) = %v", pes)
+	}
+	if pes := Panics(errors.New("plain")); len(pes) != 0 {
+		t.Fatalf("Panics(plain) = %v", pes)
+	}
+}
+
 // TestSerialInline: Workers == 1 must run on the calling goroutine so the
 // serial entry points keep their exact execution profile.
 func TestSerialInline(t *testing.T) {

@@ -66,6 +66,11 @@ type Report struct {
 	// operation that read the same location immediately beforehand — the
 	// check-then-write idiom the §5.3 form filter treats as harmless.
 	WriterReadFirst bool
+	// Env labels the environment the race was detected under — the fault
+	// plan of the run, stamped by the session layer. Empty for fault-free
+	// runs; a non-empty Env means the race needs that plan's injected
+	// failures to reproduce.
+	Env string
 }
 
 func (r Report) String() string {

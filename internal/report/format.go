@@ -49,6 +49,9 @@ func Format(w io.Writer, reports []race.Report, ops OpDescriber, harmful []bool)
 			if r.WriterReadFirst {
 				fmt.Fprintf(w, "     note: the writer read the location first (check-then-write)\n")
 			}
+			if r.Env != "" {
+				fmt.Fprintf(w, "     env: %s\n", r.Env)
+			}
 		}
 	}
 	return nil

@@ -79,6 +79,24 @@ type Spec struct {
 	// asynchronous requests whose completion handlers write one shared
 	// slot, so the page's final state depends on response order.
 	AjaxRaces int
+
+	// Fault-sensitive patterns (see FaultSpec). These are never drawn by
+	// SpecFor — the timing-only corpus stays byte-identical — and their
+	// races are gated on resource failures, so they only surface under a
+	// fault plan (internal/fault).
+
+	// FragileImages is the number of images carrying an onerror fallback
+	// writer that races a timer — reachable only when the image fetch
+	// fails.
+	FragileImages int
+	// CDNScripts is the number of async scripts with an onerror fallback
+	// writer (the lost-CDN idiom); the error handler's write races a
+	// timer, and only exists when the script fetch fails.
+	CDNScripts int
+	// XHRRetries is the number of XHR retry loops: a request with a
+	// timeout whose onerror/ontimeout handlers re-issue it, racing a
+	// cached-value timer for the result slot.
+	XHRRetries int
 }
 
 // companyNames gives the corpus fortune-ish flavor (fictional).
@@ -111,6 +129,25 @@ func StressSpec(i int) Spec {
 		IframePairs:   20,
 		MultiHandlers: 40,
 		AjaxRaces:     40,
+	}
+}
+
+// FaultSpec returns the blueprint of fault-corpus page i: small pages
+// whose planted races are gated on resource failures — an image onerror
+// fallback, a lost-CDN script handler, an XHR retry loop. Fault-free,
+// these pages are race-free on the gated locations (every resource
+// arrives, no error handler runs); under a fault plan the error path
+// executes and the races appear. The chaos sweep and the fault golden
+// fixture run over these.
+func FaultSpec(i int) Spec {
+	return Spec{
+		Index:         700 + i,
+		Name:          fmt.Sprintf("fault%02d", i),
+		Paragraphs:    2,
+		DecorImgs:     1,
+		FragileImages: 1 + i%3,
+		CDNScripts:    i % 2,
+		XHRRetries:    1 + i%2,
 	}
 }
 
@@ -280,6 +317,15 @@ func (g *gen) build() {
 	}
 	for i := 0; i < s.AjaxRaces; i++ {
 		g.ajaxRace(i)
+	}
+	for i := 0; i < s.FragileImages; i++ {
+		g.fragileImage(i)
+	}
+	for i := 0; i < s.CDNScripts; i++ {
+		g.cdnScript(i)
+	}
+	for i := 0; i < s.XHRRetries; i++ {
+		g.xhrRetry(i)
 	}
 
 	var page strings.Builder
@@ -517,6 +563,63 @@ fetchInto%d("price%d.json");
 fetchInto%d("promo%d.json");
 </script>
 `, i, i, i, i, i, i, i)
+}
+
+// fragileImage plants a fault-gated race: the image's onerror fallback
+// writer shares a slot with a timer. Fault-free the image always arrives
+// (binary resources never 404), the handler never runs, and the slot has
+// a single writer — no race under any schedule. A plan that drops or
+// 404s the image runs the handler concurrently with the timer.
+func (g *gen) fragileImage(i int) {
+	fmt.Fprintf(&g.top, `
+<img src="fragile%d.png" alt="cdn asset" onerror="imgFallback%d = (typeof imgFallback%d == 'undefined') ? 1 : imgFallback%d + 1;" />
+<script>
+setTimeout(function() { imgFallback%d = 0; }, %d);
+</script>
+`, i, i, i, i, i, 8+i*5)
+}
+
+// cdnScript plants the lost-CDN idiom: an async third-party script whose
+// onerror handler records the failure into a slot a timer also writes.
+// The script body never touches the slot, so the race needs the fetch to
+// fail.
+func (g *gen) cdnScript(i int) {
+	g.site.Add(fmt.Sprintf("cdn%d.js", i),
+		fmt.Sprintf("function cdnLib%d() { cdnUsed%d = 1; }", i, i))
+	fmt.Fprintf(&g.top, `
+<div id="cdnw%d" onclick="if (typeof cdnLib%d == 'function') { cdnLib%d(); }">widget</div>
+<script src="cdn%d.js" async="true" onerror="cdnFail%d = (typeof cdnFail%d == 'undefined') ? 1 : cdnFail%d + 1;"></script>
+<script>
+setTimeout(function() { cdnFail%d = 0; }, %d);
+</script>
+`, i, i, i, i, i, i, i, i, 12+i*5)
+}
+
+// xhrRetry plants an XHR retry loop: the request carries a timeout, and
+// its onerror/ontimeout handlers re-issue it (up to 3 attempts) while a
+// timer installs a cached value into the same result slot. Fault-free the
+// single response races only the cached-value timer; under stall or drop
+// plans the retries multiply the orderings and the retry bookkeeping.
+func (g *gen) xhrRetry(i int) {
+	url := fmt.Sprintf("feed%d.json", i)
+	g.site.Add(url, `{"items": 3}`)
+	fmt.Fprintf(&g.top, `
+<script>
+var feedTries%d = 0;
+function pollFeed%d() {
+  feedTries%d = feedTries%d + 1;
+  var x = new XMLHttpRequest();
+  x.timeout = 60;
+  x.onload = function() { feedData%d = x.responseText; };
+  x.onerror = function() { if (feedTries%d < 3) { setTimeout(pollFeed%d, 5); } };
+  x.ontimeout = function() { if (feedTries%d < 3) { setTimeout(pollFeed%d, 5); } };
+  x.open("GET", %q);
+  x.send();
+}
+pollFeed%d();
+setTimeout(function() { feedData%d = "cached"; }, %d);
+</script>
+`, i, i, i, i, i, i, i, i, i, url, i, i, 25+i*7)
 }
 
 // iframePair plants Fig. 1: two frames racing on one logical global.

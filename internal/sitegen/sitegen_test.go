@@ -1,6 +1,7 @@
 package sitegen
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -144,5 +145,40 @@ func TestGenerateCorpus(t *testing.T) {
 			t.Errorf("duplicate site name %q", s.Name)
 		}
 		names[s.Name] = true
+	}
+}
+
+// TestFaultSpecResources: the fault-corpus pages carry the resources the
+// fault-sensitive patterns reference, and SpecFor never draws those
+// patterns (the main corpus stays fault-free-clean).
+func TestFaultSpecResources(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		spec := FaultSpec(i)
+		if spec != FaultSpec(i) {
+			t.Fatalf("FaultSpec(%d) not deterministic", i)
+		}
+		site := Generate(spec)
+		index := site.Resources["index.html"]
+		for j := 0; j < spec.FragileImages; j++ {
+			if !strings.Contains(index, fmt.Sprintf("fragile%d.png", j)) {
+				t.Errorf("site %d: fragile%d.png not referenced", i, j)
+			}
+		}
+		for j := 0; j < spec.CDNScripts; j++ {
+			if _, ok := site.Resources[fmt.Sprintf("cdn%d.js", j)]; !ok {
+				t.Errorf("site %d: cdn%d.js missing", i, j)
+			}
+		}
+		for j := 0; j < spec.XHRRetries; j++ {
+			if _, ok := site.Resources[fmt.Sprintf("feed%d.json", j)]; !ok {
+				t.Errorf("site %d: feed%d.json missing", i, j)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		s := SpecFor(1, i)
+		if s.FragileImages != 0 || s.CDNScripts != 0 || s.XHRRetries != 0 {
+			t.Fatalf("SpecFor drew a fault-sensitive pattern at index %d: %+v", i, s)
+		}
 	}
 }

@@ -16,16 +16,21 @@ import (
 // the paper chose not to keep, so results can be archived, diffed between
 // versions of a site, or analyzed offline.
 type Session struct {
-	Site    string          `json:"site"`
-	Seed    int64           `json:"seed"`
-	Ops     []SessionOp     `json:"ops"`
-	Edges   [][2]int32      `json:"edges"`
-	Races   []SessionRace   `json:"races"`
-	Errors  []string        `json:"errors,omitempty"`
-	Console []string        `json:"console,omitempty"`
-	Counts  map[string]int  `json:"counts"`
-	Explore map[string]int  `json:"explore,omitempty"`
-	Trace   []SessionAccess `json:"trace,omitempty"`
+	Site string `json:"site"`
+	Seed int64  `json:"seed"`
+	// Fault is the fault-plan label the session ran under (omitted for
+	// fault-free sessions).
+	Fault string `json:"fault,omitempty"`
+	// Interrupted names why the session stopped early, if it did.
+	Interrupted string          `json:"interrupted,omitempty"`
+	Ops         []SessionOp     `json:"ops"`
+	Edges       [][2]int32      `json:"edges"`
+	Races       []SessionRace   `json:"races"`
+	Errors      []string        `json:"errors,omitempty"`
+	Console     []string        `json:"console,omitempty"`
+	Counts      map[string]int  `json:"counts"`
+	Explore     map[string]int  `json:"explore,omitempty"`
+	Trace       []SessionAccess `json:"trace,omitempty"`
 }
 
 // SessionOp is one operation.
@@ -44,6 +49,9 @@ type SessionRace struct {
 	Current         SessionAccess `json:"current"`
 	WriterReadFirst bool          `json:"writerReadFirst,omitempty"`
 	Harmful         *bool         `json:"harmful,omitempty"`
+	// Env is the fault-plan label the race was found under (empty for
+	// fault-free runs).
+	Env string `json:"env,omitempty"`
 }
 
 // SessionAccess is one memory access.
@@ -61,10 +69,14 @@ type SessionAccess struct {
 func Export(res *Result, seed int64, harm *Harm, includeTrace bool) *Session {
 	b := res.Browser
 	s := &Session{
-		Site:    res.Site,
-		Seed:    seed,
-		Console: b.Console,
-		Counts:  map[string]int{},
+		Site:        res.Site,
+		Seed:        seed,
+		Console:     b.Console,
+		Counts:      map[string]int{},
+		Interrupted: res.Interrupted,
+	}
+	if res.Fault != nil {
+		s.Fault = res.Fault.Label()
 	}
 	for i := 1; i <= b.Ops.Len(); i++ {
 		o := b.Ops.Get(op.ID(i))
@@ -82,6 +94,7 @@ func Export(res *Result, seed int64, harm *Harm, includeTrace bool) *Session {
 			Prior:           exportAccess(r.Prior),
 			Current:         exportAccess(r.Current),
 			WriterReadFirst: r.WriterReadFirst,
+			Env:             r.Env,
 		}
 		if harm != nil && i < len(harm.Harmful) {
 			v := harm.Harmful[i]

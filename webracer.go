@@ -26,10 +26,12 @@ package webracer
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"webracer/internal/browser"
 	"webracer/internal/dom"
 	"webracer/internal/explore"
+	"webracer/internal/fault"
 	"webracer/internal/hb"
 	"webracer/internal/loader"
 	"webracer/internal/mem"
@@ -79,6 +81,14 @@ type Config struct {
 	Browser browser.Config
 	// EntryURL is the page to load (default "index.html").
 	EntryURL string
+	// Fault, when non-nil, injects deterministic network faults per the
+	// plan (see internal/fault): the run's races are annotated with the
+	// plan label and Result.FaultEvents records what was injected.
+	Fault *fault.Plan
+	// RunTimeout caps the run's wall-clock time; 0 means unlimited. A
+	// tripped timeout yields a partial Result with Interrupted set rather
+	// than an error — sweeps report such runs as degraded.
+	RunTimeout time.Duration
 }
 
 // DefaultConfig matches the paper's evaluation configuration: automatic
@@ -126,6 +136,19 @@ func WithBrowser(f func(*browser.Config)) Option {
 	return func(c *Config) { f(&c.Browser) }
 }
 
+// WithFaultPlan injects deterministic network faults per plan (see
+// internal/fault). Same (site, seed, plan) ⇒ same execution, byte for
+// byte; races found under the plan are annotated with its label.
+func WithFaultPlan(p fault.Plan) Option {
+	return func(c *Config) { c.Fault = &p }
+}
+
+// WithTimeout caps the run's wall-clock time. A tripped timeout yields a
+// partial Result (Interrupted names the reason) instead of an error.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Config) { c.RunTimeout = d }
+}
+
 // NewConfig builds a Config from options, starting from DefaultConfig(0).
 func NewConfig(opts ...Option) Config {
 	cfg := DefaultConfig(0)
@@ -155,6 +178,14 @@ type Result struct {
 	ExploreStats explore.Stats
 	// Browser exposes the finished session for further inspection.
 	Browser *browser.Browser
+	// Fault is the plan the run executed under (nil for fault-free runs).
+	Fault *fault.Plan
+	// FaultEvents are the injections that actually fired, in fetch order.
+	FaultEvents []fault.Event
+	// Interrupted names why the run stopped early (wall-clock budget,
+	// cancellation, virtual-time/task safety bounds); empty for complete
+	// runs. An interrupted Result holds valid partial results.
+	Interrupted string
 }
 
 // Run loads the site, optionally explores it, and reports races. The
@@ -198,8 +229,25 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 	bcfg.Seed = cfg.Seed
 	bcfg.SharedFrameGlobals = true
 	bcfg.RecordTrace = cfg.RecordTrace
+	if cfg.RunTimeout > 0 {
+		bcfg.WallBudget = cfg.RunTimeout
+	}
 	if bcfg.Detector == nil {
 		bcfg.Detector = detectorFactory(cfg.Detector, bcfg.ReportAll)
+	}
+	var inj *fault.Injector
+	if cfg.Fault != nil {
+		// Compose with any caller-supplied wrapper: the injector sits
+		// outermost so its decisions see the same fetch sequence the
+		// fault-free run would issue.
+		userWrap := bcfg.WrapFetcher
+		bcfg.WrapFetcher = func(f loader.Fetcher) loader.Fetcher {
+			if userWrap != nil {
+				f = userWrap(f)
+			}
+			inj = fault.New(f, *cfg.Fault)
+			return inj
+		}
 	}
 	b := browser.New(site, bcfg)
 	entry := cfg.EntryURL
@@ -225,6 +273,20 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 	res.Counts = report.Count(res.Reports)
 	res.Errors = b.Errors
 	res.Ops = b.Ops.Len()
+	res.Interrupted = b.Interrupted
+	if cfg.Fault != nil {
+		res.Fault = cfg.Fault
+		if inj != nil {
+			res.FaultEvents = inj.Events()
+		}
+		env := cfg.Fault.Label()
+		for i := range res.RawReports {
+			res.RawReports[i].Env = env
+		}
+		for i := range res.Reports {
+			res.Reports[i].Env = env
+		}
+	}
 	return res
 }
 
