@@ -1,12 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos bench bench-all benchcmp examples experiments outputs clean
+.PHONY: all build vet test chaos obs bench bench-all benchcmp examples experiments outputs clean
 
 # Repetitions for the detector benchmarks; raise for benchstat-grade noise
 # bounds (e.g. `make bench BENCH_COUNT=10`).
 BENCH_COUNT ?= 5
 
-all: build vet test
+all: build vet test obs
 
 build:
 	go build ./...
@@ -27,10 +27,20 @@ chaos:
 	go test -race -run 'TestFault|TestGoldenFaultSweep|TestXHR' . ./internal/fault/ ./internal/browser/
 	go run ./cmd/experiments -faults
 
+# Telemetry determinism gate: regenerate the golden-site metrics
+# snapshots with `experiments -obs` and byte-compare them against the
+# pinned goldens (testdata/golden/metrics-*.json). Drift means the
+# counters moved — update deliberately with
+# `go test -run TestGoldenMetrics -update .`.
+obs:
+	./scripts/metricsdiff.sh
+
 # The detector/replay benchmarks (the E4 speedup battery), repeated
-# BENCH_COUNT times so scripts/benchcmp.sh can bound the noise.
+# BENCH_COUNT times so scripts/benchcmp.sh can bound the noise. The
+# -json stream is rendered back to the usual text on stdout while
+# scripts/benchjson.sh distills it into machine-readable BENCH_pr4.json.
 bench:
-	go test -run '^$$' -bench 'Detector|ReplayVC' -benchmem -count $(BENCH_COUNT) .
+	go test -run '^$$' -bench 'Detector|ReplayVC' -benchmem -count $(BENCH_COUNT) -json . | ./scripts/benchjson.sh BENCH_pr4.json
 
 # Every benchmark in the repo, single pass.
 bench-all:

@@ -8,7 +8,9 @@
 // Usage:
 //
 //	experiments [-sites 100] [-seed 1] [-workers N] [-progress]
-//	            [-table1] [-table2] [-perf] [-ablate]
+//	            [-table1] [-table2] [-perf] [-ablate] [-extensions]
+//	            [-faults] [-obs] [-metrics-dir DIR] [-trace FILE]
+//	            [-pprof PREFIX]
 //
 // With no experiment flags, everything runs. Corpus sweeps (Tables 1-2,
 // the E6 ablations) shard over -workers; results are identical at any
@@ -28,6 +30,7 @@ import (
 	"webracer"
 	"webracer/internal/hb"
 	"webracer/internal/loader"
+	"webracer/internal/obs"
 	"webracer/internal/pool"
 	"webracer/internal/race"
 	"webracer/internal/report"
@@ -50,11 +53,28 @@ func main() {
 		ablate = flag.Bool("ablate", false, "graph vs vector-clock detector ablation (E4)")
 		exts   = flag.Bool("extensions", false, "beyond-the-paper extension ablations (E6)")
 		flt    = flag.Bool("faults", false, "deterministic fault injection: races vs fault rate (E8)")
+		obsE   = flag.Bool("obs", false, "deterministic telemetry: per-site instrumentation table from metrics (E9)")
+		mDir   = flag.String("metrics-dir", "", "with -obs: also write each site's metrics JSON into this directory (files match testdata/golden/metrics-*.json)")
+		traceF = flag.String("trace", "", "with -obs: also write fig1's virtual-time Chrome trace to this file")
+		pprofP = flag.String("pprof", "", "write process CPU and heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 	)
 	flag.IntVar(&workers, "workers", runtime.NumCPU(), "parallel workers for corpus sweeps (identical results at any count)")
 	flag.BoolVar(&showProgress, "progress", false, "stream live per-worker sweep counters to stderr")
 	flag.Parse()
-	all := !*table1 && !*table2 && !*perf && !*ablate && !*exts && !*flt
+	all := !*table1 && !*table2 && !*perf && !*ablate && !*exts && !*flt && !*obsE
+
+	if *pprofP != "" {
+		finish, err := obs.Profile(*pprofP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := finish(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	if *table1 || all {
 		runTable1(*seed, *sites)
@@ -73,6 +93,9 @@ func main() {
 	}
 	if *flt || all {
 		runFaults(*seed)
+	}
+	if *obsE || all {
+		runObs(*seed, *mDir, *traceF)
 	}
 }
 
@@ -442,4 +465,104 @@ func runFaults(seed int64) {
 	fmt.Printf("distinct fault-exposed locations: %d (degraded %d, skipped %d)\n", exposed, degraded, skipped)
 	fmt.Printf("(%s; same numbers at any -workers — every injection is a pure\n", sweepStats(nSites*(nPlans+1), time.Since(start)))
 	fmt.Printf(" function of (plan seed, URL, fetch index). See EXPERIMENTS.md E8.)\n\n")
+}
+
+// runObs is E9: the deterministic telemetry layer. It re-runs the three
+// golden sites (the paper's Fig. 1 and Fig. 4 plus one synthetic corpus
+// site) with -metrics-style telemetry enabled and reprints the §6-style
+// instrumentation table straight from the counter registry. With
+// -metrics-dir the per-site snapshots are written using the same names as
+// testdata/golden/metrics-*.json so scripts/metricsdiff.sh can diff them;
+// with -trace, fig1's virtual-time Chrome trace is exported for Perfetto.
+func runObs(seed int64, metricsDir, traceFile string) {
+	cases := []struct {
+		name string
+		site *loader.Site
+	}{
+		{"fig1", sitegen.Fig1()},
+		{"fig4", sitegen.Fig4()},
+		{"sitegen-07", sitegen.Generate(sitegen.SpecFor(1, 7))},
+	}
+	fmt.Printf("== E9: deterministic telemetry over the %d golden sites ==\n", len(cases))
+	cfg := webracer.DefaultConfig(seed)
+	cfg.Telemetry = true
+	results, err := webracer.RunCorpusParallel(len(cases), func(i int) *loader.Site {
+		return cases[i].site
+	}, cfg, webracer.ParallelConfig{Workers: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+
+	cols := []struct{ header, key string }{
+		{"ops", "browser.ops"},
+		{"hb-nodes", "hb.nodes"},
+		{"hb-edges", "hb.edges"},
+		{"js-steps", "js.steps"},
+		{"checks", "detector.checks"},
+		{"epoch%", ""}, // computed below
+		{"races", "race.reports"},
+	}
+	fmt.Printf("%-12s", "site")
+	for _, c := range cols {
+		fmt.Printf(" %9s", c.header)
+	}
+	fmt.Println()
+	for i, res := range results {
+		if res == nil || res.Metrics == nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s produced no metrics\n", cases[i].name)
+			continue
+		}
+		snap := res.Metrics.Snapshot()
+		fmt.Printf("%-12s", cases[i].name)
+		for _, c := range cols {
+			if c.header == "epoch%" {
+				pct := 0.0
+				if checks := snap["detector.checks"]; checks > 0 {
+					pct = 100 * float64(snap["detector.epoch_hits"]) / float64(checks)
+				}
+				fmt.Printf(" %8.1f%%", pct)
+				continue
+			}
+			fmt.Printf(" %9d", snap[c.key])
+		}
+		fmt.Println()
+		if metricsDir != "" {
+			path := metricsDir + "/metrics-" + cases[i].name + ".json"
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				continue
+			}
+			if err := res.Metrics.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}
+	}
+
+	if traceFile != "" {
+		res := webracer.Run(cases[0].site, webracer.WithSeed(seed), webracer.WithTimeTrace())
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		} else {
+			if err := res.Trace.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			} else {
+				fmt.Printf("(fig1 virtual-time trace written to %s — load in chrome://tracing or ui.perfetto.dev)\n", traceFile)
+			}
+		}
+	}
+	fmt.Printf("(counters fold end-of-run state; identical bytes at any -workers and across runs.\n")
+	fmt.Printf(" See EXPERIMENTS.md E9 and DESIGN.md \"Observability\".)\n\n")
 }

@@ -16,6 +16,11 @@
 //	-fault-seed S       base seed for fault-plan derivation (default: -seed)
 //	-timeout D          per-run wall-clock budget (tripped runs degrade, not fail)
 //	-workers N          parallel workers for -seeds / -faults / -harm sweeps
+//	-metrics F          write the run's deterministic telemetry counters as JSON to F
+//	-trace F            write a virtual-time Chrome trace (chrome://tracing) to F
+//	-pprof P            write P.cpu.pprof and P.heap.pprof profiles
+//	-progress           print live sweep progress (done/total, rate, ETA) to stderr
+//	-live ADDR          serve live /progress and /metrics JSON on ADDR
 //	-v                  also print page errors and console output
 //
 // Exit status is 1 when races are found (useful in CI for your own site).
@@ -26,14 +31,20 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"webracer"
 	"webracer/internal/fault"
 	"webracer/internal/loader"
+	"webracer/internal/obs"
 	"webracer/internal/report"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so deferred cleanups (profile stop, live
+// server shutdown, progress printer) always execute.
+func run() int {
 	var (
 		entry     = flag.String("entry", "index.html", "entry page within the site directory")
 		seed      = flag.Int64("seed", 1, "simulation seed")
@@ -52,18 +63,36 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 0, "base seed for the fault-plan derivation (default: -seed)")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget; tripped runs report partial results as degraded")
 		workers   = flag.Int("workers", runtime.NumCPU(), "parallel workers for seed sweeps, fault sweeps and harm replays (results are identical at any count)")
+		metricsF  = flag.String("metrics", "", "write the run's deterministic telemetry counters as JSON to this file")
+		traceF    = flag.String("trace", "", "write a virtual-time Chrome trace (load in chrome://tracing or Perfetto) to this file")
+		pprofP    = flag.String("pprof", "", "write CPU and heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
+		progress  = flag.Bool("progress", false, "print live sweep progress (done/total, rate, ETA) to stderr during -seeds/-faults/-harm sweeps")
+		liveAddr  = flag.String("live", "", "serve live /progress and /metrics JSON on this address (e.g. localhost:8077)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: webracer [flags] <site-dir>")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
 	}
 	dir := flag.Arg(0)
 	site, err := loader.LoadDir(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "webracer:", err)
-		os.Exit(2)
+		return 2
+	}
+
+	if *pprofP != "" {
+		finish, err := obs.Profile(*pprofP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+			return 2
+		}
+		defer func() {
+			if err := finish(); err != nil {
+				fmt.Fprintln(os.Stderr, "webracer:", err)
+			}
+		}()
 	}
 
 	opts := []webracer.Option{
@@ -80,6 +109,12 @@ func main() {
 	if *timeout > 0 {
 		opts = append(opts, webracer.WithTimeout(*timeout))
 	}
+	if *metricsF != "" || *liveAddr != "" {
+		opts = append(opts, webracer.WithTelemetry())
+	}
+	if *traceF != "" {
+		opts = append(opts, webracer.WithTimeTrace())
+	}
 	switch *detector {
 	case "pairwise":
 	case "pairwise-vc":
@@ -88,26 +123,53 @@ func main() {
 		opts = append(opts, webracer.WithDetector(webracer.DetectorAccessSet))
 	default:
 		fmt.Fprintf(os.Stderr, "webracer: unknown detector %q\n", *detector)
-		os.Exit(2)
+		return 2
 	}
 	cfg := webracer.NewConfig(opts...)
 
 	pcfg := webracer.ParallelConfig{Workers: *workers}
+	var counters *webracer.Progress
+	if *progress || *liveAddr != "" {
+		counters = &webracer.Progress{}
+		pcfg.Progress = counters
+	}
+
 	res := webracer.RunConfig(site, cfg)
+
+	if *liveAddr != "" {
+		url, stopLive, err := obs.StartLive(*liveAddr, func() map[string]any {
+			s := counters.Snapshot()
+			return map[string]any{
+				"total": s.Total, "done": s.Done, "inFlight": s.InFlight,
+				"perSecond": s.PerSecond, "elapsedMS": s.Elapsed.Milliseconds(),
+			}
+		}, res.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+			return 2
+		}
+		defer stopLive()
+		fmt.Fprintf(os.Stderr, "live progress at %s/progress and %s/metrics\n", url, url)
+	}
+	if *progress {
+		stop := startProgressPrinter(counters)
+		defer stop()
+	}
+
 	var harmful *webracer.Harm
 	if *harm {
 		var err error
 		harmful, err = webracer.ClassifyHarmfulParallel(site, cfg, res, pcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "webracer:", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 	if *seeds > 1 {
 		sweep, err := webracer.RunSeedsParallel(site, cfg, *seeds, pcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "webracer:", err)
-			os.Exit(2)
+			return 2
 		}
 		stable, flaky := sweep.Stable()
 		fmt.Printf("seed sweep (%d seeds): %d location(s) stable, %d schedule-dependent\n",
@@ -127,7 +189,7 @@ func main() {
 		sweep, err := webracer.RunFaultSweep(site, cfg, fc, pcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "webracer:", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("fault sweep (%d plans): %d location(s) total, %d only under faults\n",
 			*faults, len(sweep.Locations), len(sweep.NewlyExposed))
@@ -171,7 +233,7 @@ func main() {
 		f, err := os.Create(*jsonFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "webracer:", err)
-			os.Exit(2)
+			return 2
 		}
 		sess := webracer.Export(res, *seed, harmful, false)
 		if err := sess.WriteJSON(f); err != nil {
@@ -184,13 +246,27 @@ func main() {
 		f, err := os.Create(*dotFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "webracer:", err)
-			os.Exit(2)
+			return 2
 		}
 		if err := res.Browser.HB.WriteDOT(f, res.Browser.Ops); err != nil {
 			fmt.Fprintln(os.Stderr, "webracer:", err)
 		}
 		f.Close()
 		fmt.Printf("happens-before graph written to %s\n", *dotFile)
+	}
+	if *metricsF != "" {
+		if err := writeMetrics(*metricsF, res); err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+			return 2
+		}
+		fmt.Printf("metrics written to %s\n", *metricsF)
+	}
+	if *traceF != "" {
+		if err := writeTrace(*traceF, res); err != nil {
+			fmt.Fprintln(os.Stderr, "webracer:", err)
+			return 2
+		}
+		fmt.Printf("virtual-time trace written to %s\n", *traceF)
 	}
 	if harmful != nil {
 		for _, ev := range harmful.Evidence {
@@ -209,6 +285,63 @@ func main() {
 			st.Ops, st.Edges, st.TasksRun, st.VirtualTime, st.Windows, st.Fetches)
 	}
 	if len(res.Reports) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func writeMetrics(path string, res *webracer.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.Metrics.WriteJSON(f)
+}
+
+func writeTrace(path string, res *webracer.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.Trace.WriteJSON(f)
+}
+
+// startProgressPrinter prints sweep progress (fed by the shared
+// pool.Counters; each sweep re-arms them with its own total) to stderr
+// twice a second. The returned stop func ends the printer and terminates
+// the status line.
+func startProgressPrinter(c *webracer.Progress) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		printed := false
+		for {
+			select {
+			case <-done:
+				if printed {
+					fmt.Fprintln(os.Stderr)
+				}
+				return
+			case <-tick.C:
+				s := c.Snapshot()
+				if s.Total == 0 {
+					continue
+				}
+				eta := "?"
+				if s.PerSecond > 0 && s.Done <= s.Total {
+					left := float64(s.Total-s.Done) / s.PerSecond
+					eta = (time.Duration(left * float64(time.Second))).Truncate(100 * time.Millisecond).String()
+				}
+				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d done, %d in flight, %.1f runs/s, eta %s   ",
+					s.Done, s.Total, s.InFlight, s.PerSecond, eta)
+				printed = true
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
 }

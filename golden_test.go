@@ -29,16 +29,8 @@ func goldenCases() []struct {
 		name string
 		site *loader.Site
 	}{
-		{"fig1", loader.NewSite("fig1").
-			Add("index.html", `<script>x = 1;</script>
-<iframe src="a.html"></iframe><iframe src="b.html"></iframe>`).
-			Add("a.html", `<script>x = 2;</script>`).
-			Add("b.html", `<script>alert(x);</script>`)},
-		{"fig4", loader.NewSite("fig4").
-			Add("index.html", `
-<iframe id="i" src="sub.html" onload="setTimeout(doNextStep, 20)"></iframe>
-<script>function doNextStep() { done = 1; }</script>`).
-			Add("sub.html", `<p>sub</p>`)},
+		{"fig1", sitegen.Fig1()},
+		{"fig4", sitegen.Fig4()},
 		{"sitegen-07", sitegen.Generate(sitegen.SpecFor(1, 7))},
 	}
 }

@@ -490,9 +490,14 @@ func (w *Window) installTimer(args []js.Value, interval bool) (js.Value, error) 
 		kind = op.KindInterval
 		label = fmt.Sprintf("cb0 setInterval(%.0fms)", delay)
 	}
+	b.mTimers.Inc()
 	cb := b.newOp(kind, label)
 	b.HB.Edge(b.curOp, cb) // HB rule 16 (and rule 17's A ⇝ cb₀)
 	rec.lastCb = cb
+	if tr := b.cfg.Trace; tr != nil {
+		tr.AsyncBegin("timer", label, timerSpanID(cb), b.clock, nil)
+		rec.armed = true
+	}
 	if b.cfg.InstrumentTimerClears {
 		// §7 extension: the timer slot is a logical location.
 		rec.slot = b.Serials.Next()
@@ -513,6 +518,10 @@ func (w *Window) fireTimer(id int, rec *timerRec, cb op.ID) {
 	// clearTimeout still performs its slot write — that write is exactly
 	// the racing access of the §7 timer-clear extension.
 	rec.fired = true
+	if tr := b.cfg.Trace; tr != nil && rec.armed {
+		tr.AsyncEnd("timer", b.Ops.Get(cb).Label, timerSpanID(cb), b.clock, nil)
+		rec.armed = false
+	}
 	b.withOp(cb, func() {
 		if b.cfg.InstrumentTimerClears {
 			b.Access(mem.Read, mem.HandlerLoc(w.winNode.Serial, "timer", rec.slot),
@@ -528,6 +537,10 @@ func (w *Window) fireTimer(id int, rec *timerRec, cb op.ID) {
 		next := b.newOp(op.KindInterval, fmt.Sprintf("cb%d setInterval(%.0fms)", rec.ticks, rec.every))
 		b.HB.Edge(cb, next) // HB rule 17: cbᵢ ⇝ cbᵢ₊₁
 		rec.lastCb = next
+		if tr := b.cfg.Trace; tr != nil {
+			tr.AsyncBegin("timer", b.Ops.Get(next).Label, timerSpanID(next), b.clock, nil)
+			rec.armed = true
+		}
 		// Later ticks are weak tasks: once everything else has
 		// quiesced, a never-cleared interval (Gomez-style polling)
 		// stops keeping the session alive.
@@ -563,6 +576,11 @@ func (w *Window) nativeClearTimer(it *js.Interp, _ js.Value, args []js.Value) (j
 		}
 		rec.cleared = true
 		cancel(rec.task)
+		if tr := w.b.cfg.Trace; tr != nil && rec.armed {
+			tr.AsyncEnd("timer", w.b.Ops.Get(rec.lastCb).Label, timerSpanID(rec.lastCb),
+				w.b.clock, map[string]any{"cancelled": true})
+			rec.armed = false
+		}
 	}
 	return js.Undefined, nil
 }
@@ -587,6 +605,10 @@ type xhrHost struct {
 	body     string
 	sendErr  error
 }
+
+// spanID names the request's async trace span by its hidden target node,
+// which is unique per XHR instance.
+func (h *xhrHost) spanID() string { return fmt.Sprintf("x%d", h.node.Serial) }
 
 // xhrHandlerProps maps on-event properties to their event names.
 var xhrHandlerProps = map[string]string{
@@ -623,8 +645,12 @@ func (h *xhrHost) HostGet(it *js.Interp, name string) (js.Value, bool, error) {
 				return js.Undefined, nil
 			}
 			h.sent = true
+			b.mXHRs.Inc()
 			sendOp := b.curOp
-			resp := b.Loader.Fetch(h.url)
+			resp := b.fetch(h.url)
+			if tr := b.cfg.Trace; tr != nil {
+				tr.AsyncBegin("xhr", h.method+" "+h.url, h.spanID(), b.clock, nil)
+			}
 			if h.timeout > 0 && h.timeout < resp.Latency {
 				// The deadline beats the response: the request settles as
 				// a timeout and the (still-scheduled) arrival is ignored.
@@ -651,6 +677,10 @@ func (h *xhrHost) HostGet(it *js.Interp, name string) (js.Value, bool, error) {
 			// then readystatechange and abort dispatch inline (the current
 			// op splits around them, Appendix A).
 			h.done, h.aborted = true, true
+			if tr := b.cfg.Trace; tr != nil {
+				tr.AsyncEnd("xhr", h.method+" "+h.url, h.spanID(), b.clock,
+					map[string]any{"event": "abort"})
+			}
 			h.state, h.status, h.body = 4, 0, ""
 			h.writeFields("xhr abort")
 			disp := w.InlineDispatch(h.node, "readystatechange", DispatchOpts{Detail: "abort"})
@@ -724,6 +754,10 @@ func (h *xhrHost) settle(sendOp op.ID, event string, status int, body string, er
 	h.done = true
 	h.timedOut = event == "timeout"
 	w, b := h.w, h.w.b
+	if tr := b.cfg.Trace; tr != nil {
+		tr.AsyncEnd("xhr", h.method+" "+h.url, h.spanID(), b.clock,
+			map[string]any{"event": event, "status": status})
+	}
 	netOp := b.newOp(op.KindNetwork, "xhr "+event+" "+h.url)
 	b.HB.Edge(sendOp, netOp)
 	b.withOp(netOp, func() {

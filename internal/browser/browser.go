@@ -22,6 +22,7 @@ import (
 	"webracer/internal/hb"
 	"webracer/internal/loader"
 	"webracer/internal/mem"
+	"webracer/internal/obs"
 	"webracer/internal/op"
 	"webracer/internal/race"
 )
@@ -90,6 +91,16 @@ type Config struct {
 	// WallBudget, cancellation marks the session Interrupted with
 	// partial results.
 	Ctx context.Context
+	// Metrics, when non-nil, receives the session's deterministic
+	// telemetry counters (see internal/obs). Each session should get its
+	// own registry so parallel sweeps stay independent; the session layer
+	// folds end-of-run stats into it as well.
+	Metrics *obs.Metrics
+	// Trace, when non-nil, records the session as a Chrome trace_event
+	// stream over virtual time: every operation becomes a main-thread
+	// span, fetches/timers/XHRs become async spans, fault injections
+	// become instant events.
+	Trace *obs.TraceLog
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +172,15 @@ type Browser struct {
 	// userSeq orders synthetic user operations (rule 9 for user events is
 	// handled per (event,target) in the window's dispatch state).
 	quiesced bool
+
+	// Cached telemetry handles (all nil — and therefore free — when
+	// cfg.Metrics is nil; obs counters are nil-safe). Looked up once here
+	// so hot paths never touch the registry map.
+	mParseElem *obs.Counter
+	mParseText *obs.Counter
+	mDispatch  *obs.Counter
+	mTimers    *obs.Counter
+	mXHRs      *obs.Counter
 }
 
 // New creates a browser session over site.
@@ -192,6 +212,11 @@ func New(site *loader.Site, cfg Config) *Browser {
 		b.recorder = &race.Recorder{Inner: b.detector}
 		b.detector = b.recorder
 	}
+	b.mParseElem = cfg.Metrics.Counter("parse.elements")
+	b.mParseText = cfg.Metrics.Counter("parse.text_nodes")
+	b.mDispatch = cfg.Metrics.Counter("browser.dispatches")
+	b.mTimers = cfg.Metrics.Counter("browser.timers_installed")
+	b.mXHRs = cfg.Metrics.Counter("browser.xhr_sends")
 	b.initOp = b.newOp(op.KindInit, "session")
 	b.Ops.Began(b.initOp)
 	b.curOp = b.initOp
@@ -273,13 +298,77 @@ func (b *Browser) newOp(kind op.Kind, label string) op.ID {
 	return id
 }
 
-// withOp runs f with id as the current operation.
+// withOp runs f with id as the current operation. When tracing, the
+// operation becomes a main-thread span over virtual time, annotated with
+// its happens-before predecessors so an ordering question ("why did the
+// detector consider these concurrent?") can be answered from the trace.
 func (b *Browser) withOp(id op.ID, f func()) {
 	prev := b.curOp
 	b.curOp = id
 	b.Ops.Began(id)
-	f()
+	if tr := b.cfg.Trace; tr != nil {
+		rec := b.Ops.Get(id)
+		tr.BeginSpan(traceCat(rec.Kind), rec.Label, b.clock)
+		f()
+		tr.EndSpan(b.clock, b.spanArgs(id))
+	} else {
+		f()
+	}
 	b.curOp = prev
+}
+
+// traceCat maps an operation kind to its Chrome trace category, the axis
+// Perfetto colors and filters by.
+func traceCat(k op.Kind) string {
+	switch k {
+	case op.KindInit:
+		return "task"
+	case op.KindParse:
+		return "parse"
+	case op.KindScript:
+		return "script"
+	case op.KindTimeout, op.KindInterval:
+		return "timer"
+	case op.KindNetwork:
+		return "net"
+	default: // handlers, anchors, joins, user ops, continuations
+		return "event"
+	}
+}
+
+// spanArgs builds the args payload of an operation span: the op id and its
+// direct happens-before predecessors at span close.
+func (b *Browser) spanArgs(id op.ID) map[string]any {
+	preds := b.HB.Preds(id)
+	ps := make([]any, len(preds))
+	for i, p := range preds {
+		ps[i] = int(p)
+	}
+	return map[string]any{"op": int(id), "hb_preds": ps}
+}
+
+// timerSpanID names the async span of one armed timer callback by its
+// callback operation, which is unique per arming (intervals re-arm with a
+// fresh op per tick).
+func timerSpanID(cb op.ID) string { return fmt.Sprintf("t%d", cb) }
+
+// fetch routes every resource load through the loader while stamping it
+// into the trace as an async span spanning the virtual latency window
+// (request issue → scheduled arrival).
+func (b *Browser) fetch(url string) loader.Response {
+	resp := b.Loader.Fetch(url)
+	if tr := b.cfg.Trace; tr != nil {
+		args := map[string]any{"status": resp.Status}
+		if resp.Err != nil {
+			args["error"] = resp.Err.Error()
+		}
+		if resp.Truncated {
+			args["truncated"] = true
+		}
+		id := fmt.Sprintf("f%d", b.Loader.Fetches())
+		tr.Async("fetch", url, id, b.clock, b.clock+resp.Latency, args)
+	}
+	return resp
 }
 
 // CurrentOp exposes the op being executed (tests and the explore package).
@@ -398,7 +487,13 @@ func (b *Browser) Run() {
 			b.clock = t.at
 		}
 		b.tasksRun++
-		t.run()
+		if tr := b.cfg.Trace; tr != nil {
+			tr.BeginSpan("task", "turn", b.clock)
+			t.run()
+			tr.EndSpan(b.clock, map[string]any{"turn": b.tasksRun})
+		} else {
+			t.run()
+		}
 	}
 	b.quiesced = true
 }

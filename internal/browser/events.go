@@ -57,6 +57,7 @@ var bubblingEvents = map[string]bool{
 //   - each executed handler h reads (currentTarget, event, h) (§4.3).
 func (w *Window) Dispatch(target *dom.Node, event string, opts DispatchOpts) DispatchResult {
 	b := w.b
+	b.mDispatch.Inc()
 	key := dispKey{target, event}
 	ds := w.disp[key]
 	if ds == nil {

@@ -88,13 +88,16 @@ type timerRec struct {
 	slot uint64
 	// fired marks one-shot timers that already ran.
 	fired bool
+	// armed tracks an open async trace span for the pending callback
+	// (only maintained when tracing is enabled).
+	armed bool
 }
 
 // LoadPage starts loading url as the top-level page and runs the event loop
 // to quiescence. It returns the top window.
 func (b *Browser) LoadPage(url string) *Window {
 	w := b.newWindow(url, nil, nil)
-	resp := b.Loader.Fetch(url)
+	resp := b.fetch(url)
 	if resp.Err != nil {
 		b.pageError("fetch "+url, resp.Err)
 		return w
@@ -189,6 +192,7 @@ func (w *Window) parseStep() {
 		case html.EventText:
 			// Text nodes join the chain as lightweight parse ops so
 			// their childNodes write has an owner.
+			b.mParseText.Inc()
 			pop := b.newOp(op.KindParse, "#text")
 			b.HB.Edge(w.chainOp, pop) // HB rule 1a
 			w.chainOp = pop
@@ -198,6 +202,7 @@ func (w *Window) parseStep() {
 			})
 			continue
 		case html.EventOpen:
+			b.mParseElem.Inc()
 			pop := b.newOp(op.KindParse, "parse "+ev.Node.String())
 			b.HB.Edge(w.chainOp, pop) // HB rule 1a
 			w.chainOp = pop
@@ -372,7 +377,7 @@ func hasTruthyAttr(n *dom.Node, name string) bool {
 // error path (resumed parsing, window-load accounting) after the error
 // handlers, mirroring what rules 1c/15 do for load.
 func (w *Window) fetchScript(n *dom.Node, src string, done func(body string, ok bool, failLast op.ID)) {
-	resp := w.b.Loader.Fetch(src)
+	resp := w.b.fetch(src)
 	w.b.schedule(resp.Latency, func() {
 		if !resp.OK() {
 			w.b.pageError("fetch "+src, respError(src, resp))
@@ -460,7 +465,7 @@ func (w *Window) handleIframe(n *dom.Node, creator op.ID) {
 	}
 	child := b.newWindow(src, w, n)
 	child.chainOp = creator // HB rule 6: create(I) ⇝ create(E in nested doc)
-	resp := b.Loader.Fetch(src)
+	resp := b.fetch(src)
 	b.schedule(resp.Latency, func() {
 		if !resp.OK() {
 			b.pageError("fetch iframe "+src, respError(src, resp))
@@ -485,7 +490,7 @@ func (w *Window) maybeLoadImage(n *dom.Node, creator op.ID) {
 	if blocking {
 		w.blockers++
 	}
-	resp := b.Loader.Fetch(src)
+	resp := b.fetch(src)
 	b.schedule(resp.Latency, func() {
 		if !resp.OK() {
 			b.pageError("fetch img "+src, respError(src, resp))

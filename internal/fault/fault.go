@@ -198,6 +198,10 @@ type Injector struct {
 	// makes retry loops race their own late responses).
 	perURL map[string]int
 	events []Event
+	// OnEvent, when non-nil, observes each injection as it fires (the
+	// telemetry layer stamps it into the virtual-time trace). Purely an
+	// observer: injection decisions never depend on it.
+	OnEvent func(Event)
 }
 
 // New wraps inner with plan.
@@ -254,6 +258,9 @@ func (in *Injector) Fetch(url string) loader.Response {
 		resp.Truncated = true
 	}
 	in.events = append(in.events, ev)
+	if in.OnEvent != nil {
+		in.OnEvent(ev)
+	}
 	return resp
 }
 

@@ -65,6 +65,7 @@ type Interp struct {
 	serials Serials
 	hooks   Hooks
 	steps   int
+	total   int // steps across all Run/CallFunction entries (telemetry)
 	depth   int
 }
 
@@ -181,6 +182,7 @@ func (it *Interp) Run(src, desc string) error {
 
 // RunProgram executes an already-parsed script at top level.
 func (it *Interp) RunProgram(prog *Program, desc string) error {
+	it.total += it.steps
 	it.steps = 0
 	if err := it.hoistInto(prog, it.global); err != nil {
 		return err
@@ -192,6 +194,7 @@ func (it *Interp) RunProgram(prog *Program, desc string) error {
 // CallFunction invokes a function value. The step budget is reset: the call
 // is a fresh operation entry from the browser.
 func (it *Interp) CallFunction(fn Value, this Value, args []Value) (Value, error) {
+	it.total += it.steps
 	it.steps = 0
 	if !fn.IsCallable() {
 		return Undefined, typeError(0, "value is not a function")
@@ -247,6 +250,12 @@ func (it *Interp) declareRef(env *Env, ref *VarRef) *Binding {
 	}
 	return env.Declare(ref.Name, ref.Captured, slot)
 }
+
+// TotalSteps reports the evaluation steps performed over the
+// interpreter's whole lifetime (all Run/CallFunction entries). The
+// per-entry budget bookkeeping already maintains the count, so the
+// telemetry layer reads it for free.
+func (it *Interp) TotalSteps() int { return it.total + it.steps }
 
 // step charges fuel and errors out when the budget is gone.
 func (it *Interp) step(line int) error {

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// StartLive serves an expvar-style live progress endpoint on addr
+// (":0" picks a free port). Two routes:
+//
+//	/progress — the snap callback's current values (the CLIs feed it
+//	            from pool.Counters: done/total/in-flight/rate)
+//	/metrics  — the registry's current snapshot (may be nil)
+//
+// Both respond with sorted-key JSON. Returns the bound URL and a stop
+// function. Live output is for watching a long sweep, not a determinism
+// surface — timestamps and rates are wall-clock.
+func StartLive(addr string, snap func() map[string]any, m *Metrics) (url string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		var v map[string]any
+		if snap != nil {
+			v = snap()
+		}
+		writeSortedJSON(w, v)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snapM := m.Snapshot()
+		v := make(map[string]any, len(snapM))
+		for k, n := range snapM {
+			v[k] = n
+		}
+		writeSortedJSON(w, v)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// writeSortedJSON emits a flat object in sorted key order (values are
+// marshaled with encoding/json).
+func writeSortedJSON(w http.ResponseWriter, v map[string]any) {
+	w.Header().Set("Content-Type", "application/json")
+	names := make([]string, 0, len(v))
+	for name := range v {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := []byte{'{'}
+	for i, name := range names {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		key, _ := json.Marshal(name)
+		val, err := json.Marshal(v[name])
+		if err != nil {
+			val = []byte(`"unencodable"`)
+		}
+		out = append(out, key...)
+		out = append(out, ':')
+		out = append(out, val...)
+	}
+	out = append(out, '}', '\n')
+	_, _ = w.Write(out)
+}

@@ -1,0 +1,211 @@
+// Package obs is the deterministic telemetry layer of the reproduction:
+// typed counter/gauge metrics, Chrome trace_event export over virtual
+// time, and profiling helpers for the CLIs.
+//
+// Everything in the package observes a *seeded deterministic* execution,
+// so — unlike wall-clock telemetry — a run's metrics snapshot and trace
+// are byte-stable artifacts: the same (site, seed, plan) produces the
+// same JSON on any machine, at any worker count, which makes both
+// golden-testable (testdata/golden/metrics-*.json) and diffable across
+// versions (scripts/metricsdiff.sh).
+//
+// The layer is zero-cost when disabled: every handle type (*Metrics,
+// *Counter, *Gauge, *TraceLog) accepts method calls on its nil value as
+// no-ops, so instrumentation sites read
+//
+//	b.mParseElems.Inc()
+//
+// with no conditional at the call site and only a nil check inside.
+// Hot paths that the benchmarks guard (the detector's OnAccess, the
+// interpreter's step loop) carry no obs calls at all — their counts are
+// folded from already-maintained stats at end of run.
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil Counter discards
+// all updates, which is what a disabled registry hands out.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n may be any sign; Counter does not police monotonicity,
+// it only names intent).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins metric. The nil Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Metrics is a registry of named counters and gauges. A nil *Metrics is
+// the disabled registry: it hands out nil handles and marshals as {}.
+// Handles are stable — look one up once, update it forever — and all
+// methods are safe for concurrent use (per-run registries are normally
+// single-goroutine, but sweeps may fold into a shared one).
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// New returns an enabled, empty registry.
+func New() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+	}
+}
+
+// Counter returns the named counter, creating it at zero. Nil registry →
+// nil handle (a no-op sink).
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero. Nil registry → nil
+// handle.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Add is shorthand for Counter(name).Add(n).
+func (m *Metrics) Add(name string, n int64) { m.Counter(name).Add(n) }
+
+// Set is shorthand for Gauge(name).Set(n).
+func (m *Metrics) Set(name string, n int64) { m.Gauge(name).Set(n) }
+
+// Snapshot returns every metric as a flat name → value map (counters and
+// gauges share the namespace; registering the same name as both is a
+// programming error that Snapshot surfaces by keeping the gauge).
+func (m *Metrics) Snapshot() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters)+len(m.gauges))
+	for name, c := range m.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// MarshalJSON emits the snapshot as a flat JSON object in sorted key
+// order — the report.Counts pattern: a fixed, diff-friendly encoding so
+// snapshots can be golden-tested byte for byte.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		key, err := json.Marshal(name)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(key)
+		fmt.Fprintf(&buf, ":%d", snap[name])
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// WriteJSON writes the snapshot as indented JSON (one metric per line,
+// sorted), trailing newline included — the on-disk snapshot format.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	for i, name := range names {
+		key, err := json.Marshal(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&buf, "  %s: %d", key, snap[name])
+		if i < len(names)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}

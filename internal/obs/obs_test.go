@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestNilSafety: the disabled layer — nil registry, nil handles, nil
+// trace — must absorb every call without panicking and marshal to empty
+// containers. This is the zero-cost-when-disabled contract.
+func TestNilSafety(t *testing.T) {
+	var m *Metrics
+	c := m.Counter("x")
+	g := m.Gauge("y")
+	c.Inc()
+	c.Add(5)
+	g.Set(7)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil handles should read zero")
+	}
+	m.Add("x", 1)
+	m.Set("y", 2)
+	if m.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	// encoding/json short-circuits nil pointers to null before calling
+	// MarshalJSON; either way the export is valid JSON with no metrics.
+	data, err := json.Marshal(m)
+	if err != nil || (string(data) != "{}" && string(data) != "null") {
+		t.Errorf("nil registry marshals as %q (%v)", data, err)
+	}
+
+	var tr *TraceLog
+	tr.BeginSpan("task", "t", 0)
+	tr.EndSpan(1, nil)
+	tr.Async("fetch", "f", "1", 0, 5, nil)
+	tr.AsyncBegin("timer", "t", "2", 0, nil)
+	tr.AsyncEnd("timer", "t", "2", 3, nil)
+	tr.Instant("fault", "drop", 1, nil)
+	if tr.Events() != nil {
+		t.Error("nil trace should record nothing")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Errorf("nil trace export should have an empty event array:\n%s", buf.String())
+	}
+}
+
+// TestMetricsDeterministicEncoding: the JSON export is sorted and
+// insertion-order independent.
+func TestMetricsDeterministicEncoding(t *testing.T) {
+	a := New()
+	a.Add("z.last", 3)
+	a.Add("a.first", 1)
+	a.Set("m.middle", 2)
+
+	b := New()
+	b.Set("m.middle", 2)
+	b.Add("a.first", 1)
+	b.Add("z.last", 3)
+
+	da, _ := json.Marshal(a)
+	db, _ := json.Marshal(b)
+	if !bytes.Equal(da, db) {
+		t.Errorf("insertion order leaked into encoding:\n%s\n%s", da, db)
+	}
+	want := `{"a.first":1,"m.middle":2,"z.last":3}`
+	if string(da) != want {
+		t.Errorf("encoding %s, want %s", da, want)
+	}
+
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteJSON(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("WriteJSON differs between equal registries")
+	}
+	var parsed map[string]int64
+	if err := json.Unmarshal(bufA.Bytes(), &parsed); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if parsed["z.last"] != 3 {
+		t.Errorf("round-trip lost values: %v", parsed)
+	}
+}
+
+// TestCounterGaugeSemantics: counters accumulate, gauges overwrite, and
+// handles stay live across lookups.
+func TestCounterGaugeSemantics(t *testing.T) {
+	m := New()
+	c := m.Counter("c")
+	c.Inc()
+	m.Counter("c").Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := m.Gauge("g")
+	g.Set(10)
+	m.Gauge("g").Set(3)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %d, want 3", got)
+	}
+	snap := m.Snapshot()
+	if snap["c"] != 5 || snap["g"] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+// TestTraceSpansNestAndStayMonotonic: main-thread spans at the same
+// virtual instant are spread apart, nest properly, and the export is a
+// wellformed Chrome trace.
+func TestTraceSpansNestAndStayMonotonic(t *testing.T) {
+	tr := NewTrace()
+	tr.BeginSpan("task", "outer", 0)
+	tr.BeginSpan("script", "inner", 0) // same virtual instant
+	tr.EndSpan(0, map[string]any{"op": 2})
+	tr.EndSpan(0, map[string]any{"op": 1})
+	tr.Async("fetch", "a.js", "f1", 0, 40, map[string]any{"status": 200})
+	tr.Instant("fault", "drop b.js", 12, nil)
+
+	var spans []TraceEvent
+	for _, e := range tr.Events() {
+		if e.Ph == "X" {
+			spans = append(spans, e)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("%d complete spans, want 2", len(spans))
+	}
+	outer, inner := spans[0], spans[1]
+	if outer.Name != "outer" || inner.Name != "inner" {
+		t.Fatalf("span order: %q then %q", outer.Name, inner.Name)
+	}
+	if !(outer.TS < inner.TS && inner.TS+inner.Dur <= outer.TS+outer.Dur) {
+		t.Errorf("inner [%d,+%d] does not nest in outer [%d,+%d]",
+			inner.TS, inner.Dur, outer.TS, outer.Dur)
+	}
+	if inner.Dur < 1 {
+		t.Error("same-instant span got zero width")
+	}
+	if inner.Args["op"] != 2 {
+		t.Errorf("span args lost: %v", inner.Args)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	// 2 metadata + 2 spans + b + e + instant.
+	if len(parsed.TraceEvents) != 7 {
+		t.Errorf("%d events, want 7", len(parsed.TraceEvents))
+	}
+
+	// Byte-stability: an identical event sequence encodes identically.
+	tr2 := NewTrace()
+	tr2.BeginSpan("task", "outer", 0)
+	tr2.BeginSpan("script", "inner", 0)
+	tr2.EndSpan(0, map[string]any{"op": 2})
+	tr2.EndSpan(0, map[string]any{"op": 1})
+	tr2.Async("fetch", "a.js", "f1", 0, 40, map[string]any{"status": 200})
+	tr2.Instant("fault", "drop b.js", 12, nil)
+	var buf2 bytes.Buffer
+	if err := tr2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("trace export is not byte-stable")
+	}
+}
+
+// TestAsyncPairsShareIdentity: begin/end of one activity agree on
+// (cat, id) and timestamps never run backwards within the pair.
+func TestAsyncPairsShareIdentity(t *testing.T) {
+	tr := NewTrace()
+	tr.AsyncBegin("xhr", "GET /api", "x9", 5, nil)
+	tr.AsyncEnd("xhr", "GET /api", "x9", 45, map[string]any{"event": "load"})
+	var b, e *TraceEvent
+	for i := range tr.Events() {
+		ev := &tr.Events()[i]
+		switch ev.Ph {
+		case "b":
+			b = ev
+		case "e":
+			e = ev
+		}
+	}
+	if b == nil || e == nil {
+		t.Fatal("missing async pair")
+	}
+	if b.Cat != e.Cat || b.ID != e.ID {
+		t.Errorf("pair identity mismatch: (%s,%s) vs (%s,%s)", b.Cat, b.ID, e.Cat, e.ID)
+	}
+	if e.TS < b.TS {
+		t.Errorf("async end %d before begin %d", e.TS, b.TS)
+	}
+}
+
+// TestStartLive: the endpoint serves progress and metrics as JSON.
+func TestStartLive(t *testing.T) {
+	m := New()
+	m.Add("sweep.done", 3)
+	url, stop, err := StartLive("127.0.0.1:0", func() map[string]any {
+		return map[string]any{"done": 3, "total": 10}
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) map[string]any {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("%s returned invalid JSON %q: %v", path, data, err)
+		}
+		return v
+	}
+	if v := get("/progress"); v["done"] != float64(3) || v["total"] != float64(10) {
+		t.Errorf("/progress = %v", v)
+	}
+	if v := get("/metrics"); v["sweep.done"] != float64(3) {
+		t.Errorf("/metrics = %v", v)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile written to <prefix>.cpu.pprof and
+// returns the function that stops it and closes the file. The CLIs call
+// this around whole runs; `go tool pprof` reads the output.
+func StartCPUProfile(prefix string) (stop func() error, err error) {
+	path := prefix + ".cpu.pprof"
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to <prefix>.heap.pprof after a
+// GC, so the snapshot reflects live memory rather than garbage.
+func WriteHeapProfile(prefix string) error {
+	path := prefix + ".heap.pprof"
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: write heap profile: %w", err)
+	}
+	return nil
+}
+
+// Profile wraps both: it starts a CPU profile immediately and returns a
+// finish function that stops it and adds the heap snapshot. Either error
+// is returned from finish; a failed start returns a no-op finish and the
+// error. With an empty prefix both calls are no-ops.
+func Profile(prefix string) (finish func() error, err error) {
+	if prefix == "" {
+		return func() error { return nil }, nil
+	}
+	stop, err := StartCPUProfile(prefix)
+	if err != nil {
+		return func() error { return nil }, err
+	}
+	return func() error {
+		if err := stop(); err != nil {
+			return err
+		}
+		return WriteHeapProfile(prefix)
+	}, nil
+}

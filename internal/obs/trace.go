@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// TraceLog accumulates a Chrome trace_event stream over *virtual* time:
+// the browser's simulated clock, not the wall clock. The export loads
+// directly in chrome://tracing and Perfetto (JSON object format with a
+// "traceEvents" array), and because every timestamp derives from the
+// seeded simulation, the same run always produces the same bytes — a
+// trace is a replayable artifact, not a measurement.
+//
+// Track layout: every main-thread operation (parse, script, handler, …)
+// is a complete ("X") event on tid 1, nested by the browser's operation
+// stack; concurrent activities with real virtual duration — network
+// fetches, armed timers, in-flight XHRs — are async ("b"/"e") pairs
+// keyed by id, which the viewers lay out on per-category async tracks;
+// injected network faults appear as instant ("i") events.
+//
+// Virtual milliseconds map to trace microseconds (ts = ms × 1000). The
+// main-thread cursor additionally enforces strict monotonicity: events
+// that share a virtual instant (a task runs, the clock does not advance)
+// are spread one microsecond apart so spans nest with nonzero width and
+// never overlap illegally. Async events use the raw virtual time of
+// their endpoints.
+//
+// A nil *TraceLog discards everything — the disabled path.
+type TraceLog struct {
+	events []TraceEvent
+	last   int64 // main-thread monotonic cursor (µs)
+	stack  []int // indices of open main-thread spans in events
+}
+
+// TraceEvent is one trace_event record. Field names and order follow the
+// Chrome trace format; fixed struct order keeps the export byte-stable.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	tracePID  = 1
+	traceMain = 1
+)
+
+// NewTrace returns an enabled, empty trace with the process/thread
+// naming metadata pre-emitted.
+func NewTrace() *TraceLog {
+	t := &TraceLog{}
+	t.events = append(t.events,
+		TraceEvent{Name: "process_name", Ph: "M", PID: tracePID, TID: traceMain,
+			Args: map[string]any{"name": "webracer (virtual time)"}},
+		TraceEvent{Name: "thread_name", Ph: "M", PID: tracePID, TID: traceMain,
+			Args: map[string]any{"name": "event loop"}},
+	)
+	return t
+}
+
+// us converts virtual milliseconds to trace microseconds.
+func us(ms float64) int64 { return int64(math.Round(ms * 1000)) }
+
+// tick returns the next main-thread timestamp: the virtual clock, pushed
+// forward to stay strictly after the previous main-thread timestamp.
+func (t *TraceLog) tick(clockMS float64) int64 {
+	ts := us(clockMS)
+	if ts <= t.last {
+		ts = t.last + 1
+	}
+	t.last = ts
+	return ts
+}
+
+// BeginSpan opens a main-thread span at the current virtual time. Spans
+// nest like a call stack; close each with EndSpan.
+func (t *TraceLog) BeginSpan(cat, name string, clockMS float64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "X", TS: t.tick(clockMS), PID: tracePID, TID: traceMain,
+	})
+	t.stack = append(t.stack, len(t.events)-1)
+}
+
+// EndSpan closes the innermost open span, attaching args (the browser
+// puts the operation id and its happens-before predecessors here). An
+// EndSpan with no open span is a no-op.
+func (t *TraceLog) EndSpan(clockMS float64, args map[string]any) {
+	if t == nil || len(t.stack) == 0 {
+		return
+	}
+	i := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	end := t.tick(clockMS)
+	t.events[i].Dur = end - t.events[i].TS
+	t.events[i].Args = args
+}
+
+// Async records a concurrent activity with both endpoints known up
+// front — a network fetch whose latency the simulation has already
+// decided. The "b"/"e" pair shares (cat, id).
+func (t *TraceLog) Async(cat, name, id string, startMS, endMS float64, args map[string]any) {
+	t.AsyncBegin(cat, name, id, startMS, args)
+	t.AsyncEnd(cat, name, id, endMS, nil)
+}
+
+// AsyncBegin opens an async activity (a timer armed, an XHR sent).
+func (t *TraceLog) AsyncBegin(cat, name, id string, ms float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "b", TS: us(ms), PID: tracePID, TID: traceMain, ID: id, Args: args,
+	})
+}
+
+// AsyncEnd closes an async activity. Unmatched ends are tolerated by the
+// viewers (and by our tests, which only require begins to be closed or
+// explicitly cancelled).
+func (t *TraceLog) AsyncEnd(cat, name, id string, ms float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "e", TS: us(ms), PID: tracePID, TID: traceMain, ID: id, Args: args,
+	})
+}
+
+// Instant records a point event (a fault injection) at virtual time ms.
+func (t *TraceLog) Instant(cat, name string, ms float64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "i", TS: us(ms), PID: tracePID, TID: traceMain, S: "p", Args: args,
+	})
+}
+
+// Events returns the accumulated events (nil for a nil log). Tests use
+// it; WriteJSON is the export path.
+func (t *TraceLog) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// traceFile is the Chrome trace JSON object format.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the trace in the Chrome trace_event JSON object
+// format, indented, trailing newline included. The encoding is
+// deterministic: struct fields are in fixed order and args maps are
+// string-keyed (encoding/json sorts those).
+func (t *TraceLog) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	data, err := json.MarshalIndent(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

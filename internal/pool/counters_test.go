@@ -1,0 +1,83 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCountersBalancedAfterPanics is the regression test for in-flight
+// accounting on the panic-recovery path: a recovered PanicError must
+// decrement inFlight and count the item as done exactly like a normal
+// completion, at every worker count and through both Map and Each.
+func TestCountersBalancedAfterPanics(t *testing.T) {
+	const n = 10
+	work := func(i int) int {
+		if i%3 == 0 {
+			panic("boom")
+		}
+		return i * i
+	}
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []string{"map", "each"} {
+			var c Counters
+			opts := Options{Workers: workers, Counters: &c}
+			var err error
+			if mode == "map" {
+				_, err = Map(opts, n, work)
+			} else {
+				err = Each(opts, n, work, func(int, int) error { return nil })
+			}
+			if got := len(Panics(err)); got != 4 {
+				t.Fatalf("%s workers=%d: got %d panics, want 4 (err: %v)", mode, workers, got, err)
+			}
+			s := c.Snapshot()
+			if s.InFlight != 0 {
+				t.Errorf("%s workers=%d: InFlight = %d after sweep, want 0 (leaked slot)", mode, workers, s.InFlight)
+			}
+			if s.Done != n {
+				t.Errorf("%s workers=%d: Done = %d, want %d (panicked items must count)", mode, workers, s.Done, n)
+			}
+			sum := 0
+			for _, pw := range s.PerWorker {
+				sum += pw
+			}
+			if sum != n {
+				t.Errorf("%s workers=%d: PerWorker sums to %d, want %d", mode, workers, sum, n)
+			}
+		}
+	}
+}
+
+// TestTrackPairsUnderConcurrentPanics hammers the defer-paired accounting
+// directly: many goroutines each track an item whose body panics, and the
+// recovery path must leave the counters balanced.
+func TestTrackPairsUnderConcurrentPanics(t *testing.T) {
+	var c Counters
+	const n = 64
+	c.Begin(n, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, pe := runItem(&c, i%4, i, func(int) int { panic("always") })
+			if pe == nil {
+				t.Error("expected a PanicError")
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.InFlight != 0 || s.Done != n {
+		t.Fatalf("InFlight=%d Done=%d after %d panicking items, want 0 and %d", s.InFlight, s.Done, n, n)
+	}
+}
+
+// TestTrackNilCounters confirms the nil-receiver path is a no-op (sweeps
+// without progress reporting pay nothing).
+func TestTrackNilCounters(t *testing.T) {
+	v, pe := runItem[int](nil, 0, 7, func(i int) int { return i + 1 })
+	if pe != nil || v != 8 {
+		t.Fatalf("runItem(nil counters) = %d, %v; want 8, nil", v, pe)
+	}
+}

@@ -85,6 +85,14 @@ func guard[T any](i int, fn func(i int) T) (v T, pe *PanicError) {
 	return fn(i), nil
 }
 
+// runItem is the one place an item executes: counter accounting is
+// defer-paired around the guarded call, so a panicking fn (recovered by
+// guard) still decrements inFlight and counts as done.
+func runItem[T any](c *Counters, worker, i int, fn func(i int) T) (T, *PanicError) {
+	defer c.track(worker)()
+	return guard(i, fn)
+}
+
 // Options configures one sweep.
 type Options struct {
 	// Workers is the number of concurrent workers; values < 1 mean
@@ -143,6 +151,19 @@ func (c *Counters) Begin(n, w int) {
 	c.inFlight.Store(0)
 	c.start.Store(time.Now().UnixNano())
 	c.perWorker = make([]atomic.Int64, w)
+}
+
+// track registers an item as in-flight and returns the matching
+// completion func. Call it as `defer c.track(worker)()` so the decrement
+// is bound to the increment by defer: every exit path — including the
+// panic-recovery path in guard — balances the accounting, and inFlight
+// can never leak a slot. A nil receiver returns a no-op.
+func (c *Counters) track(worker int) func() {
+	if c == nil {
+		return func() {}
+	}
+	c.inFlight.Add(1)
+	return func() { c.item(worker, 1) }
 }
 
 func (c *Counters) item(worker int, delta int64) {
@@ -211,18 +232,12 @@ func Map[T any](opts Options, n int, fn func(i int) T) ([]T, error) {
 	var mu sync.Mutex
 	var panics []error
 	run := func(worker, i int) {
-		if opts.Counters != nil {
-			opts.Counters.inFlight.Add(1)
-		}
-		v, pe := guard(i, fn)
+		v, pe := runItem(opts.Counters, worker, i, fn)
 		out[i] = v
 		if pe != nil {
 			mu.Lock()
 			panics = append(panics, pe)
 			mu.Unlock()
-		}
-		if opts.Counters != nil {
-			opts.Counters.item(worker, 1)
 		}
 	}
 	if w == 1 {
@@ -277,13 +292,7 @@ func Each[T any](opts Options, n int, fn func(i int) T, sink func(i int, v T) er
 			if err := ctx.Err(); err != nil {
 				return errors.Join(append(panics, err)...)
 			}
-			if opts.Counters != nil {
-				opts.Counters.inFlight.Add(1)
-			}
-			v, pe := guard(i, fn)
-			if opts.Counters != nil {
-				opts.Counters.item(0, 1)
-			}
+			v, pe := runItem(opts.Counters, 0, i, fn)
 			if pe != nil {
 				panics = append(panics, pe)
 				continue
@@ -317,13 +326,7 @@ func Each[T any](opts Options, n int, fn func(i int) T, sink func(i int, v T) er
 				if cctx.Err() != nil {
 					return
 				}
-				if opts.Counters != nil {
-					opts.Counters.inFlight.Add(1)
-				}
-				v, pe := guard(i, fn)
-				if opts.Counters != nil {
-					opts.Counters.item(worker, 1)
-				}
+				v, pe := runItem(opts.Counters, worker, i, fn)
 				if pe != nil {
 					panicsMu.Lock()
 					panics = append(panics, pe)

@@ -129,6 +129,15 @@ type PairwiseStats struct {
 	// VectorChecks fell through to full epoch/vector comparison (and may
 	// have materialized clocks in the oracle).
 	VectorChecks int
+	// Promotions counts read-share promotions: a location whose inline
+	// write certificate grew into the per-chain certificate map because
+	// reads arrived from a second chain (the FastTrack read-share
+	// transition, applied to certificates).
+	Promotions int
+	// Demotions counts write-after-read-share demotions: a new write
+	// discarding a promoted certificate map (the location collapses back
+	// to the inline form).
+	Demotions int
 }
 
 // pairState is Pairwise's constant per-location state: the paper's
@@ -198,6 +207,11 @@ func NewPairwise(o hb.Oracle, opts ...Option) *Pairwise {
 
 // Stats returns fast-path counters (zero-valued for plain-oracle runs).
 func (d *Pairwise) Stats() PairwiseStats { return d.stats }
+
+// States reports how many distinct logical locations the detector holds
+// pairwise state for — the paper's constant-per-location auxiliary space,
+// measured.
+func (d *Pairwise) States() int { return len(d.state) }
 
 func (d *Pairwise) stateFor(l mem.Loc) *pairState {
 	if s, ok := d.state[l]; ok {
@@ -296,6 +310,7 @@ func (d *Pairwise) certify(s *pairState, e hb.Epoch) {
 		// Read-share promotion: certificates now span chains.
 		s.certs = map[int32]int32{s.cert.Chain: s.cert.Pos}
 		s.hasCert = false
+		d.stats.Promotions++
 	}
 	if p, ok := s.certs[e.Chain]; !ok || e.Pos < p {
 		s.certs[e.Chain] = e.Pos
@@ -304,8 +319,12 @@ func (d *Pairwise) certify(s *pairState, e hb.Epoch) {
 
 // demote clears the write-ordering certificates: they were minted against
 // the previous write, and the read-shared map collapses back to the inline
-// form (write-after-read-share demotion).
-func (s *pairState) demote() {
+// form (write-after-read-share demotion — counted only when a promoted
+// map was actually discarded).
+func (d *Pairwise) demote(s *pairState) {
+	if s.certs != nil {
+		d.stats.Demotions++
+	}
 	s.hasCert = false
 	s.certs = nil
 }
@@ -322,7 +341,7 @@ func (d *Pairwise) OnAccess(a Access) {
 			s.read, s.hasRead = a, true
 		} else {
 			s.write, s.hasWrite = a, true
-			s.demote()
+			d.demote(s)
 		}
 		return
 	}
@@ -385,7 +404,7 @@ func (d *Pairwise) onAccessEpoch(s *pairState, a Access) {
 			d.report(s, s.read, a, readFirst)
 		}
 		s.write, s.hasWrite, s.writeEp = a, true, ce
-		s.demote()
+		d.demote(s)
 	}
 }
 

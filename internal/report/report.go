@@ -137,6 +137,14 @@ func DefaultSingleShot(event string) bool {
 
 // Apply runs reports through every filter, keeping those all filters keep.
 func Apply(reports []race.Report, filters ...Filter) []race.Report {
+	return ApplyCounted(reports, nil, filters...)
+}
+
+// ApplyCounted is Apply with per-filter suppression accounting: when
+// suppressed is non-nil, each report removed by filter f increments
+// suppressed[f.Name()]. A report suppressed by several filters is charged
+// to the first one that rejected it (filters are applied in order).
+func ApplyCounted(reports []race.Report, suppressed map[string]int, filters ...Filter) []race.Report {
 	if len(filters) == 0 {
 		return reports
 	}
@@ -146,6 +154,9 @@ func Apply(reports []race.Report, filters ...Filter) []race.Report {
 		for _, f := range filters {
 			if !f.Keep(r) {
 				ok = false
+				if suppressed != nil {
+					suppressed[f.Name()]++
+				}
 				break
 			}
 		}

@@ -251,6 +251,29 @@ func clamp(v, lo, hi int) int {
 	return v
 }
 
+// Fig1 is the paper's Fig. 1 site: a cross-frame variable race between
+// an assignment in one iframe and a read in another. Shared by the golden
+// session fixtures and the telemetry/trace examples, so every consumer
+// pins the exact same bytes.
+func Fig1() *loader.Site {
+	return loader.NewSite("fig1").
+		Add("index.html", `<script>x = 1;</script>
+<iframe src="a.html"></iframe><iframe src="b.html"></iframe>`).
+		Add("a.html", `<script>x = 2;</script>`).
+		Add("b.html", `<script>alert(x);</script>`)
+}
+
+// Fig4 is the paper's Fig. 4 site: a function race — a timer installed by
+// an iframe's onload calls doNextStep, which the main document may not
+// have declared yet.
+func Fig4() *loader.Site {
+	return loader.NewSite("fig4").
+		Add("index.html", `
+<iframe id="i" src="sub.html" onload="setTimeout(doNextStep, 20)"></iframe>
+<script>function doNextStep() { done = 1; }</script>`).
+		Add("sub.html", `<p>sub</p>`)
+}
+
 // Generate materializes the site: index.html plus external resources.
 func Generate(spec Spec) *loader.Site {
 	g := &gen{site: loader.NewSite(spec.Name), spec: spec}

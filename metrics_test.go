@@ -1,0 +1,98 @@
+package webracer
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"webracer/internal/loader"
+	"webracer/internal/obs"
+)
+
+// metricsJSON renders one run's metrics registry in the stable export
+// encoding.
+func metricsJSON(t *testing.T, m *obs.Metrics) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// runCorpusMetrics runs the three golden sites with telemetry at the given
+// worker count and returns each run's metrics JSON by case name.
+func runCorpusMetrics(t *testing.T, workers int) map[string][]byte {
+	t.Helper()
+	cases := goldenCases()
+	cfg := DefaultConfig(1)
+	cfg.Telemetry = true
+	results, err := RunCorpusParallel(len(cases), func(i int) *loader.Site {
+		return cases[i].site
+	}, cfg, ParallelConfig{Workers: workers})
+	if err != nil {
+		t.Fatalf("RunCorpusParallel(workers=%d): %v", workers, err)
+	}
+	out := map[string][]byte{}
+	for i, res := range results {
+		if res.Metrics == nil {
+			t.Fatalf("%s: Telemetry set but Result.Metrics is nil", cases[i].name)
+		}
+		out[cases[i].name] = metricsJSON(t, res.Metrics)
+	}
+	return out
+}
+
+// TestGoldenMetrics pins the telemetry snapshots of the three golden sites
+// and asserts the core determinism claim: the bytes are identical whether
+// the sweep ran on one worker or eight. Regenerate deliberately with
+//
+//	go test -run TestGoldenMetrics -update .
+func TestGoldenMetrics(t *testing.T) {
+	serial := runCorpusMetrics(t, 1)
+	parallel := runCorpusMetrics(t, 8)
+	for name, want := range serial {
+		if got := parallel[name]; !bytes.Equal(got, want) {
+			t.Errorf("%s: metrics differ between workers=1 and workers=8\nworkers=1: %s\nworkers=8: %s",
+				name, want, got)
+		}
+		path := goldenPath("metrics-" + name)
+		if *updateGolden {
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		golden, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", name, err)
+		}
+		if !bytes.Equal(serial[name], golden) {
+			t.Errorf("%s: metrics drifted from golden %s\ngot:  %s\nwant: %s",
+				name, path, serial[name], golden)
+		}
+	}
+}
+
+// TestMetricsRunToRunStability runs the same (site, seed) twice in one
+// process and demands byte-identical metrics — the acceptance criterion
+// behind golden-testing them at all.
+func TestMetricsRunToRunStability(t *testing.T) {
+	site := goldenCases()[0].site
+	cfg := DefaultConfig(3)
+	cfg.Telemetry = true
+	a := metricsJSON(t, RunConfig(site, cfg).Metrics)
+	b := metricsJSON(t, RunConfig(site, cfg).Metrics)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same (site, seed) produced different metrics:\n%s\n%s", a, b)
+	}
+}
+
+// TestTelemetryOffByDefault guards the zero-cost contract's API half: no
+// telemetry unless asked for.
+func TestTelemetryOffByDefault(t *testing.T) {
+	res := Run(goldenCases()[0].site, WithSeed(1))
+	if res.Metrics != nil || res.Trace != nil {
+		t.Fatalf("Metrics=%v Trace=%v without Telemetry/TimeTrace, want nil", res.Metrics, res.Trace)
+	}
+}

@@ -1,0 +1,58 @@
+#!/bin/sh
+# metricsdiff.sh [DIR] — regenerate the golden-site metrics snapshots and
+# diff them against the pinned goldens in testdata/golden/.
+#
+# Runs `go run ./cmd/experiments -obs -metrics-dir DIR` (DIR defaults to a
+# fresh temp directory) and byte-compares each metrics-*.json against its
+# golden. Exit 0 when every snapshot matches; on drift the unified diff is
+# printed and the exit status is 1. This is the `make obs` gate: the
+# telemetry layer must stay deterministic and the counters must not move
+# without a deliberate golden update
+# (`go test -run TestGoldenMetrics -update .`).
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+golden="$root/testdata/golden"
+
+if [ $# -gt 1 ]; then
+    echo "usage: $0 [DIR]" >&2
+    exit 2
+fi
+if [ $# -eq 1 ]; then
+    dir=$1
+    mkdir -p "$dir"
+    cleanup=""
+else
+    dir=$(mktemp -d)
+    cleanup=$dir
+fi
+trap '[ -n "$cleanup" ] && rm -rf "$cleanup"' EXIT
+
+(cd "$root" && go run ./cmd/experiments -obs -metrics-dir "$dir" >/dev/null)
+
+status=0
+found=0
+for want in "$golden"/metrics-*.json; do
+    [ -e "$want" ] || { echo "metricsdiff: no goldens under $golden" >&2; exit 2; }
+    found=1
+    name=$(basename "$want")
+    got="$dir/$name"
+    if [ ! -r "$got" ]; then
+        echo "metricsdiff: $name was not regenerated" >&2
+        status=1
+        continue
+    fi
+    if ! cmp -s "$want" "$got"; then
+        echo "metricsdiff: $name drifted from golden:"
+        diff -u "$want" "$got" || true
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "metricsdiff: no goldens matched" >&2
+    exit 2
+fi
+if [ "$status" -eq 0 ]; then
+    echo "metricsdiff: all golden metrics snapshots match"
+fi
+exit "$status"

@@ -31,6 +31,10 @@ type Session struct {
 	Counts      map[string]int  `json:"counts"`
 	Explore     map[string]int  `json:"explore,omitempty"`
 	Trace       []SessionAccess `json:"trace,omitempty"`
+	// Metrics is the run's telemetry snapshot (present only when the run
+	// used Config.Telemetry; omitempty keeps existing session files and
+	// goldens byte-stable).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 // SessionOp is one operation.
@@ -118,6 +122,9 @@ func Export(res *Result, seed int64, harm *Harm, includeTrace bool) *Session {
 		for _, a := range b.Trace() {
 			s.Trace = append(s.Trace, exportAccess(a))
 		}
+	}
+	if res.Metrics != nil {
+		s.Metrics = res.Metrics.Snapshot()
 	}
 	return s
 }

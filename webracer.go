@@ -35,6 +35,7 @@ import (
 	"webracer/internal/hb"
 	"webracer/internal/loader"
 	"webracer/internal/mem"
+	"webracer/internal/obs"
 	"webracer/internal/race"
 	"webracer/internal/report"
 )
@@ -89,6 +90,17 @@ type Config struct {
 	// tripped timeout yields a partial Result with Interrupted set rather
 	// than an error — sweeps report such runs as degraded.
 	RunTimeout time.Duration
+	// Telemetry populates a deterministic metrics registry for the run
+	// (Result.Metrics): parser, event loop, HB engine, detector and
+	// filter counters, byte-identical across runs of the same
+	// (site, seed, plan) at any worker count. Off by default — every
+	// hot-path hook is a nil no-op then.
+	Telemetry bool
+	// TimeTrace records the run as a Chrome trace_event stream over
+	// virtual time (Result.Trace), loadable in chrome://tracing and
+	// Perfetto. Independent of RecordTrace, which records the *access*
+	// trace for replay.
+	TimeTrace bool
 }
 
 // DefaultConfig matches the paper's evaluation configuration: automatic
@@ -149,6 +161,14 @@ func WithTimeout(d time.Duration) Option {
 	return func(c *Config) { c.RunTimeout = d }
 }
 
+// WithTelemetry populates Result.Metrics with the run's deterministic
+// telemetry counters.
+func WithTelemetry() Option { return func(c *Config) { c.Telemetry = true } }
+
+// WithTimeTrace records the run as a virtual-time Chrome trace
+// (Result.Trace).
+func WithTimeTrace() Option { return func(c *Config) { c.TimeTrace = true } }
+
 // NewConfig builds a Config from options, starting from DefaultConfig(0).
 func NewConfig(opts ...Option) Config {
 	cfg := DefaultConfig(0)
@@ -186,6 +206,11 @@ type Result struct {
 	// cancellation, virtual-time/task safety bounds); empty for complete
 	// runs. An interrupted Result holds valid partial results.
 	Interrupted string
+	// Metrics is the run's telemetry registry (nil unless Config.Telemetry).
+	Metrics *obs.Metrics
+	// Trace is the run's virtual-time Chrome trace (nil unless
+	// Config.TimeTrace).
+	Trace *obs.TraceLog
 }
 
 // Run loads the site, optionally explores it, and reports races. The
@@ -235,6 +260,19 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 	if bcfg.Detector == nil {
 		bcfg.Detector = detectorFactory(cfg.Detector, bcfg.ReportAll)
 	}
+	// Telemetry instances are created per run, never shared: a parallel
+	// sweep gives every (site, seed) its own registry and trace, which is
+	// what makes the output independent of worker count.
+	var m *obs.Metrics
+	var tl *obs.TraceLog
+	if cfg.Telemetry {
+		m = obs.New()
+		bcfg.Metrics = m
+	}
+	if cfg.TimeTrace {
+		tl = obs.NewTrace()
+		bcfg.Trace = tl
+	}
 	var inj *fault.Injector
 	if cfg.Fault != nil {
 		// Compose with any caller-supplied wrapper: the injector sits
@@ -250,6 +288,18 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 		}
 	}
 	b := browser.New(site, bcfg)
+	if inj != nil && tl != nil {
+		// Fault injections become instant events at the virtual time of
+		// the faulted fetch — purely observational, never part of the
+		// injection decision.
+		inj.OnEvent = func(ev fault.Event) {
+			args := map[string]any{"url": ev.URL, "index": ev.Index, "kind": ev.Kind}
+			if ev.Status != 0 {
+				args["status"] = ev.Status
+			}
+			tl.Instant("fault", ev.Kind+" "+ev.URL, b.Clock(), args)
+		}
+	}
 	entry := cfg.EntryURL
 	if entry == "" {
 		entry = "index.html"
@@ -267,8 +317,15 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 	res.RawCounts = report.Count(res.RawReports)
 	res.Reports = res.RawReports
 	if cfg.Filters {
-		res.Reports = report.Apply(res.RawReports,
+		var suppressed map[string]int
+		if m != nil {
+			suppressed = map[string]int{}
+		}
+		res.Reports = report.ApplyCounted(res.RawReports, suppressed,
 			report.FormFilter{}, report.SingleDispatchFilter{})
+		for name, n := range suppressed {
+			m.Add("filter.suppressed."+name, int64(n))
+		}
 	}
 	res.Counts = report.Count(res.Reports)
 	res.Errors = b.Errors
@@ -287,6 +344,8 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 			res.Reports[i].Env = env
 		}
 	}
+	res.Metrics, res.Trace = m, tl
+	foldTelemetry(res, m)
 	return res
 }
 
