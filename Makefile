@@ -1,12 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos obs bench bench-all benchcmp examples experiments outputs clean
+.PHONY: all build vet test chaos obs docs linkcheck bench bench-all benchcmp examples experiments outputs clean
 
 # Repetitions for the detector benchmarks; raise for benchstat-grade noise
 # bounds (e.g. `make bench BENCH_COUNT=10`).
 BENCH_COUNT ?= 5
 
-all: build vet test obs
+all: build vet test obs docs linkcheck
 
 build:
 	go build ./...
@@ -34,6 +34,18 @@ chaos:
 # `go test -run TestGoldenMetrics -update .`.
 obs:
 	./scripts/metricsdiff.sh
+
+# Godoc coverage gate: every exported identifier in the documented
+# surface (root package, serve, obs, fault) must carry a doc comment.
+# scripts/checkdocs is a tiny go/ast walker — presence only, wording is
+# review's job.
+docs:
+	go run ./scripts/checkdocs . internal/serve internal/obs internal/fault
+
+# Documentation rot gate: every relative markdown link and backticked
+# `*.go` reference in the repo's *.md files must resolve to a real file.
+linkcheck:
+	go run ./scripts/checklinks
 
 # The detector/replay benchmarks (the E4 speedup battery), repeated
 # BENCH_COUNT times so scripts/benchcmp.sh can bound the noise. The

@@ -115,16 +115,12 @@ func run() int {
 	if *traceF != "" {
 		opts = append(opts, webracer.WithTimeTrace())
 	}
-	switch *detector {
-	case "pairwise":
-	case "pairwise-vc":
-		opts = append(opts, webracer.WithDetector(webracer.DetectorPairwiseVC))
-	case "accessset":
-		opts = append(opts, webracer.WithDetector(webracer.DetectorAccessSet))
-	default:
-		fmt.Fprintf(os.Stderr, "webracer: unknown detector %q\n", *detector)
+	kind, err := webracer.ParseDetector(*detector)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	opts = append(opts, webracer.WithDetector(kind))
 	cfg := webracer.NewConfig(opts...)
 
 	pcfg := webracer.ParallelConfig{Workers: *workers}

@@ -1,0 +1,115 @@
+// Command webracerd is the long-running race-detection service: the
+// one-shot cmd/webracer pipeline packaged behind a REST API with a shared
+// worker pool, a bounded job queue and a content-addressed result cache.
+//
+// Usage:
+//
+//	webracerd [flags]
+//
+//	-addr :8077          listen address
+//	-workers N           concurrent job workers (default: all cores)
+//	-queue N             bounded job queue depth (default 64; full → 429)
+//	-cache-bytes N       result-cache byte budget (default 64 MiB)
+//	-sweep-workers N     per-job parallelism of sweep endpoints (default 1)
+//	-default-timeout D   per-job wall budget when the request sets none (default 30s)
+//	-max-timeout D       clamp on requested budgets (default 2m; 0 = no clamp)
+//	-v                   log every job admission and completion
+//
+// Endpoints: POST /v1/detect, /v1/sweep, /v1/faultsweep; GET /v1/jobs/{id},
+// /metrics, /progress, /healthz. See OPERATIONS.md for the full reference
+// with curl-able examples.
+//
+// SIGTERM/SIGINT drains gracefully: new submissions get 503, queued and
+// in-flight jobs finish, then the final metrics snapshot (cache hits,
+// misses, evictions, job counts) is flushed to stderr and the process
+// exits 0. A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"webracer/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+// run is main with an exit code so deferred cleanups always execute.
+func run() int {
+	var (
+		addr         = flag.String("addr", ":8077", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent job workers (0: all cores)")
+		queue        = flag.Int("queue", 64, "job queue depth; a full queue refuses with 429 + Retry-After")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (LRU eviction)")
+		sweepWorkers = flag.Int("sweep-workers", 1, "per-job parallelism of sweep endpoints (output is identical at any value)")
+		defTimeout   = flag.Duration("default-timeout", 30*time.Second, "per-job wall budget when the request sets none")
+		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "clamp on requested per-job budgets (0: no clamp)")
+		verbose      = flag.Bool("v", false, "log request-level detail")
+	)
+	flag.Parse()
+
+	s := serve.NewServer(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     *cacheBytes,
+		SweepWorkers:   *sweepWorkers,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webracerd:", err)
+		return 2
+	}
+	handler := s.Handler()
+	if *verbose {
+		handler = logRequests(handler)
+	}
+	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "webracerd: serving on http://%s (POST /v1/detect, /v1/sweep, /v1/faultsweep; GET /v1/jobs/{id}, /metrics, /progress)\n",
+		ln.Addr())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigc
+	fmt.Fprintf(os.Stderr, "webracerd: %s — draining (in-flight jobs finish; signal again to abort)\n", sig)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "webracerd: second signal — aborting")
+		os.Exit(130)
+	}()
+
+	if err := s.Drain(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "webracerd: drain:", err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+
+	// Flush the final service counters — the cache/queue story of this
+	// process's lifetime — so operators see them without scraping.
+	fmt.Fprintln(os.Stderr, "webracerd: final metrics:")
+	if err := s.Metrics().WriteJSON(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "webracerd:", err)
+		return 1
+	}
+	return 0
+}
+
+// logRequests wraps the service handler with one stderr line per request.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		fmt.Fprintf(os.Stderr, "webracerd: %s %s (%s)\n", r.Method, r.URL.Path, time.Since(start).Truncate(time.Millisecond))
+	})
+}

@@ -52,11 +52,23 @@ var kindNames = map[Kind]string{
 	KindStatus: "status", KindStall: "stall", KindTruncate: "truncate",
 }
 
+// String returns the kind's stable name (the spelling ParseKind accepts).
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
 		return s
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind maps a kind name — the spelling Kind.String prints — back to
+// its Kind. The webracerd API accepts per-URL overrides by these names.
+func ParseKind(name string) (Kind, error) {
+	for k, s := range kindNames {
+		if s == name {
+			return k, nil
+		}
+	}
+	return KindUnset, fmt.Errorf("fault: unknown kind %q", name)
 }
 
 // errStatuses are the HTTP statuses KindStatus draws from.
@@ -175,6 +187,7 @@ type ErrInjected struct {
 	Kind Kind
 }
 
+// Error names the injected fault and its URL.
 func (e *ErrInjected) Error() string {
 	return fmt.Sprintf("fault: %s of %q injected", e.Kind, e.URL)
 }

@@ -8,30 +8,27 @@ import (
 	"time"
 )
 
-// StartLive serves an expvar-style live progress endpoint on addr
-// (":0" picks a free port). Two routes:
-//
-//	/progress — the snap callback's current values (the CLIs feed it
-//	            from pool.Counters: done/total/in-flight/rate)
-//	/metrics  — the registry's current snapshot (may be nil)
-//
-// Both respond with sorted-key JSON. Returns the bound URL and a stop
-// function. Live output is for watching a long sweep, not a determinism
-// surface — timestamps and rates are wall-clock.
-func StartLive(addr string, snap func() map[string]any, m *Metrics) (url string, stop func(), err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+// ProgressHandler serves the snap callback's current values as sorted-key
+// JSON — the /progress route of both the -live CLI endpoint and webracerd.
+// The CLIs feed snap from pool.Counters (done/total/in-flight/rate); the
+// service adds queue depth. A nil snap serves an empty object. Live output
+// is for watching a long sweep, not a determinism surface — timestamps and
+// rates are wall-clock.
+func ProgressHandler(snap func() map[string]any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		var v map[string]any
 		if snap != nil {
 			v = snap()
 		}
 		writeSortedJSON(w, v)
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+}
+
+// MetricsHandler serves the registry's current snapshot as sorted-key JSON
+// — the /metrics route of both the -live CLI endpoint and webracerd. A nil
+// registry serves an empty object.
+func MetricsHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		snapM := m.Snapshot()
 		v := make(map[string]any, len(snapM))
 		for k, n := range snapM {
@@ -39,6 +36,26 @@ func StartLive(addr string, snap func() map[string]any, m *Metrics) (url string,
 		}
 		writeSortedJSON(w, v)
 	})
+}
+
+// StartLive serves an expvar-style live progress endpoint on addr
+// (":0" picks a free port). Two routes:
+//
+//	/progress — ProgressHandler(snap)
+//	/metrics  — MetricsHandler(m)
+//
+// Both respond with sorted-key JSON. Returns the bound URL and a stop
+// function. Long-lived services mount the two handlers on their own mux
+// instead (see internal/serve); StartLive is the fire-and-forget form the
+// one-shot CLIs use.
+func StartLive(addr string, snap func() map[string]any, m *Metrics) (url string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/progress", ProgressHandler(snap))
+	mux.Handle("/metrics", MetricsHandler(m))
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil

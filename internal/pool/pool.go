@@ -153,6 +153,13 @@ func (c *Counters) Begin(n, w int) {
 	c.perWorker = make([]atomic.Int64, w)
 }
 
+// AddTotal grows the total by n. Sweeps size their total once via Begin;
+// a long-lived Runner's work arrives over time, one admission at a time,
+// so its accounting grows the total as tasks are accepted.
+func (c *Counters) AddTotal(n int) {
+	c.total.Add(int64(n))
+}
+
 // track registers an item as in-flight and returns the matching
 // completion func. Call it as `defer c.track(worker)()` so the decrement
 // is bound to the increment by defer: every exit path — including the

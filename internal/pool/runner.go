@@ -1,0 +1,145 @@
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Runner is the long-lived counterpart of Map/Each: a fixed set of worker
+// goroutines consuming submitted tasks from a bounded queue. Where the
+// sweep entry points build their workers per call, a Runner is constructed
+// once — by a service such as webracerd — and reused across every job it
+// ever executes, so a detection service pays goroutine construction once
+// per process, not once per request.
+//
+// The queue bound is the backpressure surface: TrySubmit refuses instead
+// of blocking when the queue is full, which lets an HTTP front end turn
+// refusal into 429 + Retry-After rather than letting requests pile up
+// unbounded. Drain provides the graceful-shutdown half: stop admitting,
+// finish everything already admitted.
+type Runner struct {
+	tasks    chan func()
+	wg       sync.WaitGroup
+	counters Counters
+
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+
+	panicsMu sync.Mutex
+	panics   []*PanicError
+	seq      int
+}
+
+// NewRunner starts a pool of `workers` goroutines (values < 1 mean
+// runtime.NumCPU()) consuming a queue of capacity `queue` (values < 0 mean
+// 0: every submission must be picked up immediately or is refused). The
+// workers live until Drain or Close.
+func NewRunner(workers, queue int) *Runner {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	r := &Runner{tasks: make(chan func(), queue)}
+	r.counters.Begin(0, workers)
+	for wi := 0; wi < workers; wi++ {
+		r.wg.Add(1)
+		go func(worker int) {
+			defer r.wg.Done()
+			for task := range r.tasks {
+				r.run(worker, task)
+			}
+		}(wi)
+	}
+	return r
+}
+
+// run executes one task with the Map/Each accounting and panic barrier: a
+// panicking task is recovered into a PanicError (see Panics) instead of
+// killing its worker, and the defer-paired counter update still fires.
+func (r *Runner) run(worker int, task func()) {
+	r.panicsMu.Lock()
+	i := r.seq
+	r.seq++
+	r.panicsMu.Unlock()
+	_, pe := runItem(&r.counters, worker, i, func(int) struct{} {
+		task()
+		return struct{}{}
+	})
+	if pe != nil {
+		r.panicsMu.Lock()
+		r.panics = append(r.panics, pe)
+		r.panicsMu.Unlock()
+	}
+}
+
+// TrySubmit enqueues task for execution, reporting false — without
+// blocking — when the queue is full or the runner is draining or closed.
+// Submission order is execution order across the queue, though tasks on
+// different workers naturally overlap.
+func (r *Runner) TrySubmit(task func()) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining || r.closed {
+		return false
+	}
+	select {
+	case r.tasks <- task:
+		r.counters.AddTotal(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth is the number of tasks admitted but not yet picked up by a
+// worker.
+func (r *Runner) QueueDepth() int { return len(r.tasks) }
+
+// Snapshot reads the runner's lifetime progress: Total counts every
+// admitted task, Done the finished ones, InFlight those executing now.
+func (r *Runner) Snapshot() Snapshot { return r.counters.Snapshot() }
+
+// Panics returns the panics recovered from tasks so far, in recovery
+// order. (Service fronts normally wrap their tasks with their own recover
+// and never see these; the runner-level barrier is the backstop that
+// keeps a worker alive regardless.)
+func (r *Runner) Panics() []*PanicError {
+	r.panicsMu.Lock()
+	defer r.panicsMu.Unlock()
+	out := make([]*PanicError, len(r.panics))
+	copy(out, r.panics)
+	return out
+}
+
+// Drain stops admitting work (TrySubmit returns false from now on) and
+// waits until every queued and in-flight task has finished, or ctx is
+// done — the SIGTERM path of a service front end. Drain is idempotent;
+// concurrent calls all wait for the same completion.
+func (r *Runner) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	r.draining = true
+	if !r.closed {
+		r.closed = true
+		close(r.tasks)
+	}
+	r.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close is Drain with no deadline: it returns once every admitted task
+// has finished.
+func (r *Runner) Close() { _ = r.Drain(context.Background()) }

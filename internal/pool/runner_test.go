@@ -1,0 +1,119 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunnerRunsSubmittedTasks(t *testing.T) {
+	r := NewRunner(3, 32)
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		if !r.TrySubmit(func() { n.Add(1) }) {
+			t.Fatalf("TrySubmit refused with space available")
+		}
+	}
+	r.Close()
+	if got := n.Load(); got != 20 {
+		t.Fatalf("ran %d tasks, want 20", got)
+	}
+	s := r.Snapshot()
+	if s.Total != 20 || s.Done != 20 || s.InFlight != 0 {
+		t.Fatalf("snapshot = %+v, want total=done=20 inflight=0", s)
+	}
+}
+
+func TestRunnerBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	r := NewRunner(1, 1)
+	// Occupy the single worker, then fill the single queue slot.
+	if !r.TrySubmit(func() { <-gate }) {
+		t.Fatal("first submit refused")
+	}
+	// The worker may not have picked up the first task yet; wait until it
+	// has so the queue slot is genuinely free.
+	waitFor(t, func() bool { return r.Snapshot().InFlight == 1 })
+	if !r.TrySubmit(func() {}) {
+		t.Fatal("queue-slot submit refused")
+	}
+	if r.TrySubmit(func() {}) {
+		t.Fatal("submit accepted with worker busy and queue full")
+	}
+	if d := r.QueueDepth(); d != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", d)
+	}
+	close(gate)
+	r.Close()
+	if s := r.Snapshot(); s.Done != 2 {
+		t.Fatalf("done = %d, want 2", s.Done)
+	}
+}
+
+func TestRunnerDrainFinishesInFlight(t *testing.T) {
+	gate := make(chan struct{})
+	r := NewRunner(1, 4)
+	var done atomic.Bool
+	r.TrySubmit(func() { <-gate; done.Store(true) })
+	waitFor(t, func() bool { return r.Snapshot().InFlight == 1 })
+
+	drained := make(chan error, 1)
+	go func() { drained <- r.Drain(context.Background()) }()
+	// Draining: no new work.
+	waitFor(t, func() bool { return !r.TrySubmit(func() {}) })
+	select {
+	case <-drained:
+		t.Fatal("Drain returned with a task still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !done.Load() {
+		t.Fatal("in-flight task did not finish before Drain returned")
+	}
+	// Idempotent.
+	if err := r.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+func TestRunnerDrainHonorsContext(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	r := NewRunner(1, 1)
+	r.TrySubmit(func() { <-gate })
+	waitFor(t, func() bool { return r.Snapshot().InFlight == 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := r.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil with a stuck task")
+	}
+}
+
+func TestRunnerRecoversPanics(t *testing.T) {
+	r := NewRunner(1, 4)
+	r.TrySubmit(func() { panic("boom") })
+	r.TrySubmit(func() {}) // the worker must survive the panic
+	r.Close()
+	if s := r.Snapshot(); s.Done != 2 {
+		t.Fatalf("done = %d, want 2 (worker died on panic?)", s.Done)
+	}
+	pes := r.Panics()
+	if len(pes) != 1 || pes[0].Value != "boom" {
+		t.Fatalf("Panics() = %v, want one 'boom'", pes)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"webracer/internal/obs"
+)
+
+// entryOverhead approximates the per-entry bookkeeping cost (map bucket,
+// list element, entry struct) charged against the byte budget in addition
+// to key and body length, so a cache full of tiny entries cannot blow past
+// its budget on overhead alone.
+const entryOverhead = 128
+
+// Cache is the content-addressed result cache: stable response bytes
+// keyed by the request's canonical identity (see requestKey), bounded by
+// a byte budget with least-recently-used eviction.
+//
+// Soundness rests on the determinism contract (DESIGN.md): every run is a
+// pure function of its key's inputs and serializes byte-stably, so a hit
+// returns exactly the bytes a cold run would produce. Interrupted runs
+// are the one exception — their bytes depend on wall-clock timing — and
+// the server never Puts them.
+//
+// All methods are safe for concurrent use. Hit/miss/eviction traffic is
+// counted in the server's obs registry under serve.cache.*.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	size   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+
+	hits, misses, evictions, puts, tooLarge *obs.Counter
+	bytes, entries                          *obs.Gauge
+}
+
+// centry is one cached response.
+type centry struct {
+	key  string
+	body []byte
+}
+
+// cost is the budget charge for one entry.
+func (e *centry) cost() int64 {
+	return int64(len(e.key)) + int64(len(e.body)) + entryOverhead
+}
+
+// NewCache builds a cache holding at most budget bytes of responses
+// (values < 1 mean 64 MiB), counting traffic in m under serve.cache.*.
+func NewCache(budget int64, m *obs.Metrics) *Cache {
+	if budget < 1 {
+		budget = 64 << 20
+	}
+	return &Cache{
+		budget:    budget,
+		ll:        list.New(),
+		items:     map[string]*list.Element{},
+		hits:      m.Counter("serve.cache.hits"),
+		misses:    m.Counter("serve.cache.misses"),
+		evictions: m.Counter("serve.cache.evictions"),
+		puts:      m.Counter("serve.cache.puts"),
+		tooLarge:  m.Counter("serve.cache.too_large"),
+		bytes:     m.Gauge("serve.cache.bytes"),
+		entries:   m.Gauge("serve.cache.entries"),
+	}
+}
+
+// Get returns the cached bytes for key and marks the entry most recently
+// used. The returned slice is the cache's own storage — callers must not
+// modify it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	c.ll.MoveToFront(el)
+	return el.Value.(*centry).body, true
+}
+
+// Put stores body under key, evicting least-recently-used entries until
+// the budget holds. A body too large to ever fit is counted
+// (serve.cache.too_large) and dropped; a key already present is refreshed
+// in place (bodies for one key are identical by construction, but the
+// accounting stays exact either way).
+func (c *Cache) Put(key string, body []byte) {
+	e := &centry{key: key, body: body}
+	if e.cost() > c.budget {
+		c.tooLarge.Inc()
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*centry)
+		c.size += e.cost() - old.cost()
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(e)
+		c.size += e.cost()
+	}
+	c.puts.Inc()
+	for c.size > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*centry)
+		c.ll.Remove(back)
+		delete(c.items, victim.key)
+		c.size -= victim.cost()
+		c.evictions.Inc()
+	}
+	c.bytes.Set(c.size)
+	c.entries.Set(int64(c.ll.Len()))
+}
+
+// Len is the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes is the budget-charged size of the cache contents.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

@@ -1,0 +1,734 @@
+// Package serve implements webracerd, the long-running HTTP detection
+// service: race-detection jobs arrive as JSON over REST, run on a shared
+// long-lived worker pool behind a bounded queue, and their byte-stable
+// results are memoized in a content-addressed cache.
+//
+// The service leans entirely on the repo's determinism contract: every
+// run is a pure function of (site bytes, seed, config) and serializes to
+// stable bytes, so a result computed once is the result forever — the
+// cache is sound by construction, identical in-flight requests coalesce
+// to a single run, and a cache hit is byte-identical to the cold run it
+// stands in for (tests assert this). See DESIGN.md "Service architecture"
+// and OPERATIONS.md for the operator view.
+//
+// Request lifecycle:
+//
+//	POST /v1/{detect,sweep,faultsweep}
+//	  → resolve (normalize inputs, 400 on bad requests)
+//	  → key (SHA-256 over canonical inputs)
+//	  → cache hit?           → 200 with cached bytes   (X-Webracer-Cache: hit)
+//	  → same key in flight?  → attach to that job      (X-Webracer-Cache: coalesced)
+//	  → queue full?          → 429 + Retry-After
+//	  → enqueue              → run → cache → respond   (X-Webracer-Cache: miss)
+//
+// GET /v1/jobs/{id} polls any job by its key (async submissions return
+// the id immediately). /metrics and /progress expose the service
+// counters and pool progress on the same mux.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"webracer"
+	"webracer/internal/fault"
+	"webracer/internal/obs"
+	"webracer/internal/pool"
+	"webracer/internal/report"
+)
+
+// Config tunes the service. The zero Config is usable: every field
+// defaults to a sensible production value at NewServer.
+type Config struct {
+	// Workers is the number of long-lived job workers (values < 1 mean
+	// runtime.NumCPU()). At most Workers jobs execute concurrently.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-yet-running jobs
+	// (default 64). A full queue refuses new work with 429 + Retry-After
+	// — the service's backpressure surface.
+	QueueDepth int
+	// CacheBytes is the result cache's byte budget (default 64 MiB).
+	CacheBytes int64
+	// SweepWorkers is the per-job parallelism of sweep endpoints
+	// (default 1: a job occupies one worker; raise it only when the
+	// service runs few, large sweep jobs). Sweep output is byte-identical
+	// at any value.
+	SweepWorkers int
+	// DefaultTimeout is the per-job wall budget applied when a request
+	// does not set timeoutMS (default 30s). A tripped budget interrupts
+	// the run, which returns partial results and is never cached.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps requested budgets (default 2m; 0 disables the
+	// clamp).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After hint, in seconds, on 429 responses
+	// (default 1).
+	RetryAfter int
+	// JobHistory is the number of finished job records kept for
+	// GET /v1/jobs (default 4096; result bytes live in the cache, these
+	// records are small).
+	JobHistory int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes < 1 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.SweepWorkers < 1 {
+		c.SweepWorkers = 1
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout < 0 {
+		c.MaxTimeout = 0
+	}
+	if c.MaxBodyBytes < 1 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RetryAfter < 1 {
+		c.RetryAfter = 1
+	}
+	if c.JobHistory < 1 {
+		c.JobHistory = 4096
+	}
+	return c
+}
+
+// Server is the webracerd service: a mux, a job table, a worker pool and
+// a result cache. Construct with NewServer, serve via Handler, shut down
+// via Drain.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	cache   *Cache
+	runner  *pool.Runner
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // finished job ids, oldest first, for history pruning
+	draining bool
+
+	cAccepted, cCompleted, cFailed, cInterrupted *obs.Counter
+	cCoalesced, cRejected                        *obs.Counter
+	gDepth                                       *obs.Gauge
+
+	// jobGate, when non-nil, is called on the worker goroutine before a
+	// job executes — a test hook for holding jobs in flight.
+	jobGate func(kind jobKind, key string)
+}
+
+// job is the service-side record of one admitted unit of work. Fields
+// past done are guarded by Server.mu until done closes, immutable after.
+type job struct {
+	id     string
+	kind   jobKind
+	status string // "queued" | "running" | "done" | "failed"
+	body   []byte
+	code   int
+	errMsg string
+	done   chan struct{}
+}
+
+// finishedState reports whether the job reached a terminal status.
+func (j *job) finishedState() bool { return j.status == "done" || j.status == "failed" }
+
+// NewServer builds the service and starts its worker pool. The returned
+// server is ready to serve; wire Handler into an http.Server (or
+// httptest) and call Drain on shutdown.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := obs.New()
+	s := &Server{
+		cfg:          cfg,
+		metrics:      m,
+		cache:        NewCache(cfg.CacheBytes, m),
+		runner:       pool.NewRunner(cfg.Workers, cfg.QueueDepth),
+		jobs:         map[string]*job{},
+		cAccepted:    m.Counter("serve.jobs.accepted"),
+		cCompleted:   m.Counter("serve.jobs.completed"),
+		cFailed:      m.Counter("serve.jobs.failed"),
+		cInterrupted: m.Counter("serve.jobs.interrupted"),
+		cCoalesced:   m.Counter("serve.jobs.coalesced"),
+		cRejected:    m.Counter("serve.queue.rejected"),
+		gDepth:       m.Gauge("serve.queue.depth"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/detect", s.post(kindDetect))
+	mux.HandleFunc("POST /v1/sweep", s.post(kindSweep))
+	mux.HandleFunc("POST /v1/faultsweep", s.post(kindFaultSweep))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.Handle("GET /metrics", obs.MetricsHandler(m))
+	mux.Handle("GET /progress", obs.ProgressHandler(s.progressSnap))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Handler is the service's HTTP surface: the /v1 API plus /metrics,
+// /progress and /healthz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics is the service's live counter registry (the /metrics payload) —
+// cmd/webracerd flushes its snapshot on drain.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Drain gracefully shuts the service down: new submissions are refused
+// with 503 from the moment it is called, every queued and in-flight job
+// still runs to completion (or ctx expires), and the cache/counter state
+// stays queryable via /metrics until the process exits. The SIGTERM path.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	return s.runner.Drain(ctx)
+}
+
+// Close is Drain with no deadline.
+func (s *Server) Close() { _ = s.Drain(context.Background()) }
+
+// post builds the handler shared by the three submission endpoints.
+func (s *Server) post(kind jobKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, hr *http.Request) {
+		var req Request
+		dec := json.NewDecoder(http.MaxBytesReader(w, hr.Body, s.cfg.MaxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		r, err := s.resolve(kind, &req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.submit(w, hr, r)
+	}
+}
+
+// submit routes a resolved request: cache hit, coalesce onto an in-flight
+// job, or admit a new job (429 when the queue refuses).
+func (s *Server) submit(w http.ResponseWriter, hr *http.Request, r *resolved) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if body, ok := s.cache.Get(r.key); ok {
+		s.reviveJobLocked(r, body)
+		s.mu.Unlock()
+		w.Header().Set("X-Webracer-Cache", "hit")
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	if j, ok := s.jobs[r.key]; ok && !j.finishedState() {
+		s.cCoalesced.Inc()
+		s.mu.Unlock()
+		s.respond(w, hr, j, r.async, "coalesced")
+		return
+	}
+	// New work — also the re-run path for a finished job whose result
+	// left the cache.
+	j := &job{id: r.key, kind: r.kind, status: "queued", done: make(chan struct{})}
+	s.jobs[r.key] = j
+	if !s.runner.TrySubmit(func() { s.runJob(j, r) }) {
+		delete(s.jobs, r.key)
+		s.cRejected.Inc()
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+	s.cAccepted.Inc()
+	s.gDepth.Set(int64(s.runner.QueueDepth()))
+	s.mu.Unlock()
+	s.respond(w, hr, j, r.async, "miss")
+}
+
+// reviveJobLocked makes sure a cache-served key has a finished job record
+// so GET /v1/jobs/{id} answers for it. Caller holds s.mu.
+func (s *Server) reviveJobLocked(r *resolved, body []byte) {
+	if j, ok := s.jobs[r.key]; ok && j.finishedState() {
+		return
+	} else if ok {
+		// In-flight job for a key already cached cannot happen: jobs are
+		// only admitted on cache miss and their results Put on finish.
+		_ = j
+		return
+	}
+	j := &job{id: r.key, kind: r.kind, status: "done", body: body, code: http.StatusOK,
+		done: make(chan struct{})}
+	close(j.done)
+	s.jobs[r.key] = j
+	s.finished = append(s.finished, j.id)
+	s.pruneHistoryLocked()
+}
+
+// respond completes a submission: async callers get 202 + the job id,
+// sync callers wait for the job (or their own disconnect — the job runs
+// on regardless).
+func (s *Server) respond(w http.ResponseWriter, hr *http.Request, j *job, async bool, cacheState string) {
+	w.Header().Set("X-Webracer-Cache", cacheState)
+	if async {
+		s.mu.Lock()
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	select {
+	case <-j.done:
+		s.mu.Lock()
+		body, code := j.body, j.code
+		s.mu.Unlock()
+		writeBody(w, code, body)
+	case <-hr.Context().Done():
+		// Client gone; nothing to write to. The job still finishes and
+		// its result is cached for the retry.
+	}
+}
+
+// runJob executes one admitted job on a pool worker and publishes its
+// terminal state.
+func (s *Server) runJob(j *job, r *resolved) {
+	s.mu.Lock()
+	j.status = "running"
+	gate := s.jobGate
+	s.mu.Unlock()
+	if gate != nil {
+		gate(r.kind, r.key)
+	}
+	body, cacheable, err := s.execute(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		j.status = "failed"
+		j.code = http.StatusInternalServerError
+		j.errMsg = err.Error()
+		j.body = mustMarshal(errorBody{Error: err.Error()})
+		s.cFailed.Inc()
+	} else {
+		j.status = "done"
+		j.code = http.StatusOK
+		j.body = body
+		if cacheable {
+			s.cache.Put(j.id, body)
+		} else {
+			s.cInterrupted.Inc()
+		}
+		s.cCompleted.Inc()
+	}
+	s.gDepth.Set(int64(s.runner.QueueDepth()))
+	s.finished = append(s.finished, j.id)
+	s.pruneHistoryLocked()
+	close(j.done)
+}
+
+// pruneHistoryLocked caps the finished-job records at cfg.JobHistory,
+// dropping oldest first. In-flight jobs are never pruned. Caller holds
+// s.mu.
+func (s *Server) pruneHistoryLocked() {
+	for len(s.finished) > s.cfg.JobHistory {
+		id := s.finished[0]
+		s.finished = s.finished[1:]
+		if j, ok := s.jobs[id]; ok && j.finishedState() {
+			delete(s.jobs, id)
+		}
+	}
+}
+
+// execute runs the resolved job and serializes its response body. The
+// second return reports cacheability: only complete (un-interrupted,
+// un-degraded) runs enter the cache, because an interrupted run's bytes
+// depend on wall-clock timing rather than the key's inputs alone. Panics
+// become errors — one bad job must not take a worker down with it.
+func (s *Server) execute(r *resolved) (body []byte, cacheable bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			body, cacheable, err = nil, false, fmt.Errorf("job panicked: %v", v)
+		}
+	}()
+	switch r.kind {
+	case kindDetect:
+		return s.executeDetect(r)
+	case kindSweep:
+		return s.executeSweep(r)
+	case kindFaultSweep:
+		return s.executeFaultSweep(r)
+	}
+	return nil, false, fmt.Errorf("unknown job kind %q", r.kind)
+}
+
+// executeDetect runs one detection and renders the compact report (or the
+// full session when the request asked for one).
+func (s *Server) executeDetect(r *resolved) ([]byte, bool, error) {
+	res := webracer.RunConfig(r.site, r.cfg)
+	var payload any
+	if r.session {
+		payload = SessionResponse{ID: r.key, Session: webracer.Export(res, r.cfg.Seed, nil, false)}
+	} else {
+		payload = detectResponse(r, res)
+	}
+	body, err := marshalBody(payload)
+	return body, res.Interrupted == "", err
+}
+
+// executeSweep runs /v1/sweep in either mode. The seeds mode shards the
+// schedules over the job's sweep workers via pool.Map and folds exactly
+// like webracer.RunSeeds (same 7919 seed stepping), with per-run
+// interruption visible so degraded sweeps stay out of the cache.
+func (s *Server) executeSweep(r *resolved) ([]byte, bool, error) {
+	resp := SweepResponse{ID: r.key, Site: r.site.Name, Seed: r.cfg.Seed, Mode: r.mode}
+	cacheable := true
+	switch r.mode {
+	case "seeds":
+		results, err := pool.Map(pool.Options{Workers: s.cfg.SweepWorkers}, r.seeds,
+			func(i int) *webracer.Result {
+				c := r.cfg
+				c.Seed = r.cfg.Seed + int64(i)*7919
+				return webracer.RunConfig(r.site, c)
+			})
+		if err != nil {
+			return nil, false, err
+		}
+		resp.Seeds = r.seeds
+		locations := map[string]int{}
+		for i, res := range results {
+			resp.PerSeed = append(resp.PerSeed, len(res.Reports))
+			if res.Interrupted != "" {
+				cacheable = false
+				resp.Degraded = append(resp.Degraded,
+					fmt.Sprintf("seed %d: %s", r.cfg.Seed+int64(i)*7919, res.Interrupted))
+			}
+			seen := map[string]bool{}
+			for _, rep := range res.Reports {
+				key := rep.Loc.String()
+				if !seen[key] {
+					seen[key] = true
+					locations[key]++
+				}
+			}
+		}
+		resp.Locations = locations
+		for loc, hits := range locations {
+			if hits == r.seeds {
+				resp.Stable = append(resp.Stable, loc)
+			} else {
+				resp.Flaky = append(resp.Flaky, loc)
+			}
+		}
+		sort.Strings(resp.Stable)
+		sort.Strings(resp.Flaky)
+	case "delay-one":
+		sweep, err := webracer.ExploreSchedulesParallel(r.site, r.cfg,
+			webracer.ParallelConfig{Workers: s.cfg.SweepWorkers})
+		if err != nil {
+			return nil, false, err
+		}
+		resp.Runs = sweep.Runs
+		resp.ByLocation = sweep.ByLocation
+		resp.NewlyExposed = sweep.NewlyExposed
+		if sweep.Baseline != nil && sweep.Baseline.Interrupted != "" {
+			cacheable = false
+			resp.Degraded = append(resp.Degraded, "baseline: "+sweep.Baseline.Interrupted)
+		}
+	}
+	body, err := marshalBody(resp)
+	return body, cacheable, err
+}
+
+// executeFaultSweep runs /v1/faultsweep: baseline plus N derived fault
+// plans at a fixed schedule seed. Degraded or skipped runs keep the
+// response out of the cache.
+func (s *Server) executeFaultSweep(r *resolved) ([]byte, bool, error) {
+	fc := webracer.FaultSweepConfig{Plans: r.plans}
+	if r.fseed != r.cfg.Seed {
+		base := r.fseed
+		fc.PlanFor = func(i int) fault.Plan { return fault.ForSeed(base, i) }
+	}
+	sweep, err := webracer.RunFaultSweep(r.site, r.cfg, fc,
+		webracer.ParallelConfig{Workers: s.cfg.SweepWorkers})
+	if err != nil {
+		return nil, false, err
+	}
+	body, merr := marshalBody(FaultSweepResponse{ID: r.key, Sweep: sweep})
+	cacheable := len(sweep.Degraded) == 0 && len(sweep.Skipped) == 0
+	return body, cacheable, merr
+}
+
+// handleJob answers GET /v1/jobs/{id}. Ids are content-addressed, so a
+// finished job pruned from history but still cached is revived from the
+// cache transparently.
+func (s *Server) handleJob(w http.ResponseWriter, hr *http.Request) {
+	id := hr.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var st JobStatus
+	if ok {
+		st = s.statusLocked(j)
+	}
+	s.mu.Unlock()
+	if !ok {
+		if body, hit := s.cache.Get(id); hit {
+			st = JobStatus{ID: id, Status: "done", Result: body}
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// statusLocked renders a job's JobStatus. Caller holds s.mu.
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{ID: j.id, Kind: string(j.kind), Status: j.status, Error: j.errMsg}
+	if j.status == "done" {
+		st.Result = j.body
+	}
+	return st
+}
+
+// handleHealth reports liveness: 200 while accepting, 503 once draining
+// (load balancers stop routing here while in-flight work finishes).
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// progressSnap feeds /progress: the pool's lifetime counters plus the
+// queue's current depth.
+func (s *Server) progressSnap() map[string]any {
+	snap := s.runner.Snapshot()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return map[string]any{
+		"total":      snap.Total,
+		"done":       snap.Done,
+		"inFlight":   snap.InFlight,
+		"perSecond":  snap.PerSecond,
+		"elapsedMS":  snap.Elapsed.Milliseconds(),
+		"queueDepth": s.runner.QueueDepth(),
+		"draining":   draining,
+	}
+}
+
+// ---- response types ----
+
+// RaceJSON is one race in the compact detect response.
+type RaceJSON struct {
+	// Type classifies the race (HTML, Variable, Function, EventDispatch).
+	Type string `json:"type"`
+	// Loc is the racing logical memory location.
+	Loc string `json:"loc"`
+	// Prior and Current describe the two unordered accesses.
+	Prior string `json:"prior"`
+	// Current is the later access of the reported pair.
+	Current string `json:"current"`
+	// Env is the fault-plan label the race was found under, if any.
+	Env string `json:"env,omitempty"`
+}
+
+// DetectResponse is POST /v1/detect's compact body (the default; set
+// "session": true for the full exported session instead). All fields are
+// pure functions of the request key, so the body is byte-stable.
+type DetectResponse struct {
+	// ID is the job's content-addressed id (also the cache key).
+	ID string `json:"id"`
+	// Site is the site's display name.
+	Site string `json:"site"`
+	// Seed is the schedule seed the run used.
+	Seed int64 `json:"seed"`
+	// Detector names the algorithm that ran.
+	Detector string `json:"detector"`
+	// Ops is the number of operations the execution performed.
+	Ops int `json:"ops"`
+	// Races are the reports surviving the configured filters.
+	Races []RaceJSON `json:"races"`
+	// RawRaces is the pre-filter report count.
+	RawRaces int `json:"rawRaces"`
+	// Counts tallies Races by type.
+	Counts report.Counts `json:"counts"`
+	// Errors are the page errors observed (hidden crashes, failed
+	// fetches).
+	Errors []string `json:"errors,omitempty"`
+	// FaultEvents is the number of fault injections that fired.
+	FaultEvents int `json:"faultEvents,omitempty"`
+	// Explore summarizes automatic exploration, when it ran.
+	Explore map[string]int `json:"explore,omitempty"`
+	// Interrupted names why the run stopped early, if it did (such runs
+	// are never cached).
+	Interrupted string `json:"interrupted,omitempty"`
+}
+
+// SessionResponse wraps the full exported session for "session": true
+// detect requests.
+type SessionResponse struct {
+	// ID is the job's content-addressed id.
+	ID string `json:"id"`
+	// Session is the complete serialized run (ops, edges, races).
+	Session *webracer.Session `json:"session"`
+}
+
+// SweepResponse is POST /v1/sweep's body, for both modes.
+type SweepResponse struct {
+	// ID is the job's content-addressed id.
+	ID string `json:"id"`
+	// Site is the site's display name.
+	Site string `json:"site"`
+	// Seed is the base schedule seed.
+	Seed int64 `json:"seed"`
+	// Mode is "seeds" or "delay-one".
+	Mode string `json:"mode"`
+	// Seeds is the number of schedules run (seeds mode).
+	Seeds int `json:"seeds,omitempty"`
+	// PerSeed is each run's race count, in seed order (seeds mode).
+	PerSeed []int `json:"perSeed,omitempty"`
+	// Locations maps each racing location to the number of runs that
+	// reported it (seeds mode).
+	Locations map[string]int `json:"locations,omitempty"`
+	// Stable are locations reported by every seed, sorted (seeds mode).
+	Stable []string `json:"stable,omitempty"`
+	// Flaky are locations reported by only some seeds, sorted (seeds
+	// mode).
+	Flaky []string `json:"flaky,omitempty"`
+	// Runs is the number of executions (delay-one mode: 1 + resources).
+	Runs int `json:"runs,omitempty"`
+	// ByLocation maps race locations to the perturbations that exposed
+	// them, "" meaning the baseline (delay-one mode).
+	ByLocation map[string][]string `json:"byLocation,omitempty"`
+	// NewlyExposed are locations found only under some perturbation,
+	// sorted (delay-one mode).
+	NewlyExposed []string `json:"newlyExposed,omitempty"`
+	// Degraded lists runs that tripped the wall budget; a degraded sweep
+	// is returned but never cached.
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// FaultSweepResponse is POST /v1/faultsweep's body: the library's
+// deterministic FaultSweep, wrapped with the job id.
+type FaultSweepResponse struct {
+	// ID is the job's content-addressed id.
+	ID string `json:"id"`
+	// Sweep is the full fault-sweep result (runs, locations,
+	// newlyExposed, degraded, skipped).
+	Sweep *webracer.FaultSweep `json:"sweep"`
+}
+
+// JobStatus is GET /v1/jobs/{id}'s body (and the 202 body of async
+// submissions).
+type JobStatus struct {
+	// ID is the job's content-addressed id.
+	ID string `json:"id"`
+	// Kind is the endpoint family: detect, sweep or faultsweep.
+	Kind string `json:"kind,omitempty"`
+	// Status is queued, running, done or failed.
+	Status string `json:"status"`
+	// Error explains a failed job.
+	Error string `json:"error,omitempty"`
+	// Result is the finished job's response body, verbatim.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// detectResponse renders a Result compactly.
+func detectResponse(r *resolved, res *webracer.Result) DetectResponse {
+	resp := DetectResponse{
+		ID:          r.key,
+		Site:        res.Site,
+		Seed:        r.cfg.Seed,
+		Detector:    r.cfg.Detector.String(),
+		Ops:         res.Ops,
+		Races:       []RaceJSON{},
+		RawRaces:    len(res.RawReports),
+		Counts:      res.Counts,
+		FaultEvents: len(res.FaultEvents),
+		Interrupted: res.Interrupted,
+	}
+	for _, rep := range res.Reports {
+		resp.Races = append(resp.Races, RaceJSON{
+			Type:    report.Classify(rep).String(),
+			Loc:     rep.Loc.String(),
+			Prior:   fmt.Sprintf("%s op%d %s", rep.Prior.Kind, rep.Prior.Op, rep.Prior.Ctx),
+			Current: fmt.Sprintf("%s op%d %s", rep.Current.Kind, rep.Current.Op, rep.Current.Ctx),
+			Env:     rep.Env,
+		})
+	}
+	for _, e := range res.Errors {
+		resp.Errors = append(resp.Errors, e.String())
+	}
+	if st := res.ExploreStats; st.EventsDispatched+st.LinksClicked+st.FieldsTyped+st.Rounds > 0 {
+		resp.Explore = map[string]int{
+			"events": st.EventsDispatched,
+			"links":  st.LinksClicked,
+			"fields": st.FieldsTyped,
+			"rounds": st.Rounds,
+		}
+	}
+	return resp
+}
+
+// ---- encoding helpers ----
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	// Error is the human-readable reason.
+	Error string `json:"error"`
+}
+
+// marshalBody serializes a response payload the one canonical way:
+// two-space indent, trailing newline. Byte stability of the payload
+// values plus a fixed encoder make response bodies cache-comparable.
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// mustMarshal is marshalBody for shapes that cannot fail.
+func mustMarshal(v any) []byte {
+	b, err := marshalBody(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// writeBody writes a prebuilt JSON body.
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// writeJSON marshals and writes v.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	writeBody(w, code, mustMarshal(v))
+}
+
+// writeError writes the canonical error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}

@@ -1,0 +1,139 @@
+// Command checkdocs enforces godoc coverage: every exported identifier in
+// the packages named on the command line must carry a doc comment. It is
+// a presence check only — wording is the review's job — implemented over
+// go/ast so it needs nothing beyond the standard toolchain. `make docs`
+// runs it over the documented surface (the root package, internal/serve,
+// internal/obs, internal/fault) and fails the build on any gap.
+//
+// Usage:
+//
+//	go run ./scripts/checkdocs DIR [DIR...]
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkdocs DIR [DIR...]")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range os.Args[1:] {
+		p, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkdocs:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "checkdocs: %d exported identifiers missing doc comments\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test .go file in dir (no recursion — run the
+// command once per package) and returns one line per undocumented
+// exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s %s has no doc comment",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFunc(d, report)
+				case *ast.GenDecl:
+					checkGen(d, report)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkFunc flags undocumented exported functions, and undocumented
+// exported methods whose receiver type is itself exported (methods on
+// unexported types are not part of the package's documented surface).
+func checkFunc(d *ast.FuncDecl, report func(token.Pos, string, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	what, name := "func", d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		what, name = "method", recv+"."+d.Name.Name
+	}
+	report(d.Pos(), what, name)
+}
+
+// checkGen flags undocumented exported names in type/const/var blocks. A
+// doc comment on the block covers every spec inside it; otherwise each
+// spec needs its own.
+func checkGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && sp.Doc == nil && sp.Comment == nil {
+				report(sp.Pos(), d.Tok.String(), sp.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if sp.Doc != nil || sp.Comment != nil {
+				continue
+			}
+			for _, name := range sp.Names {
+				if name.IsExported() {
+					report(name.Pos(), d.Tok.String(), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName unwraps a method receiver type expression to its base type
+// name.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr: // generic receiver
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command checklinks keeps the repo's documentation honest: every
+// relative markdown link and every backticked `*.go` file reference in
+// the repo's *.md files must resolve to a real file. Docs rot silently
+// when code moves; this makes the rot a build failure instead. `make
+// linkcheck` runs it from the repo root.
+//
+// Checked:
+//   - [text](target) links whose target is not an absolute URL or a bare
+//     #anchor — the path (fragment stripped) must exist relative to the
+//     file containing the link.
+//   - `path/to/file.go` references with a slash — must exist from the
+//     repo root.
+//   - bare `file.go` references — the basename must exist somewhere in
+//     the repo.
+//
+// Usage:
+//
+//	go run ./scripts/checklinks [ROOT]
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var (
+	// linkRE matches [text](target); nested parens in targets don't occur
+	// in this repo's docs.
+	linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	// goRefRE matches backticked Go file references like `webracer.go`
+	// or `internal/serve/serve.go`.
+	goRefRE = regexp.MustCompile("`([A-Za-z0-9_./-]+\\.go)`")
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	mds, goBase, err := inventory(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checklinks:", err)
+		os.Exit(2)
+	}
+	var problems []string
+	for _, md := range mds {
+		p, err := checkFile(root, md, goBase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checklinks:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "checklinks: %d broken references\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// inventory walks root collecting markdown files to check and the set of
+// .go basenames that exist anywhere in the repo (for bare references).
+func inventory(root string) (mds []string, goBase map[string]bool, err error) {
+	goBase = map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch {
+		case name == "ISSUE.md":
+			// The driver's task brief quotes placeholder paths; it is not
+			// repo documentation.
+		case strings.HasSuffix(name, ".md"):
+			mds = append(mds, path)
+		case strings.HasSuffix(name, ".go"):
+			goBase[name] = true
+		}
+		return nil
+	})
+	return mds, goBase, err
+}
+
+// checkFile validates one markdown file's links and Go file references.
+func checkFile(root, md string, goBase map[string]bool) ([]string, error) {
+	data, err := os.ReadFile(md)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	bad := func(ref string) {
+		problems = append(problems, fmt.Sprintf("%s: broken reference %q", filepath.ToSlash(md), ref))
+	}
+	for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+			strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(filepath.Dir(md), target)); err != nil {
+			bad(m[1])
+		}
+	}
+	for _, m := range goRefRE.FindAllStringSubmatch(string(data), -1) {
+		ref := m[1]
+		if strings.Contains(ref, "/") {
+			if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
+				bad(ref)
+			}
+		} else if !goBase[ref] {
+			bad(ref)
+		}
+	}
+	return problems, nil
+}

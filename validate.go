@@ -32,6 +32,7 @@ type Validation struct {
 // Flipped reports whether both orders were observed.
 func (v *Validation) Flipped() bool { return v.PriorFirst > 0 && v.CurrentFirst > 0 }
 
+// String summarizes the validation in one line.
 func (v *Validation) String() string {
 	return fmt.Sprintf("%d/%d prior-first, %d/%d current-first, %d missing (flipped=%v)",
 		v.PriorFirst, v.Runs, v.CurrentFirst, v.Runs, v.Missing, v.Flipped())

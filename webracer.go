@@ -56,6 +56,35 @@ const (
 	DetectorPairwiseVC
 )
 
+// String returns the kind's stable API name — the same spelling
+// cmd/webracer's -detector flag and the webracerd request field accept.
+func (k DetectorKind) String() string {
+	switch k {
+	case DetectorAccessSet:
+		return "accessset"
+	case DetectorPairwiseVC:
+		return "pairwise-vc"
+	default:
+		return "pairwise"
+	}
+}
+
+// ParseDetector maps a detector name — "pairwise", "pairwise-vc",
+// "accessset" — to its DetectorKind. The empty string parses as
+// DetectorPairwise, the default. The CLI -detector flag and the webracerd
+// API both parse through here, so the accepted spellings cannot drift.
+func ParseDetector(name string) (DetectorKind, error) {
+	switch name {
+	case "", "pairwise":
+		return DetectorPairwise, nil
+	case "pairwise-vc":
+		return DetectorPairwiseVC, nil
+	case "accessset":
+		return DetectorAccessSet, nil
+	}
+	return DetectorPairwise, fmt.Errorf("webracer: unknown detector %q (want pairwise, pairwise-vc or accessset)", name)
+}
+
 // Config tunes one detection session.
 type Config struct {
 	// Seed drives all simulated nondeterminism.
