@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos obs docs linkcheck bench bench-all benchcmp examples experiments outputs clean
+.PHONY: all build vet test chaos predictive obs docs linkcheck bench bench-all benchcmp examples experiments outputs clean
 
 # Repetitions for the detector benchmarks; raise for benchstat-grade noise
 # bounds (e.g. `make bench BENCH_COUNT=10`).
@@ -26,6 +26,17 @@ test: vet
 chaos:
 	go test -race -run 'TestFault|TestGoldenFaultSweep|TestXHR' . ./internal/fault/ ./internal/browser/
 	go run ./cmd/experiments -faults
+
+# Predictive-detection battery under the Go race detector: the
+# sweep-recovery differential (32-seed ground truth vs one predictive
+# trace, recall floor and soundness pinned as goldens), the witness
+# corruption/replay tests, the predictive differential containments, the
+# hb/race unit layers, and a short run of the end-to-end soundness
+# fuzzer. The E10 table reprints the recall numbers.
+predictive:
+	go test -race -run 'TestPredictive|TestWitness|TestDifferential' . ./internal/hb/ ./internal/race/
+	go test -run '^$$' -fuzz FuzzPredictiveSound -fuzztime 30s .
+	go run ./cmd/experiments -predictive
 
 # Telemetry determinism gate: regenerate the golden-site metrics
 # snapshots with `experiments -obs` and byte-compare them against the

@@ -9,8 +9,8 @@
 //
 //	experiments [-sites 100] [-seed 1] [-workers N] [-progress]
 //	            [-table1] [-table2] [-perf] [-ablate] [-extensions]
-//	            [-faults] [-obs] [-metrics-dir DIR] [-trace FILE]
-//	            [-pprof PREFIX]
+//	            [-faults] [-obs] [-predictive] [-metrics-dir DIR]
+//	            [-trace FILE] [-pprof PREFIX]
 //
 // With no experiment flags, everything runs. Corpus sweeps (Tables 1-2,
 // the E6 ablations) shard over -workers; results are identical at any
@@ -54,6 +54,7 @@ func main() {
 		exts   = flag.Bool("extensions", false, "beyond-the-paper extension ablations (E6)")
 		flt    = flag.Bool("faults", false, "deterministic fault injection: races vs fault rate (E8)")
 		obsE   = flag.Bool("obs", false, "deterministic telemetry: per-site instrumentation table from metrics (E9)")
+		predE  = flag.Bool("predictive", false, "single-trace predictive detection: sweep-recovery recall table (E10)")
 		mDir   = flag.String("metrics-dir", "", "with -obs: also write each site's metrics JSON into this directory (files match testdata/golden/metrics-*.json)")
 		traceF = flag.String("trace", "", "with -obs: also write fig1's virtual-time Chrome trace to this file")
 		pprofP = flag.String("pprof", "", "write process CPU and heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
@@ -61,7 +62,7 @@ func main() {
 	flag.IntVar(&workers, "workers", runtime.NumCPU(), "parallel workers for corpus sweeps (identical results at any count)")
 	flag.BoolVar(&showProgress, "progress", false, "stream live per-worker sweep counters to stderr")
 	flag.Parse()
-	all := !*table1 && !*table2 && !*perf && !*ablate && !*exts && !*flt && !*obsE
+	all := !*table1 && !*table2 && !*perf && !*ablate && !*exts && !*flt && !*obsE && !*predE
 
 	if *pprofP != "" {
 		finish, err := obs.Profile(*pprofP)
@@ -96,6 +97,9 @@ func main() {
 	}
 	if *obsE || all {
 		runObs(*seed, *mDir, *traceF)
+	}
+	if *predE || all {
+		runPredictive(*seed)
 	}
 }
 
@@ -563,6 +567,75 @@ func runObs(seed int64, metricsDir, traceFile string) {
 			}
 		}
 	}
+	// The predictive detector carries its own counters
+	// (race.predictive.{predicted,confirmed,witness_events}); pin them on
+	// the schedule-dependent sched-00 page the E10 battery uses so
+	// scripts/metricsdiff.sh covers that counter family too.
+	pcfg := webracer.DefaultConfig(seed)
+	pcfg.Telemetry = true
+	pcfg.Detector = webracer.DetectorPredictive
+	pres := webracer.RunConfig(sitegen.Generate(sitegen.SchedSpec(0)), pcfg)
+	if pres.Metrics != nil {
+		snap := pres.Metrics.Snapshot()
+		fmt.Printf("%-12s predictive counters: %d predicted, %d confirmed, %d witness event(s)\n",
+			"sched-00", snap["race.predictive.predicted"],
+			snap["race.predictive.confirmed"], snap["race.predictive.witness_events"])
+		if metricsDir != "" {
+			path := metricsDir + "/metrics-sched-predictive.json"
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			} else {
+				if err := pres.Metrics.WriteJSON(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+				}
+			}
+		}
+	}
+
 	fmt.Printf("(counters fold end-of-run state; identical bytes at any -workers and across runs.\n")
 	fmt.Printf(" See EXPERIMENTS.md E9 and DESIGN.md \"Observability\".)\n\n")
+}
+
+// runPredictive is E10: single-trace predictive detection versus the
+// K-seed sweep. For each fixture site it runs the 32-seed ground-truth
+// sweep, then one predictive pass at the base seed, and tabulates how
+// much of the sweep's racing-location set the single trace recovers —
+// plus what prediction finds that no seed reached at all. Every predicted
+// race is re-verified through its witness reordering, so the confirmed
+// column doubles as a soundness check.
+func runPredictive(seed int64) {
+	cases := []struct {
+		name string
+		site *loader.Site
+	}{
+		{"fig1", sitegen.Fig1()},
+		{"fig4", sitegen.Fig4()},
+		{"sched-00", sitegen.Generate(sitegen.SchedSpec(0))},
+		{"sched-01", sitegen.Generate(sitegen.SchedSpec(1))},
+	}
+	const sweepSeeds = 32
+	fmt.Printf("== E10: predictive recall vs a %d-seed sweep ==\n", sweepSeeds)
+	start := time.Now()
+	fmt.Printf("%-12s %6s %6s %6s %7s %10s %10s %9s\n",
+		"site", "sweep", "flaky", "recov", "recall", "predicted", "confirmed", "pred-only")
+	for _, tc := range cases {
+		rec, err := webracer.MeasureRecovery(tc.site, webracer.DefaultConfig(seed), sweepSeeds,
+			webracer.ParallelConfig{Workers: workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			continue
+		}
+		fmt.Printf("%-12s %6d %6d %6d %6.0f%% %10d %10d %9d\n",
+			tc.name, len(rec.SweepLocations), len(rec.FlakyLocations), len(rec.Recovered),
+			100*rec.Recall(), rec.Predicted, rec.Confirmed, len(rec.PredictedOnly))
+	}
+	fmt.Printf("(%s; recall counts sweep locations only, so predicted-only races\n",
+		sweepStats(len(cases)*(sweepSeeds+1), time.Since(start)))
+	fmt.Printf(" never inflate it. See EXPERIMENTS.md E10 and DESIGN.md \"Predictive detection\".)\n\n")
 }

@@ -11,7 +11,7 @@
 //	-explore            automatic exploration after load (default true)
 //	-filters            apply the §5.3 report filters
 //	-harm               classify harmful races via the adversarial replay
-//	-detector pairwise  pairwise | pairwise-vc | accessset
+//	-detector pairwise  pairwise | pairwise-vc | accessset | predictive
 //	-faults N           also sweep N deterministic fault plans (error-path races)
 //	-fault-seed S       base seed for fault-plan derivation (default: -seed)
 //	-timeout D          per-run wall-clock budget (tripped runs degrade, not fail)
@@ -51,7 +51,7 @@ func run() int {
 		expl      = flag.Bool("explore", true, "simulate user interactions after load (§5.2.2)")
 		filters   = flag.Bool("filters", false, "apply the §5.3 report filters")
 		harm      = flag.Bool("harm", false, "classify harmful races (adversarial replay)")
-		detector  = flag.String("detector", "pairwise", "race detector: pairwise | pairwise-vc | accessset")
+		detector  = flag.String("detector", "pairwise", "race detector: pairwise | pairwise-vc | accessset | predictive")
 		verbose   = flag.Bool("v", false, "print page errors and console output")
 		dotFile   = flag.String("dot", "", "write the happens-before graph in Graphviz DOT form to this file")
 		jsonFile  = flag.String("json", "", "write the full session (ops, edges, races) as JSON to this file")
@@ -205,6 +205,21 @@ func run() int {
 		fmt.Printf(" after filtering (%d raw)", len(res.RawReports))
 	}
 	fmt.Println()
+	if p := res.Predictive; p != nil {
+		fmt.Printf("  predictive: %d observed, %d predicted beyond the observed schedule (%d/%d witnesses confirmed)\n",
+			p.Stats.Observed, p.Stats.Predicted, p.Stats.Confirmed, p.Stats.Predicted)
+		predicted := map[string]bool{}
+		for _, pr := range p.Reports {
+			if pr.Predicted {
+				predicted[pr.Loc.String()] = true
+			}
+		}
+		for _, r := range res.Reports {
+			if predicted[r.Loc.String()] {
+				fmt.Printf("  predicted race needs a reordering: %s\n", r.Loc)
+			}
+		}
+	}
 	if *long {
 		var hf []bool
 		if harmful != nil {

@@ -7,6 +7,7 @@ import (
 
 	"webracer/internal/hb"
 	"webracer/internal/race"
+	"webracer/internal/sitegen"
 )
 
 // differentialCorpusSize × differentialSeeds executions per detector;
@@ -124,7 +125,9 @@ func TestDifferentialDetectors(t *testing.T) {
 // TestDifferentialDetectorsShipped repeats the location-level comparison
 // in the shipped configuration (at most one race per location, like
 // WebRacer): AccessSet's location set must contain Pairwise's on every
-// (site, seed) of the corpus.
+// (site, seed) of the corpus, and the predictive pass's must contain both
+// — P ⊆ HB makes every HB-concurrent pair P-concurrent, so predictive
+// detection can only add races over the observed-schedule detectors.
 func TestDifferentialDetectorsShipped(t *testing.T) {
 	for s := 0; s < differentialSeeds; s++ {
 		seed := int64(1 + s)
@@ -140,10 +143,62 @@ func TestDifferentialDetectorsShipped(t *testing.T) {
 			as.Detector = DetectorAccessSet
 			resAS := RunConfig(site, as)
 
-			pwLocs, asLocs := raceLocs(res), raceLocs(resAS)
+			pr := cfg
+			pr.Detector = DetectorPredictive
+			resPR := RunConfig(site, pr)
+
+			pwLocs, asLocs, prLocs := raceLocs(res), raceLocs(resAS), raceLocs(resPR)
 			if missing := setDiff(pwLocs, asLocs); len(missing) != 0 {
 				t.Fatalf("site %d seed %d: Pairwise found race locations AccessSet missed: %v",
 					i, seed, missing)
+			}
+			if missing := setDiff(pwLocs, prLocs); len(missing) != 0 {
+				t.Fatalf("site %d seed %d: Pairwise found race locations Predictive missed: %v",
+					i, seed, missing)
+			}
+			if missing := setDiff(asLocs, prLocs); len(missing) != 0 {
+				t.Fatalf("site %d seed %d: AccessSet found race locations Predictive missed: %v",
+					i, seed, missing)
+			}
+		}
+	}
+}
+
+// TestDifferentialPredictiveNoFalsePositives compares the predictive pass
+// against the HB ground-truth detector (full-history AccessSet over the
+// complete happens-before) on executions with no schedule-dependent
+// races: the fault corpus run fault-free — its gated locations never
+// execute their racing branch — and pages with no races at all. On every
+// such (site, seed) the predictive location set must equal the HB
+// detector's exactly, with zero races marked Predicted: prediction adds
+// nothing where nothing is schedule-dependent, i.e. no false positives on
+// single-schedule-reachable races.
+func TestDifferentialPredictiveNoFalsePositives(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		site := sitegen.Generate(sitegen.FaultSpec(i))
+		for s := 0; s < differentialSeeds; s++ {
+			cfg := DefaultConfig(int64(1 + s))
+
+			as := cfg
+			as.Detector = DetectorAccessSet
+			resAS := RunConfig(site, as)
+
+			pr := cfg
+			pr.Detector = DetectorPredictive
+			resPR := RunConfig(site, pr)
+
+			asLocs, prLocs := raceLocs(resAS), raceLocs(resPR)
+			if d := setDiff(prLocs, asLocs); len(d) != 0 {
+				t.Fatalf("fault%02d seed %d: predictive reported locations the HB detector did not: %v",
+					i, 1+s, d)
+			}
+			if d := setDiff(asLocs, prLocs); len(d) != 0 {
+				t.Fatalf("fault%02d seed %d: predictive lost HB-detector locations: %v",
+					i, 1+s, d)
+			}
+			if n := resPR.Predictive.Stats.Predicted; n != 0 {
+				t.Fatalf("fault%02d seed %d: %d races marked predicted on a schedule-independent page",
+					i, 1+s, n)
 			}
 		}
 	}

@@ -76,7 +76,12 @@ func (w *Window) Dispatch(target *dom.Node, event string, opts DispatchOpts) Dis
 		b.HB.Edge(c, anchor) // HB rule 8
 	}
 	if ds.count > 0 {
-		b.HB.Edge(ds.last, anchor) // HB rule 9
+		// HB rule 9: successive dispatches of the same (event, target) are
+		// ordered in observed firing order. Nothing causal forces that
+		// order — two independent callers of element.click() could fire
+		// either way — so the edge is weak: full happens-before keeps it,
+		// the predictive order (hb.NewPredictiveClocks) drops it.
+		b.HB.WeakEdge(ds.last, anchor)
 	}
 	b.Ops.Began(anchor)
 	b.withOp(anchor, func() {

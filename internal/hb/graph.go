@@ -35,6 +35,14 @@ type Graph struct {
 	closure []bitset // closure[i] = ancestor set of ID(i+1); nil if stale/unset
 	edges   int
 
+	// weak marks edges that order operations only because of the schedule
+	// the run happened to observe (HB rule 9's dispatch serialization), not
+	// because of a causal dependency. Weak edges are full members of the
+	// happens-before relation — every oracle and detector over this graph
+	// sees them — but the predictive partial order (NewPredictiveClocks)
+	// drops them. Keyed a<<32|b; nil until the first WeakEdge.
+	weak map[uint64]struct{}
+
 	// Mirror, when set, receives every AddNode/Edge call — the hook the
 	// browser uses to keep a LiveClocks oracle in lock-step with the
 	// graph (experiment E4's online arm).
@@ -73,6 +81,9 @@ func (g *Graph) Edge(a, b op.ID) {
 	g.grow(max(a, b))
 	for _, p := range g.preds[b-1] {
 		if p == a {
+			// A causal rule asserting an edge previously added as weak
+			// promotes it: the ordering is not schedule-induced after all.
+			delete(g.weak, weakKey(a, b))
 			return
 		}
 	}
@@ -83,6 +94,76 @@ func (g *Graph) Edge(a, b op.ID) {
 	if g.Mirror != nil {
 		g.Mirror.Edge(a, b)
 	}
+}
+
+// WeakEdge records a ⇝ b like Edge but marks the edge as schedule-induced:
+// the observed execution ordered a before b, yet a feasible execution of
+// the same page could order them the other way. The full happens-before
+// relation (HappensBefore, Concurrent, every oracle built by NewClocks or
+// mirrored into LiveClocks) is exactly as if Edge had been called — weak
+// edges only disappear in the predictive order of NewPredictiveClocks. An
+// edge already present as strong stays strong.
+func (g *Graph) WeakEdge(a, b op.ID) {
+	if a == b || a == op.None || b == op.None {
+		return
+	}
+	g.grow(max(a, b))
+	for _, p := range g.preds[b-1] {
+		if p == a {
+			return
+		}
+	}
+	g.preds[b-1] = append(g.preds[b-1], a)
+	g.succs[a-1] = append(g.succs[a-1], b)
+	g.invalidate(b)
+	g.edges++
+	if g.weak == nil {
+		g.weak = map[uint64]struct{}{}
+	}
+	g.weak[weakKey(a, b)] = struct{}{}
+	if g.Mirror != nil {
+		g.Mirror.Edge(a, b)
+	}
+}
+
+func weakKey(a, b op.ID) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// IsWeak reports whether the direct edge a ⇝ b exists and is weak
+// (schedule-induced). False for strong edges and for absent edges.
+func (g *Graph) IsWeak(a, b op.ID) bool {
+	_, ok := g.weak[weakKey(a, b)]
+	return ok
+}
+
+// WeakEdges reports the number of weak (schedule-induced) edges.
+func (g *Graph) WeakEdges() int { return len(g.weak) }
+
+// StrongPreds returns the direct predecessors of id reachable via strong
+// (causal) edges only — the adjacency of the predictive partial order. When
+// id has no weak in-edges the graph's own slice is returned (do not
+// mutate); otherwise a filtered copy.
+func (g *Graph) StrongPreds(id op.ID) []op.ID {
+	ps := g.Preds(id)
+	if len(g.weak) == 0 {
+		return ps
+	}
+	hasWeak := false
+	for _, p := range ps {
+		if g.IsWeak(p, id) {
+			hasWeak = true
+			break
+		}
+	}
+	if !hasWeak {
+		return ps
+	}
+	out := make([]op.ID, 0, len(ps)-1)
+	for _, p := range ps {
+		if !g.IsWeak(p, id) {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // invalidate clears cached closures of id and all descendants. Closures are

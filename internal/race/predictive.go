@@ -1,0 +1,243 @@
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"webracer/internal/hb"
+	"webracer/internal/mem"
+	"webracer/internal/op"
+)
+
+// PredictiveReport is one race found by the predictive pass. It embeds the
+// ordinary Report; Predicted and Witness are set when the racing pair is
+// ordered under the observed execution's full happens-before but concurrent
+// under the predictive order — a race of some *other* feasible schedule,
+// certified by the witness reordering.
+type PredictiveReport struct {
+	Report
+	// Predicted is true when the pair is ordered in the observed schedule
+	// (full HB) and the race only manifests under a reordering. False means
+	// the race was concurrent in the observed execution itself.
+	Predicted bool
+	// Witness, for predicted races, is a permutation of every operation of
+	// the execution that respects the predictive partial order (all strong
+	// edges) and places the racing pair adjacent — a constructive
+	// certificate that some feasible schedule exhibits the race. Nil for
+	// observed races, which need no reordering.
+	Witness []op.ID
+}
+
+// PredictiveStats counts the predictive pass's outcomes; the obs counters
+// race.predictive.* fold from here.
+type PredictiveStats struct {
+	// Predicted is the number of reports that required a reordering
+	// (Predicted == true); Observed the number concurrent in the observed
+	// schedule already.
+	Predicted int
+	Observed  int
+	// Confirmed counts predicted reports whose witness passed
+	// ConfirmWitness during the pass. Soundness means Confirmed ==
+	// Predicted; the battery asserts exactly that.
+	Confirmed int
+	// WitnessEvents is the total length of all witness reorderings.
+	WitnessEvents int
+}
+
+// PredictiveResult is the outcome of Predict over one recorded execution.
+type PredictiveResult struct {
+	// Reports holds every race of the predictive pass, observed and
+	// predicted, in detection order (at most one per location unless
+	// ReportAll).
+	Reports []PredictiveReport
+	Stats   PredictiveStats
+}
+
+// RaceReports projects the pass's reports to plain Reports, for callers
+// (filters, counts, sessions) that handle races uniformly.
+func (r *PredictiveResult) RaceReports() []Report {
+	out := make([]Report, len(r.Reports))
+	for i, pr := range r.Reports {
+		out[i] = pr.Report
+	}
+	return out
+}
+
+// Predict analyzes one recorded execution predictively: it replays the
+// access trace through the complete-history detector over the predictive
+// partial order P (hb.NewPredictiveClocks — full HB minus the weak
+// schedule-induced edges), so conflicting accesses race if no *causal*
+// order protects them, even when the observed schedule ordered them. Each
+// predicted race carries a witness reordering, built and confirmed during
+// the pass. Options: ReportAll disables the one-race-per-location cap
+// (default on, matching the other detectors' shipped configuration).
+//
+// The pass subsumes the observed run's races: P ⊆ HB makes every
+// HB-concurrent pair P-concurrent, and the full history recovers pairs the
+// pairwise detector's last-access state forgets (§5.1 Limitation) — the
+// mechanism behind single-trace recovery of seed-dependent reports.
+func Predict(trace []Access, g *hb.Graph, opts ...Option) *PredictiveResult {
+	cfg := buildOptions(opts)
+	pred := hb.NewPredictiveClocks(g)
+	var dopts []Option
+	if !cfg.reportAll {
+		dopts = append(dopts, OnePerLoc())
+	}
+	raw := Replay(trace, NewAccessSet(pred, dopts...))
+	res := &PredictiveResult{}
+	for _, r := range raw {
+		pr := PredictiveReport{Report: r}
+		if g.Concurrent(r.Prior.Op, r.Current.Op) {
+			res.Stats.Observed++
+		} else {
+			pr.Predicted = true
+			pr.Witness = BuildWitness(g, r.Prior.Op, r.Current.Op)
+			res.Stats.Predicted++
+			res.Stats.WitnessEvents += len(pr.Witness)
+			if ConfirmWitness(trace, g, pr) == nil {
+				res.Stats.Confirmed++
+			}
+		}
+		res.Reports = append(res.Reports, pr)
+	}
+	return res
+}
+
+// BuildWitness returns a witness reordering for the P-concurrent pair
+// (a, b): a permutation of all of g's operations respecting every strong
+// edge, with a immediately followed by b. The construction exploits the
+// registration invariant (increasing ID order is a topological order of
+// the strong subgraph, since strong edges are a subset of all edges):
+//
+//	phase 1: the strong ancestors of a and b, ascending ID
+//	phase 2: a, then b
+//	phase 3: every remaining operation, ascending ID
+//
+// Phase 1 is ancestor-closed, so each phase is internally topologically
+// sorted and no strong edge crosses phases backwards; the result is valid
+// by construction (CheckWitness re-verifies it independently).
+func BuildWitness(g *hb.Graph, a, b op.ID) []op.ID {
+	n := g.Len()
+	anc := make([]bool, n+1)
+	var mark func(id op.ID)
+	stack := []op.ID{}
+	mark = func(id op.ID) {
+		for _, p := range g.StrongPreds(id) {
+			if !anc[p] {
+				anc[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	mark(a)
+	mark(b)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		mark(id)
+	}
+	anc[a], anc[b] = false, false // the pair goes in phase 2, whatever mark saw
+	w := make([]op.ID, 0, n)
+	for i := op.ID(1); int(i) <= n; i++ {
+		if anc[i] {
+			w = append(w, i)
+		}
+	}
+	w = append(w, a, b)
+	for i := op.ID(1); int(i) <= n; i++ {
+		if !anc[i] && i != a && i != b {
+			w = append(w, i)
+		}
+	}
+	return w
+}
+
+// CheckWitness verifies a witness reordering against the report it
+// certifies: w must be a permutation of all of g's operations, every
+// strong (causal) edge of g must point forward in w, and the racing pair
+// must be adjacent in observed order (Prior immediately before Current).
+// The report itself must name a valid conflicting pair — distinct
+// operations, same location, at least one write. A nil error means the
+// witness stands; the soundness battery rejects corrupted witnesses
+// through exactly this checker.
+func CheckWitness(g *hb.Graph, w []op.ID, rep Report) error {
+	if rep.Prior.Op == rep.Current.Op {
+		return fmt.Errorf("witness: racing pair is a single operation #%d", rep.Prior.Op)
+	}
+	if rep.Prior.Loc != rep.Current.Loc {
+		return fmt.Errorf("witness: accesses touch different locations (%s vs %s)", rep.Prior.Loc, rep.Current.Loc)
+	}
+	if rep.Prior.Kind != mem.Write && rep.Current.Kind != mem.Write {
+		return fmt.Errorf("witness: neither access writes %s", rep.Loc)
+	}
+	n := g.Len()
+	if len(w) != n {
+		return fmt.Errorf("witness: %d events, execution has %d operations", len(w), n)
+	}
+	pos := make([]int, n+1)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, id := range w {
+		if id == op.None || int(id) > n {
+			return fmt.Errorf("witness: event %d is not an operation of this execution", id)
+		}
+		if pos[id] >= 0 {
+			return fmt.Errorf("witness: operation #%d appears twice", id)
+		}
+		pos[id] = i
+	}
+	for id := op.ID(1); int(id) <= n; id++ {
+		for _, p := range g.StrongPreds(id) {
+			if pos[p] > pos[id] {
+				return fmt.Errorf("witness: causal edge %d→%d reversed", p, id)
+			}
+		}
+	}
+	if pos[rep.Current.Op] != pos[rep.Prior.Op]+1 {
+		return fmt.Errorf("witness: racing pair #%d, #%d not adjacent (positions %d, %d)",
+			rep.Prior.Op, rep.Current.Op, pos[rep.Prior.Op], pos[rep.Current.Op])
+	}
+	return nil
+}
+
+// ConfirmWitness replays a predicted race's witness reordering and checks
+// the race manifests there: the recorded accesses are permuted into
+// witness order (stably, preserving each operation's internal access
+// order), fed to the complete-history detector over the predictive
+// oracle, and the exact racing pair must be reported. Combined with
+// CheckWitness this closes the soundness loop — the reordering is a real
+// P-consistent schedule, and running the detector over it observes the
+// predicted race rather than taking the predictive pass's word for it.
+func ConfirmWitness(trace []Access, g *hb.Graph, pr PredictiveReport) error {
+	if !pr.Predicted {
+		if !g.Concurrent(pr.Prior.Op, pr.Current.Op) {
+			return fmt.Errorf("report marked observed but pair #%d, #%d is ordered", pr.Prior.Op, pr.Current.Op)
+		}
+		return nil
+	}
+	if err := CheckWitness(g, pr.Witness, pr.Report); err != nil {
+		return err
+	}
+	pos := make([]int, g.Len()+1)
+	for i, id := range pr.Witness {
+		pos[id] = i
+	}
+	reordered := make([]Access, len(trace))
+	copy(reordered, trace)
+	sort.SliceStable(reordered, func(i, j int) bool {
+		return pos[reordered[i].Op] < pos[reordered[j].Op]
+	})
+	pred := hb.NewPredictiveClocks(g)
+	for _, rep := range Replay(reordered, NewAccessSet(pred)) {
+		if rep.Loc != pr.Loc {
+			continue
+		}
+		if (rep.Prior.Op == pr.Prior.Op && rep.Current.Op == pr.Current.Op) ||
+			(rep.Prior.Op == pr.Current.Op && rep.Current.Op == pr.Prior.Op) {
+			return nil
+		}
+	}
+	return fmt.Errorf("witness replay did not report the race on %s between #%d and #%d",
+		pr.Loc, pr.Prior.Op, pr.Current.Op)
+}

@@ -36,7 +36,7 @@ type Request struct {
 	// Filters applies the §5.3 report filters.
 	Filters bool `json:"filters,omitempty"`
 	// Detector names the algorithm: pairwise (default), pairwise-vc,
-	// accessset.
+	// accessset, predictive.
 	Detector string `json:"detector,omitempty"`
 	// TimeoutMS caps the run's wall-clock time. 0 (or absent) applies the
 	// server default; positive values are clamped to the server maximum.
@@ -77,8 +77,9 @@ type SiteSpec struct {
 // GenSpec asks the server to generate a synthetic site.
 type GenSpec struct {
 	// Kind picks the blueprint family: "corpus" (default —
-	// sitegen.SpecFor), "stress" (sitegen.StressSpec) or "fault"
-	// (sitegen.FaultSpec).
+	// sitegen.SpecFor), "stress" (sitegen.StressSpec), "fault"
+	// (sitegen.FaultSpec) or "sched" (sitegen.SchedSpec, the
+	// schedule-dependent corpus the predictive detector targets).
 	Kind string `json:"kind,omitempty"`
 	// Seed is the corpus seed (corpus kind only; default 1).
 	Seed int64 `json:"seed,omitempty"`
@@ -282,8 +283,10 @@ func resolveSite(req *Request) (*loader.Site, error) {
 			return sitegen.Generate(sitegen.StressSpec(g.Index)), nil
 		case "fault":
 			return sitegen.Generate(sitegen.FaultSpec(g.Index)), nil
+		case "sched":
+			return sitegen.Generate(sitegen.SchedSpec(g.Index)), nil
 		default:
-			return nil, fmt.Errorf("unknown spec kind %q (want corpus, stress or fault)", g.Kind)
+			return nil, fmt.Errorf("unknown spec kind %q (want corpus, stress, fault or sched)", g.Kind)
 		}
 	default:
 		return nil, fmt.Errorf("request names neither site nor spec")

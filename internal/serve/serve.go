@@ -568,6 +568,10 @@ type DetectResponse struct {
 	Races []RaceJSON `json:"races"`
 	// RawRaces is the pre-filter report count.
 	RawRaces int `json:"rawRaces"`
+	// Predicted counts races the predictive detector found beyond the
+	// observed schedule (each confirmed by witness replay before it is
+	// reported). Zero — and absent — for every other detector.
+	Predicted int `json:"predicted,omitempty"`
 	// Counts tallies Races by type.
 	Counts report.Counts `json:"counts"`
 	// Errors are the page errors observed (hidden crashes, failed
@@ -664,6 +668,9 @@ func detectResponse(r *resolved, res *webracer.Result) DetectResponse {
 		Counts:      res.Counts,
 		FaultEvents: len(res.FaultEvents),
 		Interrupted: res.Interrupted,
+	}
+	if res.Predictive != nil {
+		resp.Predicted = res.Predictive.Stats.Predicted
 	}
 	for _, rep := range res.Reports {
 		resp.Races = append(resp.Races, RaceJSON{

@@ -371,6 +371,52 @@ func TestSessionResponse(t *testing.T) {
 	}
 }
 
+// TestPredictiveDetect: a "detector":"predictive" request over the
+// schedule-dependent sched corpus runs, reports the predicted-race count,
+// and caches byte-identically like any other detector — prediction is a
+// pure function of (site, seed), so the determinism contract holds.
+func TestPredictiveDetect(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := `{"spec":{"kind":"sched","index":0},"detector":"predictive"}`
+	resp, cold := post(t, ts, "/v1/detect", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("predictive detect: %d %s", resp.StatusCode, cold)
+	}
+	resp, warm := post(t, ts, "/v1/detect", req)
+	if h := resp.Header.Get("X-Webracer-Cache"); h != "hit" {
+		t.Fatalf("repeat predictive request: %q, want hit", h)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("predictive repeat differs from cold run")
+	}
+	var dr DetectResponse
+	if err := json.Unmarshal(cold, &dr); err != nil {
+		t.Fatalf("parse predictive response: %v", err)
+	}
+	if dr.Detector != "predictive" {
+		t.Errorf("detector = %q, want predictive", dr.Detector)
+	}
+	if dr.Predicted == 0 {
+		t.Error("sched-00 run predicted no races; the corpus lost its point")
+	}
+	if len(dr.Races) == 0 {
+		t.Error("predictive response carries no race reports")
+	}
+
+	// Other detectors never set the field — the key space keeps them apart.
+	resp, base := post(t, ts, "/v1/detect", `{"spec":{"kind":"sched","index":0}}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("baseline detect: %d", resp.StatusCode)
+	}
+	var br DetectResponse
+	if err := json.Unmarshal(base, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Predicted != 0 {
+		t.Errorf("pairwise response has predicted = %d, want 0", br.Predicted)
+	}
+}
+
 // TestBadRequests: every invalid shape is refused at the door with 400,
 // never enqueued; unknown jobs are 404.
 func TestBadRequests(t *testing.T) {

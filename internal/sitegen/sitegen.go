@@ -97,6 +97,24 @@ type Spec struct {
 	// timeout whose onerror/ontimeout handlers re-issue it, racing a
 	// cached-value timer for the result slot.
 	XHRRetries int
+
+	// Schedule-dependent patterns (see SchedSpec): races the pairwise
+	// detector reports only under some seeds, or under none — the
+	// predictive pass's recall corpus.
+
+	// FlakyReaders is the number of §5.1-limitation instances whose
+	// detection depends on the observed access order: two independently
+	// jittered timers read one slot and a third, causally-later callback
+	// writes it. When the causally-protected read lands last, the pairwise
+	// detector's last-read state hides the racing read — a seed-flaky
+	// report that full-history analysis recovers from any one trace.
+	FlakyReaders int
+	// DoubleDispatches is the number of dispatch-serialization instances:
+	// two independent async scripts each fire click() on one button whose
+	// handler writes shared state. Every observed schedule serializes the
+	// dispatches (HB rule 9), so no seed ever reports the race — only the
+	// predictive pass does, with a witness reordering.
+	DoubleDispatches int
 }
 
 // companyNames gives the corpus fortune-ish flavor (fictional).
@@ -148,6 +166,24 @@ func FaultSpec(i int) Spec {
 		FragileImages: 1 + i%3,
 		CDNScripts:    i % 2,
 		XHRRetries:    1 + i%2,
+	}
+}
+
+// SchedSpec returns the blueprint of schedule-dependent page i: planted
+// races that the observed schedule can hide from the pairwise detector —
+// seed-flaky FlakyReaders and never-observed DoubleDispatches — next to a
+// couple of stable variable races as a baseline. The sweep-recovery
+// battery runs a 32-seed sweep over these as ground truth and measures how
+// much one predictive pass recovers.
+func SchedSpec(i int) Spec {
+	return Spec{
+		Index:            800 + i,
+		Name:             fmt.Sprintf("sched%02d", i),
+		Paragraphs:       2,
+		DecorImgs:        1,
+		PlainVars:        2,
+		FlakyReaders:     1 + i%2,
+		DoubleDispatches: 1 + i%2,
 	}
 }
 
@@ -340,6 +376,12 @@ func (g *gen) build() {
 	}
 	for i := 0; i < s.AjaxRaces; i++ {
 		g.ajaxRace(i)
+	}
+	for i := 0; i < s.FlakyReaders; i++ {
+		g.flakyReader(i)
+	}
+	for i := 0; i < s.DoubleDispatches; i++ {
+		g.doubleDispatch(i)
 	}
 	for i := 0; i < s.FragileImages; i++ {
 		g.fragileImage(i)
@@ -586,6 +628,43 @@ fetchInto%d("price%d.json");
 fetchInto%d("promo%d.json");
 </script>
 `, i, i, i, i, i, i, i)
+}
+
+// flakyReader plants the §5.1-limitation pattern in seed-dependent form:
+// timers A and B (independent jittered delays) both read frSlot before a
+// callback C, installed by B, writes it. A ∥ C races under every schedule,
+// but the pairwise detector only sees it when A's read is the *last* read
+// before C — when B reads after A, B's causally-protected read overwrites
+// the last-read state and the race goes unreported for that seed.
+func (g *gen) flakyReader(i int) {
+	fmt.Fprintf(&g.top, `
+<script>
+setTimeout(function() { frProbeA%d = (typeof frSlot%d == 'undefined') ? 0 : 1; }, Math.random() * 16);
+setTimeout(function() {
+  frProbeB%d = (typeof frSlot%d == 'undefined') ? 0 : 1;
+  setTimeout(function() { frSlot%d = 1; }, 20);
+}, Math.random() * 16);
+</script>
+`, i, i, i, i, i)
+}
+
+// doubleDispatch plants a race no observed schedule reports: two async
+// scripts each call click() on the same button, whose handler does a
+// check-then-write on a shared counter. HB rule 9 serializes the two
+// dispatches in whatever order they happened to fire, so the handler runs
+// are always ordered in the observed execution — yet nothing causal orders
+// them, and the counter update can be lost. Only the predictive order,
+// which drops the rule 9 edge, exposes the pair.
+func (g *gen) doubleDispatch(i int) {
+	g.site.Add(fmt.Sprintf("dda%d.js", i),
+		fmt.Sprintf("var ddA%d = document.getElementById(\"dd%d\");\nif (ddA%d != null) { ddA%d.click(); }\n", i, i, i, i))
+	g.site.Add(fmt.Sprintf("ddb%d.js", i),
+		fmt.Sprintf("var ddB%d = document.getElementById(\"dd%d\");\nif (ddB%d != null) { ddB%d.click(); }\n", i, i, i, i))
+	fmt.Fprintf(&g.top, `
+<button id="dd%d" onclick="ddCount%d = (typeof ddCount%d == 'undefined' ? 0 : ddCount%d) + 1;">Buy</button>
+<script src="dda%d.js" async="true"></script>
+<script src="ddb%d.js" async="true"></script>
+`, i, i, i, i, i, i)
 }
 
 // fragileImage plants a fault-gated race: the image's onerror fallback

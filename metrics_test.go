@@ -7,6 +7,7 @@ import (
 
 	"webracer/internal/loader"
 	"webracer/internal/obs"
+	"webracer/internal/sitegen"
 )
 
 // metricsJSON renders one run's metrics registry in the stable export
@@ -71,6 +72,38 @@ func TestGoldenMetrics(t *testing.T) {
 			t.Errorf("%s: metrics drifted from golden %s\ngot:  %s\nwant: %s",
 				name, path, serial[name], golden)
 		}
+	}
+}
+
+// TestGoldenMetricsPredictive pins the predictive detector's counter
+// family (race.predictive.*) on the schedule-dependent sched-00 page —
+// the same (site, config) `experiments -obs -metrics-dir` regenerates as
+// metrics-sched-predictive.json, so scripts/metricsdiff.sh gates these
+// counters alongside the rest of the telemetry layer. Regenerate with
+//
+//	go test -run TestGoldenMetricsPredictive -update .
+func TestGoldenMetricsPredictive(t *testing.T) {
+	site := sitegen.Generate(sitegen.SchedSpec(0))
+	cfg := DefaultConfig(1)
+	cfg.Telemetry = true
+	cfg.Detector = DetectorPredictive
+	got := metricsJSON(t, RunConfig(site, cfg).Metrics)
+	if again := metricsJSON(t, RunConfig(site, cfg).Metrics); !bytes.Equal(got, again) {
+		t.Fatalf("predictive metrics not run-to-run stable:\n%s\n%s", got, again)
+	}
+	path := goldenPath("metrics-sched-predictive")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("predictive metrics drifted from golden %s\ngot:  %s\nwant: %s", path, got, golden)
 	}
 }
 

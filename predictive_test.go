@@ -1,0 +1,271 @@
+package webracer
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webracer/internal/loader"
+	"webracer/internal/op"
+	"webracer/internal/race"
+	"webracer/internal/sitegen"
+)
+
+// predictiveGoldenCases are the sweep-recovery fixtures: the paper's two
+// figures plus the two schedule-dependent sitegen specs whose races the
+// observed schedule can hide (seed-flaky §5.1 misses, rule 9 dispatch
+// serialization). Ground truth is a 32-seed sweep, matching the
+// acceptance bar of the battery.
+const predictiveSweepSeeds = 32
+
+func predictiveGoldenCases() []struct {
+	name string
+	site *loader.Site
+} {
+	return []struct {
+		name string
+		site *loader.Site
+	}{
+		{"fig1", sitegen.Fig1()},
+		{"fig4", sitegen.Fig4()},
+		{"sched-00", sitegen.Generate(sitegen.SchedSpec(0))},
+		{"sched-01", sitegen.Generate(sitegen.SchedSpec(1))},
+	}
+}
+
+// TestPredictiveSweepRecovery is the sweep-recovery differential battery:
+// for each fixture site it runs the 32-seed ground-truth sweep and one
+// predictive pass, asserts soundness (every predicted race confirmed by
+// witness replay), asserts the recall floor on the schedule-dependent
+// corpus, checks worker-count independence, and pins the whole Recovery
+// as a golden fixture so recall regressions in either direction fail.
+// Regenerate deliberately with
+//
+//	go test -run TestPredictiveSweepRecovery -update .
+func TestPredictiveSweepRecovery(t *testing.T) {
+	for _, tc := range predictiveGoldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			rec, err := MeasureRecovery(tc.site, cfg, predictiveSweepSeeds, ParallelConfig{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec8, err := MeasureRecovery(tc.site, cfg, predictiveSweepSeeds, ParallelConfig{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(rec, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			got8, err := json.MarshalIndent(rec8, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got8 = append(got8, '\n')
+			if !bytes.Equal(got, got8) {
+				t.Fatalf("recovery differs across worker counts:\nworkers=1:\n%s\nworkers=8:\n%s", got, got8)
+			}
+
+			// Soundness: the pass confirmed every witness it produced.
+			if rec.Predicted != rec.Confirmed {
+				t.Errorf("%d predicted races but only %d confirmed by witness replay", rec.Predicted, rec.Confirmed)
+			}
+			// Recall floor on the schedule-dependent corpus: one trace
+			// must recover at least half of what 32 seeds found.
+			if rec.RecallDen > 0 && 2*rec.RecallNum < rec.RecallDen {
+				t.Errorf("recall %d/%d below the 1/2 floor", rec.RecallNum, rec.RecallDen)
+			}
+
+			path := goldenPath("predictive-" + tc.name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (recall %d/%d, %d predicted)", path, rec.RecallNum, rec.RecallDen, rec.Predicted)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("recovery drifted from golden file %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestPredictiveSchedCorpus asserts the two planted schedule-dependent
+// mechanisms actually behave as designed, so the recall numbers measure
+// what they claim to measure: the flaky-reader location is missed by some
+// of the 32 seeds yet recovered by the single predictive pass, and the
+// double-dispatch location is found by no seed at all yet predicted with
+// a confirmed witness.
+func TestPredictiveSchedCorpus(t *testing.T) {
+	site := sitegen.Generate(sitegen.SchedSpec(0))
+	cfg := DefaultConfig(1)
+	rec, err := MeasureRecovery(site, cfg, predictiveSweepSeeds, ParallelConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.FlakyLocations) == 0 {
+		t.Error("no sweep location was seed-flaky; the flaky-reader pattern lost its point")
+	}
+	for _, loc := range rec.FlakyLocations {
+		found := false
+		for _, r := range rec.Recovered {
+			if r == loc {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("flaky location %s not recovered by the predictive pass", loc)
+		}
+	}
+	if len(rec.PredictedOnly) == 0 {
+		t.Error("no predicted-only location; the double-dispatch pattern lost its point")
+	}
+	if rec.Predicted == 0 || rec.Predicted != rec.Confirmed {
+		t.Errorf("predicted %d, confirmed %d; want equal and positive", rec.Predicted, rec.Confirmed)
+	}
+}
+
+// TestPredictiveSoundnessCorpus runs the predictive detector across the
+// shipped corpus and both sched specs and re-verifies every report
+// through ConfirmWitness — observed reports must be HB-concurrent,
+// predicted reports must carry a witness that replays to the race.
+func TestPredictiveSoundnessCorpus(t *testing.T) {
+	sites := []*loader.Site{
+		sitegen.Generate(sitegen.SchedSpec(0)),
+		sitegen.Generate(sitegen.SchedSpec(1)),
+	}
+	gen := corpusGen(1)
+	for i := 0; i < 12; i++ {
+		sites = append(sites, gen(i))
+	}
+	for i, site := range sites {
+		cfg := DefaultConfig(1 + int64(i)*101)
+		cfg.Detector = DetectorPredictive
+		res := RunConfig(site, cfg)
+		trace := res.Browser.Trace()
+		for _, pr := range res.Predictive.Reports {
+			if err := race.ConfirmWitness(trace, res.Browser.HB, pr); err != nil {
+				t.Errorf("site %d (%s): unsound report on %s: %v", i, site.Name, pr.Loc, err)
+			}
+		}
+	}
+}
+
+// replayWitness re-runs site deterministically at the battery seed and
+// replays rep's witness reordering of the recorded trace under the exact
+// (complete-history) detector, returning nil when rep's race manifests.
+// The corrupted-witness tests drive rejections through exactly this path.
+func replayWitness(t *testing.T, site *loader.Site, rep race.PredictiveReport) error {
+	t.Helper()
+	cfg := DefaultConfig(1)
+	cfg.Detector = DetectorPredictive
+	res := RunConfig(site, cfg)
+	return race.ConfirmWitness(res.Browser.Trace(), res.Browser.HB, rep)
+}
+
+// predictedReport fetches a predicted race (with witness) from the sched
+// corpus for the corruption tests.
+func predictedReport(t *testing.T, site *loader.Site) race.PredictiveReport {
+	t.Helper()
+	cfg := DefaultConfig(1)
+	cfg.Detector = DetectorPredictive
+	res := RunConfig(site, cfg)
+	for _, pr := range res.Predictive.Reports {
+		if pr.Predicted {
+			return pr
+		}
+	}
+	t.Fatal("sched spec produced no predicted race")
+	return race.PredictiveReport{}
+}
+
+// TestWitnessReplay asserts the genuine witness passes and each class of
+// corruption — swapped racing pair, broken causal edge, truncated or
+// duplicated events — is rejected, guarding the soundness checker itself.
+func TestWitnessReplay(t *testing.T) {
+	site := sitegen.Generate(sitegen.SchedSpec(0))
+	pr := predictedReport(t, site)
+
+	if err := replayWitness(t, site, pr); err != nil {
+		t.Fatalf("genuine witness rejected: %v", err)
+	}
+
+	swap := pr
+	swap.Witness = append([]op.ID(nil), pr.Witness...)
+	for i, id := range swap.Witness {
+		if id == pr.Prior.Op {
+			swap.Witness[i], swap.Witness[i+1] = swap.Witness[i+1], swap.Witness[i]
+			break
+		}
+	}
+	if err := replayWitness(t, site, swap); err == nil {
+		t.Error("witness with the racing pair swapped was accepted")
+	}
+
+	// Break a causal edge: move the first event (a strong ancestor of the
+	// pair) to the end of the permutation.
+	broken := pr
+	broken.Witness = append(append([]op.ID(nil), pr.Witness[1:]...), pr.Witness[0])
+	if err := replayWitness(t, site, broken); err == nil {
+		t.Error("witness with a reversed causal edge was accepted")
+	}
+
+	short := pr
+	short.Witness = pr.Witness[:len(pr.Witness)-1]
+	if err := replayWitness(t, site, short); err == nil {
+		t.Error("truncated witness was accepted")
+	}
+
+	dup := pr
+	dup.Witness = append([]op.ID(nil), pr.Witness...)
+	dup.Witness[0] = dup.Witness[1]
+	if err := replayWitness(t, site, dup); err == nil {
+		t.Error("witness with a duplicated event was accepted")
+	}
+}
+
+// FuzzPredictiveSound fuzzes the soundness property end to end: arbitrary
+// (spec, seed) pairs drawn from the sitegen families must never yield a
+// predictive report that fails witness replay.
+func FuzzPredictiveSound(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(2), uint8(1))
+	f.Add(int64(7), uint8(5))
+	f.Add(int64(42), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, idx uint8) {
+		var site *loader.Site
+		switch idx % 3 {
+		case 0:
+			site = sitegen.Generate(sitegen.SchedSpec(int(idx) % 4))
+		case 1:
+			site = sitegen.Generate(sitegen.SpecFor(seed, int(idx)%20))
+		default:
+			site = sitegen.Generate(sitegen.FaultSpec(int(idx) % 8))
+		}
+		cfg := DefaultConfig(seed)
+		cfg.Detector = DetectorPredictive
+		res := RunConfig(site, cfg)
+		trace := res.Browser.Trace()
+		for _, pr := range res.Predictive.Reports {
+			if err := race.ConfirmWitness(trace, res.Browser.HB, pr); err != nil {
+				t.Fatalf("unsound predictive report on %s (seed %d, idx %d): %v", pr.Loc, seed, idx, err)
+			}
+		}
+		if res.Predictive.Stats.Predicted != res.Predictive.Stats.Confirmed {
+			t.Fatalf("predicted %d != confirmed %d (seed %d, idx %d)",
+				res.Predictive.Stats.Predicted, res.Predictive.Stats.Confirmed, seed, idx)
+		}
+	})
+}

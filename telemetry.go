@@ -56,6 +56,11 @@ func foldTelemetry(res *Result, m *obs.Metrics) {
 
 	m.Add("race.raw_reports", int64(len(res.RawReports)))
 	m.Add("race.reports", int64(len(res.Reports)))
+	if p := res.Predictive; p != nil {
+		m.Add("race.predictive.predicted", int64(p.Stats.Predicted))
+		m.Add("race.predictive.confirmed", int64(p.Stats.Confirmed))
+		m.Add("race.predictive.witness_events", int64(p.Stats.WitnessEvents))
+	}
 
 	es := res.ExploreStats
 	m.Add("explore.events_dispatched", int64(es.EventsDispatched))

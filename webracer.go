@@ -54,6 +54,16 @@ const (
 	// DetectorPairwiseVC is the pairwise algorithm over the online
 	// vector-clock oracle — the §5.2.1 future-work representation, live.
 	DetectorPairwiseVC
+	// DetectorPredictive records the full access trace of one execution
+	// and analyzes it against the predictive partial order — full
+	// happens-before minus the schedule-induced dispatch-serialization
+	// edges (HB rule 9) — in the WCP/SDP tradition. It reports every race
+	// of the observed run (superset of the pairwise detector) plus races
+	// of *other* feasible schedules, each certified by a witness
+	// reordering (Result.Predictive). One instrumented run replaces a
+	// seed sweep for schedule-dependent races reachable from the recorded
+	// control flow.
+	DetectorPredictive
 )
 
 // String returns the kind's stable API name — the same spelling
@@ -64,15 +74,18 @@ func (k DetectorKind) String() string {
 		return "accessset"
 	case DetectorPairwiseVC:
 		return "pairwise-vc"
+	case DetectorPredictive:
+		return "predictive"
 	default:
 		return "pairwise"
 	}
 }
 
 // ParseDetector maps a detector name — "pairwise", "pairwise-vc",
-// "accessset" — to its DetectorKind. The empty string parses as
-// DetectorPairwise, the default. The CLI -detector flag and the webracerd
-// API both parse through here, so the accepted spellings cannot drift.
+// "accessset", "predictive" — to its DetectorKind. The empty string parses
+// as DetectorPairwise, the default. The CLI -detector flag and the
+// webracerd API both parse through here, so the accepted spellings cannot
+// drift.
 func ParseDetector(name string) (DetectorKind, error) {
 	switch name {
 	case "", "pairwise":
@@ -81,8 +94,10 @@ func ParseDetector(name string) (DetectorKind, error) {
 		return DetectorPairwiseVC, nil
 	case "accessset":
 		return DetectorAccessSet, nil
+	case "predictive":
+		return DetectorPredictive, nil
 	}
-	return DetectorPairwise, fmt.Errorf("webracer: unknown detector %q (want pairwise, pairwise-vc or accessset)", name)
+	return DetectorPairwise, fmt.Errorf("webracer: unknown detector %q (want pairwise, pairwise-vc, accessset or predictive)", name)
 }
 
 // Config tunes one detection session.
@@ -235,6 +250,10 @@ type Result struct {
 	// cancellation, virtual-time/task safety bounds); empty for complete
 	// runs. An interrupted Result holds valid partial results.
 	Interrupted string
+	// Predictive is the predictive pass's full result (witnesses, stats);
+	// nil unless the run used DetectorPredictive. Its RaceReports
+	// projection is what RawReports holds then.
+	Predictive *race.PredictiveResult
 	// Metrics is the run's telemetry registry (nil unless Config.Telemetry).
 	Metrics *obs.Metrics
 	// Trace is the run's virtual-time Chrome trace (nil unless
@@ -271,6 +290,9 @@ func detectorFactory(kind DetectorKind, reportAll bool) func(*hb.Graph) race.Det
 			return race.NewPairwise(live, ropts...)
 		}
 	default:
+		// DetectorPairwise — and DetectorPredictive's live arm: the
+		// predictive pass runs post-run over the recorded trace, with the
+		// paper's detector riding along live for its telemetry counters.
 		return func(g *hb.Graph) race.Detector {
 			return race.NewPairwise(g, ropts...)
 		}
@@ -283,6 +305,10 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 	bcfg.Seed = cfg.Seed
 	bcfg.SharedFrameGlobals = true
 	bcfg.RecordTrace = cfg.RecordTrace
+	if cfg.Detector == DetectorPredictive {
+		// The predictive pass analyzes the recorded trace post-run.
+		bcfg.RecordTrace = true
+	}
 	if cfg.RunTimeout > 0 {
 		bcfg.WallBudget = cfg.RunTimeout
 	}
@@ -343,6 +369,12 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 		}
 	}
 	res.RawReports = b.Reports()
+	if cfg.Detector == DetectorPredictive {
+		// Predictive pass over the recorded execution: its reports
+		// (observed ∪ predicted) replace the live detector's.
+		res.Predictive = race.Predict(b.Trace(), b.HB)
+		res.RawReports = res.Predictive.RaceReports()
+	}
 	res.RawCounts = report.Count(res.RawReports)
 	res.Reports = res.RawReports
 	if cfg.Filters {
@@ -371,6 +403,11 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 		}
 		for i := range res.Reports {
 			res.Reports[i].Env = env
+		}
+		if res.Predictive != nil {
+			for i := range res.Predictive.Reports {
+				res.Predictive.Reports[i].Env = env
+			}
 		}
 	}
 	res.Metrics, res.Trace = m, tl
