@@ -13,6 +13,9 @@
 //	-sweep-workers N     per-job parallelism of sweep endpoints (default 1)
 //	-default-timeout D   per-job wall budget when the request sets none (default 30s)
 //	-max-timeout D       clamp on requested budgets (default 2m; 0 = no clamp)
+//	-default-detector K  tier for requests that omit "detector" (default pairwise;
+//	                     set "sampled" to route bulk traffic through the cheap tier,
+//	                     which escalates to the exact detector on any hit)
 //	-v                   log every job admission and completion
 //
 // Endpoints: POST /v1/detect, /v1/sweep, /v1/faultsweep; GET /v1/jobs/{id},
@@ -36,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"webracer"
 	"webracer/internal/serve"
 )
 
@@ -51,17 +55,23 @@ func run() int {
 		sweepWorkers = flag.Int("sweep-workers", 1, "per-job parallelism of sweep endpoints (output is identical at any value)")
 		defTimeout   = flag.Duration("default-timeout", 30*time.Second, "per-job wall budget when the request sets none")
 		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "clamp on requested per-job budgets (0: no clamp)")
+		defDetector  = flag.String("default-detector", "", "detector for requests that omit one (default pairwise; \"sampled\" routes bulk traffic through the cheap tier)")
 		verbose      = flag.Bool("v", false, "log request-level detail")
 	)
 	flag.Parse()
 
+	if _, err := webracer.ParseDetector(*defDetector); err != nil {
+		fmt.Fprintln(os.Stderr, "webracerd:", err)
+		return 2
+	}
 	s := serve.NewServer(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheBytes:     *cacheBytes,
-		SweepWorkers:   *sweepWorkers,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheBytes:      *cacheBytes,
+		SweepWorkers:    *sweepWorkers,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		DefaultDetector: *defDetector,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,31 @@
+package hb
+
+// Packed-epoch encoding: an Epoch squeezed into one uint64 shadow word so
+// detectors can keep last-access coordinates in flat arrays with no boxing
+// and a single-word "is there anything here yet" test.
+//
+// Layout: bits 63..32 hold Chain+1, bits 31..0 hold Pos. The +1 bias makes
+// the zero word unambiguous — no valid epoch (Chain ≥ 0) ever packs to 0 —
+// so flat shadow memory can use 0 to mean "empty / not fetched yet"
+// without a separate presence bit. Invalid epochs (Chain < 0) have no
+// packed form; PackEpoch returns 0 for them and callers fall back to the
+// plain oracle, exactly as the unpacked fast paths do.
+
+// PackEpoch encodes e into a single shadow word, or 0 when e is invalid
+// (Chain < 0). The encoding is order-free: words are compared only after
+// UnpackEpoch, never numerically.
+func PackEpoch(e Epoch) uint64 {
+	if e.Chain < 0 {
+		return 0
+	}
+	return uint64(uint32(e.Chain+1))<<32 | uint64(uint32(e.Pos))
+}
+
+// UnpackEpoch decodes a shadow word produced by PackEpoch. The zero word
+// decodes to the invalid epoch (Chain -1).
+func UnpackEpoch(w uint64) Epoch {
+	if w == 0 {
+		return Epoch{Chain: -1}
+	}
+	return Epoch{Chain: int32(w>>32) - 1, Pos: int32(uint32(w))}
+}

@@ -1,0 +1,59 @@
+package hb
+
+import (
+	"testing"
+
+	"webracer/internal/op"
+)
+
+// TestPackEpochRoundTrip drives the packed encoding across the coordinate
+// space boundaries: every valid epoch must survive the round trip, every
+// invalid epoch must collapse to the zero word, and no valid epoch may
+// alias the "empty" word.
+func TestPackEpochRoundTrip(t *testing.T) {
+	valid := []Epoch{
+		{Chain: 0, Pos: 0},
+		{Chain: 0, Pos: 1},
+		{Chain: 1, Pos: 0},
+		{Chain: 7, Pos: 42},
+		{Chain: 1<<31 - 2, Pos: 1<<31 - 1}, // chain bias must not overflow
+		{Chain: 0, Pos: 1<<31 - 1},
+	}
+	for _, e := range valid {
+		w := PackEpoch(e)
+		if w == 0 {
+			t.Errorf("PackEpoch(%v) = 0, the empty word", e)
+		}
+		if got := UnpackEpoch(w); got != e {
+			t.Errorf("round trip %v -> %#x -> %v", e, w, got)
+		}
+	}
+	for _, e := range []Epoch{{Chain: -1}, {Chain: -2}, {Chain: -1, Pos: 99}} {
+		if w := PackEpoch(e); w != 0 {
+			t.Errorf("PackEpoch(%v) = %#x, want 0 for invalid epochs", e, w)
+		}
+	}
+	if got := UnpackEpoch(0); got.Chain >= 0 {
+		t.Errorf("UnpackEpoch(0) = %v, want an invalid epoch", got)
+	}
+}
+
+// TestPackEpochMatchesOracle packs every coordinate a real engine hands
+// out and checks the round trip against the oracle's own answer.
+func TestPackEpochMatchesOracle(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(12)
+	g.Edge(1, 2)
+	g.Edge(2, 3)
+	g.Edge(1, 4)
+	g.Edge(4, 5)
+	g.Edge(3, 6)
+	g.Edge(5, 6)
+	c := NewClocks(g)
+	for id := 1; id <= 12; id++ {
+		e := c.Epoch(op.ID(id))
+		if got := UnpackEpoch(PackEpoch(e)); got != e {
+			t.Errorf("op %d: round trip %v -> %v", id, e, got)
+		}
+	}
+}

@@ -35,9 +35,15 @@ type Request struct {
 	Exhaustive bool `json:"exhaustive,omitempty"`
 	// Filters applies the §5.3 report filters.
 	Filters bool `json:"filters,omitempty"`
-	// Detector names the algorithm: pairwise (default), pairwise-vc,
-	// accessset, predictive.
+	// Detector names the algorithm: pairwise, pairwise-vc, accessset,
+	// predictive or sampled. Absent means the server's configured default
+	// tier (Config.DefaultDetector; pairwise out of the box). GET
+	// /v1/detectors lists the accepted spellings.
 	Detector string `json:"detector,omitempty"`
+	// SampleRate is the sampled tier's location sampling rate in (0, 1].
+	// Absent with the sampled detector means webracer.DefaultSampleRate;
+	// setting it with an exact detector is a 400.
+	SampleRate *float64 `json:"sampleRate,omitempty"`
 	// TimeoutMS caps the run's wall-clock time. 0 (or absent) applies the
 	// server default; positive values are clamped to the server maximum.
 	TimeoutMS int64 `json:"timeoutMS,omitempty"`
@@ -186,11 +192,26 @@ func (s *Server) resolve(kind jobKind, req *Request) (*resolved, error) {
 		cfg.Explore, cfg.Exhaustive = true, true
 	}
 	cfg.Filters = req.Filters
-	det, err := webracer.ParseDetector(req.Detector)
+	detName := req.Detector
+	if detName == "" {
+		detName = s.cfg.DefaultDetector
+	}
+	det, err := webracer.ParseDetector(detName)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Detector = det
+	if req.SampleRate != nil {
+		cfg.SampleRate = *req.SampleRate
+	}
+	if cfg.Detector == webracer.DetectorSampled && cfg.SampleRate == 0 {
+		// Pin the default rate explicitly so "sampled" and "sampled at the
+		// default rate" resolve to the same cache key.
+		cfg.SampleRate = webracer.DefaultSampleRate
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.EntryURL = req.Entry
 	if cfg.EntryURL == "" {
 		cfg.EntryURL = "index.html"
@@ -308,6 +329,9 @@ type keySpec struct {
 	Exhaustive bool   `json:"exhaustive"`
 	Filters    bool   `json:"filters"`
 	Detector   string `json:"detector"`
+	// SampleRate is non-zero only for the sampled tier (resolve pins the
+	// default rate), so every pre-tier key hashes exactly as before.
+	SampleRate float64 `json:"sampleRate,omitempty"`
 	TimeoutMS  int64  `json:"timeoutMS"`
 	Fault      string `json:"fault,omitempty"`
 	Session    bool   `json:"session,omitempty"`
@@ -337,6 +361,7 @@ func (r *resolved) computeKey() string {
 		Exhaustive: r.cfg.Exhaustive,
 		Filters:    r.cfg.Filters,
 		Detector:   r.cfg.Detector.String(),
+		SampleRate: r.cfg.SampleRate,
 		TimeoutMS:  r.cfg.RunTimeout.Milliseconds(),
 		Session:    r.session,
 		Seeds:      r.seeds,

@@ -76,6 +76,13 @@ type Config struct {
 	// GET /v1/jobs (default 4096; result bytes live in the cache, these
 	// records are small).
 	JobHistory int
+	// DefaultDetector names the tier applied to requests that omit
+	// "detector" ("" means the library default, pairwise). Operators set
+	// "sampled" to route bulk traffic through the cheap tier — sampled
+	// jobs escalate to the exact detector on any hit, so reported races
+	// are never heuristic. Must be a webracer.ParseDetector spelling;
+	// NewServer panics otherwise (a misconfigured service must not boot).
+	DefaultDetector string
 }
 
 // withDefaults fills zero fields.
@@ -123,7 +130,7 @@ type Server struct {
 	draining bool
 
 	cAccepted, cCompleted, cFailed, cInterrupted *obs.Counter
-	cCoalesced, cRejected                        *obs.Counter
+	cCoalesced, cRejected, cEscalated            *obs.Counter
 	gDepth                                       *obs.Gauge
 
 	// jobGate, when non-nil, is called on the worker goroutine before a
@@ -151,6 +158,9 @@ func (j *job) finishedState() bool { return j.status == "done" || j.status == "f
 // httptest) and call Drain on shutdown.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if _, err := webracer.ParseDetector(cfg.DefaultDetector); err != nil {
+		panic(fmt.Sprintf("serve: bad DefaultDetector: %v", err))
+	}
 	m := obs.New()
 	s := &Server{
 		cfg:          cfg,
@@ -164,6 +174,7 @@ func NewServer(cfg Config) *Server {
 		cInterrupted: m.Counter("serve.jobs.interrupted"),
 		cCoalesced:   m.Counter("serve.jobs.coalesced"),
 		cRejected:    m.Counter("serve.queue.rejected"),
+		cEscalated:   m.Counter("serve.jobs.escalated"),
 		gDepth:       m.Gauge("serve.queue.depth"),
 	}
 	mux := http.NewServeMux()
@@ -171,6 +182,7 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sweep", s.post(kindSweep))
 	mux.HandleFunc("POST /v1/faultsweep", s.post(kindFaultSweep))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/detectors", s.handleDetectors)
 	mux.Handle("GET /metrics", obs.MetricsHandler(m))
 	mux.Handle("GET /progress", obs.ProgressHandler(s.progressSnap))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -384,7 +396,33 @@ func (s *Server) executeDetect(r *resolved) ([]byte, bool, error) {
 		payload = detectResponse(r, res)
 	}
 	body, err := marshalBody(payload)
-	return body, res.Interrupted == "", err
+	cacheable := res.Interrupted == ""
+	if err == nil && cacheable && !r.session && res.Sampled != nil && res.Sampled.Escalated {
+		s.cEscalated.Inc()
+		s.crossPopulateExact(r, res)
+	}
+	return body, cacheable, err
+}
+
+// crossPopulateExact stores an escalated sampled run's result under the
+// equivalent *exact* request's cache key as well. The escalation second
+// pass already paid for the exact run — runSampled re-executes the same
+// (site, seed, config) under webracer.EscalationDetector — so a later
+// direct exact request for this site is a cache hit, byte-identical to
+// what a cold exact run would produce (the determinism contract makes
+// the two indistinguishable; tests assert the bytes). The Cache is
+// internally locked, so this is safe from the worker goroutine.
+func (s *Server) crossPopulateExact(r *resolved, res *webracer.Result) {
+	r2 := *r
+	r2.cfg.Detector = webracer.EscalationDetector
+	r2.cfg.SampleRate = 0
+	r2.key = r2.computeKey()
+	resp := detectResponse(&r2, res)
+	// A direct exact run has no sampled-tier accounting.
+	resp.SampleRate, resp.SampledHits, resp.Escalated = 0, 0, false
+	if body, err := marshalBody(resp); err == nil {
+		s.cache.Put(r2.key, body)
+	}
 }
 
 // executeSweep runs /v1/sweep in either mode. The seeds mode shards the
@@ -503,6 +541,25 @@ func (s *Server) statusLocked(j *job) JobStatus {
 	return st
 }
 
+// handleDetectors answers GET /v1/detectors: the capability listing of
+// every detector kind the service accepts, which tier each belongs to,
+// and which one requests get when they omit "detector". Clients use it
+// to discover the sampled tier (and its escalation semantics) without
+// hardcoding spellings.
+func (s *Server) handleDetectors(w http.ResponseWriter, _ *http.Request) {
+	// cfg.DefaultDetector parsed successfully at NewServer.
+	def, _ := webracer.ParseDetector(s.cfg.DefaultDetector)
+	resp := DetectorsResponse{Default: def.String(), Escalation: webracer.EscalationDetector.String()}
+	for _, k := range webracer.DetectorKinds() {
+		info := DetectorInfo{Name: k.String(), Tier: "exact", Default: k == def}
+		if k == webracer.DetectorSampled {
+			info.Tier = "sampled"
+		}
+		resp.Detectors = append(resp.Detectors, info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleHealth reports liveness: 200 while accepting, 503 once draining
 // (load balancers stop routing here while in-flight work finishes).
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -581,9 +638,41 @@ type DetectResponse struct {
 	FaultEvents int `json:"faultEvents,omitempty"`
 	// Explore summarizes automatic exploration, when it ran.
 	Explore map[string]int `json:"explore,omitempty"`
+	// SampleRate is the effective location sampling rate (sampled
+	// detector only).
+	SampleRate float64 `json:"sampleRate,omitempty"`
+	// SampledHits is the number of races the cheap tier itself found
+	// before escalation (sampled detector only).
+	SampledHits int `json:"sampledHits,omitempty"`
+	// Escalated reports that the sampled run re-ran under the exact
+	// escalation detector and Races holds that pass's output.
+	Escalated bool `json:"escalated,omitempty"`
 	// Interrupted names why the run stopped early, if it did (such runs
 	// are never cached).
 	Interrupted string `json:"interrupted,omitempty"`
+}
+
+// DetectorInfo is one detector kind in GET /v1/detectors.
+type DetectorInfo struct {
+	// Name is the spelling Request.Detector accepts.
+	Name string `json:"name"`
+	// Tier is "exact" (reports are complete for the observed schedule) or
+	// "sampled" (cheap pass over a sampled location subset; any hit
+	// escalates to the exact tier).
+	Tier string `json:"tier"`
+	// Default marks the kind requests get when they omit "detector".
+	Default bool `json:"default,omitempty"`
+}
+
+// DetectorsResponse is GET /v1/detectors' body.
+type DetectorsResponse struct {
+	// Detectors lists every accepted kind, in the library's declaration
+	// order.
+	Detectors []DetectorInfo `json:"detectors"`
+	// Default is the service's default tier (Config.DefaultDetector).
+	Default string `json:"default"`
+	// Escalation is the exact detector sampled hits re-run under.
+	Escalation string `json:"escalation"`
 }
 
 // SessionResponse wraps the full exported session for "session": true
@@ -671,6 +760,11 @@ func detectResponse(r *resolved, res *webracer.Result) DetectResponse {
 	}
 	if res.Predictive != nil {
 		resp.Predicted = res.Predictive.Stats.Predicted
+	}
+	if res.Sampled != nil {
+		resp.SampleRate = res.Sampled.Rate
+		resp.SampledHits = res.Sampled.Hits
+		resp.Escalated = res.Sampled.Escalated
 	}
 	for _, rep := range res.Reports {
 		resp.Races = append(resp.Races, RaceJSON{

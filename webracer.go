@@ -24,6 +24,7 @@
 package webracer
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -64,7 +65,27 @@ const (
 	// seed sweep for schedule-dependent races reachable from the recorded
 	// control flow.
 	DetectorPredictive
+	// DetectorSampled is the fast tier for bulk traffic: the pairwise
+	// algorithm over a flat shadow-word array, checking only a
+	// deterministically sampled subset of locations (Config.SampleRate)
+	// with zero steady-state allocations. Any sampled hit escalates the
+	// run to an exact second pass (DetectorPairwiseVC) whose reports
+	// replace the tier's; Result.Sampled records the tier's accounting
+	// either way. At rate 1 the output equals the exact detector's; at
+	// lower rates reports are always a subset of it. See DESIGN.md
+	// "Sampled tier".
+	DetectorSampled
 )
+
+// DetectorKinds returns every detector kind, in declaration order — the
+// single enumeration behind ParseDetector, the round-trip tests and
+// webracerd's GET /v1/detectors capability endpoint.
+func DetectorKinds() []DetectorKind {
+	return []DetectorKind{
+		DetectorPairwise, DetectorAccessSet, DetectorPairwiseVC,
+		DetectorPredictive, DetectorSampled,
+	}
+}
 
 // String returns the kind's stable API name — the same spelling
 // cmd/webracer's -detector flag and the webracerd request field accept.
@@ -76,28 +97,39 @@ func (k DetectorKind) String() string {
 		return "pairwise-vc"
 	case DetectorPredictive:
 		return "predictive"
+	case DetectorSampled:
+		return "sampled"
 	default:
 		return "pairwise"
 	}
 }
 
-// ParseDetector maps a detector name — "pairwise", "pairwise-vc",
-// "accessset", "predictive" — to its DetectorKind. The empty string parses
-// as DetectorPairwise, the default. The CLI -detector flag and the
-// webracerd API both parse through here, so the accepted spellings cannot
-// drift.
+// ErrUnknownDetector is returned (wrapped) by ParseDetector for a name
+// that is not a detector spelling; the error message lists the valid
+// ones. Test with errors.Is.
+var ErrUnknownDetector = errors.New("unknown detector")
+
+// ParseDetector maps a detector name to its DetectorKind — the inverse of
+// DetectorKind.String, so ParseDetector(k.String()) == k for every kind
+// (a table-driven test pins the round trip). The empty string parses as
+// DetectorPairwise, the default. The CLI -detector flag and the webracerd
+// API both parse through here, so the accepted spellings cannot drift.
 func ParseDetector(name string) (DetectorKind, error) {
-	switch name {
-	case "", "pairwise":
+	if name == "" {
 		return DetectorPairwise, nil
-	case "pairwise-vc":
-		return DetectorPairwiseVC, nil
-	case "accessset":
-		return DetectorAccessSet, nil
-	case "predictive":
-		return DetectorPredictive, nil
 	}
-	return DetectorPairwise, fmt.Errorf("webracer: unknown detector %q (want pairwise, pairwise-vc, accessset or predictive)", name)
+	kinds := DetectorKinds()
+	for _, k := range kinds {
+		if name == k.String() {
+			return k, nil
+		}
+	}
+	spellings := make([]string, len(kinds))
+	for i, k := range kinds {
+		spellings[i] = k.String()
+	}
+	return DetectorPairwise, fmt.Errorf("webracer: %w %q (want %s)",
+		ErrUnknownDetector, name, strings.Join(spellings, ", "))
 }
 
 // Config tunes one detection session.
@@ -115,6 +147,13 @@ type Config struct {
 	Filters bool
 	// Detector picks the algorithm.
 	Detector DetectorKind
+	// SampleRate is DetectorSampled's location sampling probability in
+	// (0, 1]; 0 applies DefaultSampleRate. Setting it with any other
+	// detector fails Validate — the other detectors are exact and do not
+	// sample. Rate 1 checks every location (output equals the exact
+	// detector's); lower rates trade recall for constant cheap-tier cost,
+	// recovered by escalation on hit.
+	SampleRate float64
 	// RecordTrace keeps the access trace (needed for vector-clock
 	// replay and by the harm oracle).
 	RecordTrace bool
@@ -175,6 +214,17 @@ func WithFilters() Option { return func(c *Config) { c.Filters = true } }
 
 // WithDetector selects the detection algorithm.
 func WithDetector(kind DetectorKind) Option { return func(c *Config) { c.Detector = kind } }
+
+// WithSampleRate sets DetectorSampled's location sampling rate in (0, 1]
+// (see Config.SampleRate). It does not itself select the sampled
+// detector; combine with WithDetector(DetectorSampled).
+func WithSampleRate(rate float64) Option { return func(c *Config) { c.SampleRate = rate } }
+
+// WithConfig replaces the whole configuration with cfg. It is the bridge
+// from the struct-form API into the options path: RunConfig(site, cfg) is
+// exactly Run(site, WithConfig(cfg)), and later options still apply on
+// top (WithConfig(cfg), WithSeed(7) runs cfg at seed 7).
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
 
 // WithTrace records the access trace (required for ReplayVC and used by
 // the harm oracle).
@@ -254,6 +304,11 @@ type Result struct {
 	// nil unless the run used DetectorPredictive. Its RaceReports
 	// projection is what RawReports holds then.
 	Predictive *race.PredictiveResult
+	// Sampled is the fast tier's accounting (rate, hits, whether the run
+	// escalated to the exact detector); nil unless the run used
+	// DetectorSampled. On an escalated run the rest of the Result is the
+	// exact second pass's.
+	Sampled *SampledInfo
 	// Metrics is the run's telemetry registry (nil unless Config.Telemetry).
 	Metrics *obs.Metrics
 	// Trace is the run's virtual-time Chrome trace (nil unless
@@ -263,20 +318,33 @@ type Result struct {
 
 // Run loads the site, optionally explores it, and reports races. The
 // zero-option call reproduces the paper's evaluation configuration
-// (exploration on, filters off); see the With* options for every knob. Use
-// RunConfig to pass a prebuilt Config.
+// (exploration on, filters off); see the With* options for every knob —
+// including WithConfig, which RunConfig uses to accept a prebuilt Config
+// through this same path.
+//
+// Run panics if the assembled configuration fails Validate (programmer
+// error, like a malformed regexp); API boundaries — the CLIs, webracerd —
+// validate first and turn the typed errors into exit codes or 400s.
 func Run(site *loader.Site, opts ...Option) *Result {
-	return RunConfig(site, NewConfig(opts...))
+	cfg := NewConfig(opts...)
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Detector == DetectorSampled && cfg.Browser.Detector == nil {
+		return runSampled(site, cfg)
+	}
+	return runOnce(site, cfg)
 }
 
-// detectorFactory builds the browser-level detector constructor for kind —
-// the single parameterized factory behind all DetectorKind values.
-func detectorFactory(kind DetectorKind, reportAll bool) func(*hb.Graph) race.Detector {
+// detectorFactory builds the browser-level detector constructor for
+// cfg.Detector — the single parameterized factory behind all DetectorKind
+// values.
+func detectorFactory(cfg Config, reportAll bool) func(*hb.Graph) race.Detector {
 	var ropts []race.Option
 	if reportAll {
 		ropts = append(ropts, race.ReportAll())
 	}
-	switch kind {
+	switch cfg.Detector {
 	case DetectorAccessSet:
 		// Complete history, but WebRacer's one-report-per-location cap so
 		// counts stay comparable across detectors.
@@ -289,6 +357,15 @@ func detectorFactory(kind DetectorKind, reportAll bool) func(*hb.Graph) race.Det
 			g.Mirror = live
 			return race.NewPairwise(live, ropts...)
 		}
+	case DetectorSampled:
+		// The fast tier runs over the live vector-clock mirror like
+		// PairwiseVC; the shadow array replaces the pairwise state map.
+		rate, seed := cfg.effectiveSampleRate(), cfg.Seed
+		return func(g *hb.Graph) race.Detector {
+			live := hb.NewLiveClocks()
+			g.Mirror = live
+			return race.NewSampled(live, rate, seed, ropts...)
+		}
 	default:
 		// DetectorPairwise — and DetectorPredictive's live arm: the
 		// predictive pass runs post-run over the recorded trace, with the
@@ -299,8 +376,18 @@ func detectorFactory(kind DetectorKind, reportAll bool) func(*hb.Graph) race.Det
 	}
 }
 
-// RunConfig is Run with an explicit Config (the original struct API).
+// RunConfig is Run with an explicit Config — sugar for
+// Run(site, WithConfig(cfg)). The struct form and the options form are one
+// API: both validate, both tier the sampled detector, both produce
+// identical Results for equivalent configurations.
 func RunConfig(site *loader.Site, cfg Config) *Result {
+	return Run(site, WithConfig(cfg))
+}
+
+// runOnce executes one detection pass with cfg taken literally — no
+// validation, no tiering. Run (and through it RunConfig) is the only
+// caller besides the sampled tier's escalation second pass.
+func runOnce(site *loader.Site, cfg Config) *Result {
 	bcfg := cfg.Browser
 	bcfg.Seed = cfg.Seed
 	bcfg.SharedFrameGlobals = true
@@ -313,7 +400,7 @@ func RunConfig(site *loader.Site, cfg Config) *Result {
 		bcfg.WallBudget = cfg.RunTimeout
 	}
 	if bcfg.Detector == nil {
-		bcfg.Detector = detectorFactory(cfg.Detector, bcfg.ReportAll)
+		bcfg.Detector = detectorFactory(cfg, bcfg.ReportAll)
 	}
 	// Telemetry instances are created per run, never shared: a parallel
 	// sweep gives every (site, seed) its own registry and trace, which is
