@@ -1,12 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos predictive sampled obs docs linkcheck bench bench-all benchcmp examples experiments outputs clean
+.PHONY: all build vet test chaos cluster predictive sampled obs docs linkcheck bench bench-all benchcmp examples experiments outputs clean
 
 # Repetitions for the detector benchmarks; raise for benchstat-grade noise
 # bounds (e.g. `make bench BENCH_COUNT=10`).
 BENCH_COUNT ?= 5
 
-all: build vet test obs docs linkcheck
+all: build vet test obs docs linkcheck cluster
 
 build:
 	go build ./...
@@ -26,6 +26,16 @@ test: vet
 chaos:
 	go test -race -run 'TestFault|TestGoldenFaultSweep|TestXHR' . ./internal/fault/ ./internal/browser/
 	go run ./cmd/experiments -faults
+
+# Service-level chaos battery under the Go race detector: boots a
+# 3-backend + router topology in-process, kills a backend mid-sweep,
+# corrupts 10% of the persisted store entries, and asserts byte-identical
+# results vs a healthy single node with zero 5xx and golden-pinned
+# retry/quarantine counters (internal/serve/testdata/golden/). The store
+# crash-recovery battery and the router/persistence tests ride along.
+cluster:
+	go test -race -run 'TestChaos|TestRouter|TestStore|TestRequestBodyLimit|TestRetryAfter' ./internal/serve/
+	go test -race ./internal/store/
 
 # Predictive-detection battery under the Go race detector: the
 # sweep-recovery differential (32-seed ground truth vs one predictive
@@ -63,7 +73,7 @@ obs:
 # scripts/checkdocs is a tiny go/ast walker — presence only, wording is
 # review's job.
 docs:
-	go run ./scripts/checkdocs . internal/serve internal/obs internal/fault
+	go run ./scripts/checkdocs . internal/serve internal/store internal/obs internal/fault
 
 # Documentation rot gate: every relative markdown link and backticked
 # `*.go` reference in the repo's *.md files must resolve to a real file.

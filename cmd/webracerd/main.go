@@ -16,11 +16,27 @@
 //	-default-detector K  tier for requests that omit "detector" (default pairwise;
 //	                     set "sampled" to route bulk traffic through the cheap tier,
 //	                     which escalates to the exact detector on any hit)
+//	-max-body N          request-body byte limit (default 8 MiB; over → 413)
+//	-store-dir DIR       persist results to DIR: atomic checksummed writes,
+//	                     corrupt entries quarantined and recovered around at boot
 //	-v                   log every job admission and completion
 //
+// Router mode — set -backends to turn this process into the cluster's
+// front door instead of a worker:
+//
+//	-backends URLS       comma-separated backend base URLs; job keys are
+//	                     consistent-hashed across them, with retries,
+//	                     circuit breakers and local-execution fallback
+//	-request-timeout D   per-forward-attempt timeout (default 90s)
+//	-max-attempts N      forward attempts before falling back to local (default 3)
+//	-breaker-failures N  consecutive failures that open a backend's breaker (default 5)
+//	-breaker-cooldown D  open-breaker rejection window (default 5s)
+//	-health-interval D   active /healthz probe period (default 2s; 0 disables)
+//
 // Endpoints: POST /v1/detect, /v1/sweep, /v1/faultsweep; GET /v1/jobs/{id},
-// /metrics, /progress, /healthz. See OPERATIONS.md for the full reference
-// with curl-able examples.
+// /v1/backends (router mode), /metrics, /progress, /healthz. See
+// OPERATIONS.md for the full reference with curl-able examples and the
+// "Running a cluster" runbook.
 //
 // SIGTERM/SIGINT drains gracefully: new submissions get 503, queued and
 // in-flight jobs finish, then the final metrics snapshot (cache hits,
@@ -36,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,7 +73,16 @@ func run() int {
 		defTimeout   = flag.Duration("default-timeout", 30*time.Second, "per-job wall budget when the request sets none")
 		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "clamp on requested per-job budgets (0: no clamp)")
 		defDetector  = flag.String("default-detector", "", "detector for requests that omit one (default pairwise; \"sampled\" routes bulk traffic through the cheap tier)")
+		maxBody      = flag.Int64("max-body", 8<<20, "request-body byte limit (over: 413)")
+		storeDir     = flag.String("store-dir", "", "persist results to this directory (atomic, checksummed; survives restarts)")
 		verbose      = flag.Bool("v", false, "log request-level detail")
+
+		backends        = flag.String("backends", "", "comma-separated backend URLs: run as the cluster router instead of a worker")
+		reqTimeout      = flag.Duration("request-timeout", 90*time.Second, "router: per-forward-attempt timeout")
+		maxAttempts     = flag.Int("max-attempts", 3, "router: forward attempts before local fallback")
+		breakerFailures = flag.Int("breaker-failures", 5, "router: consecutive failures that open a backend's circuit breaker (negative: disable breakers)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "router: how long an open breaker rejects a backend")
+		healthInterval  = flag.Duration("health-interval", 2*time.Second, "router: active /healthz probe period (0: disable)")
 	)
 	flag.Parse()
 
@@ -72,6 +98,8 @@ func run() int {
 		DefaultTimeout:  *defTimeout,
 		MaxTimeout:      *maxTimeout,
 		DefaultDetector: *defDetector,
+		MaxBodyBytes:    *maxBody,
+		StoreDir:        *storeDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -79,14 +107,30 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "webracerd:", err)
 		return 2
 	}
+	var rt *serve.Router
 	handler := s.Handler()
+	if *backends != "" {
+		rt = serve.NewRouter(s, serve.RouterConfig{
+			Backends:        splitBackends(*backends),
+			RequestTimeout:  *reqTimeout,
+			Attempts:        *maxAttempts,
+			BreakerFailures: *breakerFailures,
+			BreakerCooldown: *breakerCooldown,
+			HealthInterval:  *healthInterval,
+		})
+		handler = rt.Handler()
+	}
 	if *verbose {
 		handler = logRequests(handler)
 	}
 	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "webracerd: serving on http://%s (POST /v1/detect, /v1/sweep, /v1/faultsweep; GET /v1/jobs/{id}, /metrics, /progress)\n",
-		ln.Addr())
+	mode := "serving"
+	if rt != nil {
+		mode = fmt.Sprintf("routing across %d backends on", len(splitBackends(*backends)))
+	}
+	fmt.Fprintf(os.Stderr, "webracerd: %s http://%s (POST /v1/detect, /v1/sweep, /v1/faultsweep; GET /v1/jobs/{id}, /metrics, /progress)\n",
+		mode, ln.Addr())
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -98,6 +142,9 @@ func run() int {
 		os.Exit(130)
 	}()
 
+	if rt != nil {
+		rt.Close()
+	}
 	if err := s.Drain(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "webracerd: drain:", err)
 	}
@@ -113,6 +160,18 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// splitBackends parses the -backends flag, dropping empty segments so a
+// trailing comma doesn't become a phantom backend.
+func splitBackends(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // logRequests wraps the service handler with one stderr line per request.

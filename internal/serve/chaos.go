@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// ChaosKind is one service-level fault shape the router's chaos harness
+// can inject into a forward attempt.
+type ChaosKind uint8
+
+const (
+	// ChaosNone lets the attempt through untouched (zero value).
+	ChaosNone ChaosKind = iota
+	// ChaosKill fails the attempt as a severed connection: the backend
+	// process died (or the network partitioned) before a byte came back.
+	ChaosKill
+	// ChaosStall fails the attempt as a tripped per-request timeout: the
+	// backend is alive but wedged past RequestTimeout. The harness
+	// reports the deadline outcome directly instead of burning real
+	// wall-clock, which is what keeps the chaos battery fast and its
+	// counters independent of machine speed.
+	ChaosStall
+	// ChaosCorrupt lets the forward complete, then flips a byte of the
+	// response body — a torn proxy buffer or bit-rotted page cache. The
+	// router's response validation must catch it.
+	ChaosCorrupt
+)
+
+// String names the kind for counters and test output.
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosNone:
+		return "none"
+	case ChaosKill:
+		return "kill"
+	case ChaosStall:
+		return "stall"
+	case ChaosCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// ChaosPlan is the deterministic service-level fault injector for router
+// tests: every decision is a pure function of (plan seed, backend URL,
+// job key, attempt index) — the same pure-FNV-1a decision style as
+// internal/fault — so a chaotic sweep's retry/failover counters are
+// byte-stable across runs, machines, and worker counts. The zero plan
+// injects nothing; a nil plan is always ChaosNone.
+//
+// Dead backends model a killed process: every attempt against them
+// fails, regardless of probabilities. Probabilities model flaky
+// infrastructure: each (backend, key, attempt) rolls once, evaluated in
+// kill → stall → corrupt order against the single roll (the fault.Plan
+// convention), so their sum is the per-attempt fault rate.
+type ChaosPlan struct {
+	// Seed drives every decision.
+	Seed int64
+	// Dead marks backend base URLs whose every attempt fails as killed.
+	Dead map[string]bool
+	// KillProb is the probability an attempt dies as a severed
+	// connection.
+	KillProb float64
+	// StallProb is the probability an attempt trips the per-request
+	// timeout.
+	StallProb float64
+	// CorruptProb is the probability a completed response body arrives
+	// corrupted.
+	CorruptProb float64
+}
+
+// decide picks the fault for one forward attempt.
+func (p *ChaosPlan) decide(backend, key string, attempt int) ChaosKind {
+	if p == nil {
+		return ChaosNone
+	}
+	if p.Dead[backend] {
+		return ChaosKill
+	}
+	u := p.roll(backend, key, attempt)
+	for _, step := range []struct {
+		prob float64
+		kind ChaosKind
+	}{
+		{p.KillProb, ChaosKill},
+		{p.StallProb, ChaosStall},
+		{p.CorruptProb, ChaosCorrupt},
+	} {
+		if u < step.prob {
+			return step.kind
+		}
+		u -= step.prob
+	}
+	return ChaosNone
+}
+
+// roll maps hash(seed, backend, key, attempt) to [0, 1) — FNV-1a over the
+// exact byte encoding, nothing platform-dependent, so decisions replay
+// everywhere (the internal/fault roll, with the backend in place of the
+// URL salt).
+func (p *ChaosPlan) roll(backend, key string, attempt int) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(p.Seed))
+	h.Write(b[:])
+	h.Write([]byte(backend))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	binary.LittleEndian.PutUint64(b[:], uint64(attempt))
+	h.Write(b[:])
+	return float64(h.Sum64()>>11) / (1 << 53)
+}

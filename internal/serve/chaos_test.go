@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateChaosGolden = flag.Bool("update", false, "rewrite the chaos battery's golden counters")
+
+// chaosJob is one request in the battery's job mix: detects, a sweep and
+// a fault sweep, so every routed POST endpoint is under chaos.
+type chaosJob struct {
+	path, body string
+}
+
+func chaosJobs() []chaosJob {
+	var jobs []chaosJob
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, chaosJob{"/v1/detect", fmt.Sprintf(`{"spec":{"kind":"corpus","index":%d},"seed":3}`, i)})
+	}
+	jobs = append(jobs,
+		chaosJob{"/v1/sweep", `{"spec":{"kind":"corpus","index":1},"seeds":2}`},
+		chaosJob{"/v1/sweep", `{"spec":{"kind":"corpus","index":2},"mode":"delay-one"}`},
+		chaosJob{"/v1/faultsweep", `{"spec":{"kind":"fault","index":1},"plans":2}`},
+	)
+	return jobs
+}
+
+// healthyReference runs the battery's jobs on a lone healthy node and
+// returns the canonical bodies every chaotic cluster run must reproduce.
+func healthyReference(t *testing.T, workers int) [][]byte {
+	t.Helper()
+	_, ts := newTestServer(t, Config{Workers: workers})
+	var want [][]byte
+	for i, j := range chaosJobs() {
+		resp, b := post(t, ts, j.path, j.body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("reference job %d: %d %s", i, resp.StatusCode, b)
+		}
+		want = append(want, b)
+	}
+	return want
+}
+
+// bootBackends starts n backend servers with stores under root/b<i>.
+// Callers own shutdown (the battery restarts backends mid-test).
+func bootBackends(t *testing.T, root string, n, workers int) ([]*Server, []*httptest.Server, []string) {
+	t.Helper()
+	var servers []*Server
+	var tss []*httptest.Server
+	var urls []string
+	for i := 0; i < n; i++ {
+		s := NewServer(Config{Workers: workers, StoreDir: filepath.Join(root, fmt.Sprintf("b%d", i))})
+		ts := httptest.NewServer(s.Handler())
+		servers = append(servers, s)
+		tss = append(tss, ts)
+		urls = append(urls, ts.URL)
+	}
+	return servers, tss, urls
+}
+
+// corruptEvery10th flips a byte in every 10th store entry (sorted
+// filename order — deterministic) under each backend dir and returns how
+// many entries it damaged.
+func corruptEvery10th(t *testing.T, root string, n int) int {
+	t.Helper()
+	corrupted := 0
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(root, fmt.Sprintf("b%d", i))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var files []string
+		for _, e := range ents {
+			if !e.IsDir() {
+				files = append(files, e.Name())
+			}
+		}
+		sort.Strings(files)
+		for idx, name := range files {
+			if idx%10 != 0 {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)/2] ^= 0xff
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted++
+		}
+	}
+	return corrupted
+}
+
+// runChaosCluster is one full acceptance scenario at a given backend
+// worker count: populate a healthy 3-node cluster's stores, corrupt 10%
+// of the entries on disk, restart the backends (recovery quarantines the
+// damage), then replay the whole job mix through a router whose chaos
+// plan has killed b2 — and return the response bodies plus the pinned
+// counter snapshot.
+func runChaosCluster(t *testing.T, workers int) ([][]byte, map[string]int64) {
+	t.Helper()
+	root := t.TempDir()
+	jobs := chaosJobs()
+
+	// Phase A: a healthy cluster computes everything once; the backends'
+	// stores absorb the results as routing distributes the keys.
+	servers, tss, urls := bootBackends(t, root, 3, workers)
+	localA := NewServer(Config{Workers: workers})
+	rtA := NewRouter(localA, RouterConfig{Backends: urls, BackendNames: names(3), BackoffBase: -1})
+	rtsA := httptest.NewServer(rtA.Handler())
+	for i, j := range jobs {
+		if resp, b := post(t, rtsA, j.path, j.body); resp.StatusCode != 200 {
+			t.Fatalf("phase A job %d: %d %s", i, resp.StatusCode, b)
+		}
+	}
+	rtsA.Close()
+	rtA.Close()
+	localA.Close()
+	for i := range servers {
+		tss[i].Close()
+		servers[i].Close() // drain: every store write has landed
+	}
+
+	corrupted := corruptEvery10th(t, root, 3)
+	if corrupted == 0 {
+		t.Fatal("battery corrupted nothing — store dirs empty?")
+	}
+
+	// Phase B: restart on the damaged stores; recovery must quarantine
+	// exactly the corrupted entries and keep the rest byte-identical.
+	servers2, tss2, urls2 := bootBackends(t, root, 3, workers)
+	defer func() {
+		for i := range servers2 {
+			tss2[i].Close()
+			servers2[i].Close()
+		}
+	}()
+	var quarantined, recovered int64
+	for _, s := range servers2 {
+		quarantined += s.Metrics().Counter("serve.store.quarantined").Value()
+		recovered += s.Metrics().Counter("serve.store.recovered").Value()
+	}
+	if quarantined != int64(corrupted) {
+		t.Fatalf("quarantined %d entries, corrupted %d — recovery must catch exactly the damage", quarantined, corrupted)
+	}
+
+	// The router's chaos plan kills b2 outright. Breakers are disabled so
+	// every counter is a pure function of the (sequential) job list —
+	// breaker state would couple jobs to each other.
+	localB := NewServer(Config{Workers: workers})
+	rtB := NewRouter(localB, RouterConfig{
+		Backends:        urls2,
+		BackendNames:    names(3),
+		BackoffBase:     -1,
+		BreakerFailures: -1,
+		Chaos:           &ChaosPlan{Seed: 7, Dead: map[string]bool{"b2": true}},
+	})
+	rtsB := httptest.NewServer(rtB.Handler())
+	defer func() { rtsB.Close(); rtB.Close(); localB.Close() }()
+
+	var bodies [][]byte
+	for i, j := range jobs {
+		resp, b := post(t, rtsB, j.path, j.body)
+		if resp.StatusCode >= 500 {
+			t.Fatalf("job %d under chaos: %d %s — a lost backend must never surface a 5xx", i, resp.StatusCode, b)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("job %d under chaos: %d %s", i, resp.StatusCode, b)
+		}
+		bodies = append(bodies, b)
+	}
+
+	snap := map[string]int64{
+		"serve.store.quarantined.total": quarantined,
+		"serve.store.recovered.total":   recovered,
+	}
+	resp, err := http.Get(rtsB.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var all map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range all {
+		if strings.HasPrefix(k, "serve.router.") {
+			snap[k] = v
+		}
+	}
+	return bodies, snap
+}
+
+// TestChaosClusterByteIdentical is the PR's acceptance battery: with one
+// of three backends killed mid-sweep by the chaos plan and 10% of the
+// persisted store entries corrupted on disk, the router returns bodies
+// byte-identical to a healthy single node, serves zero 5xx, and its
+// retry/quarantine counters match the golden pin at every backend worker
+// count.
+func TestChaosClusterByteIdentical(t *testing.T) {
+	want := healthyReference(t, 2)
+
+	bodies1, snap1 := runChaosCluster(t, 1)
+	bodies4, snap4 := runChaosCluster(t, 4)
+
+	for i := range want {
+		if !bytes.Equal(bodies1[i], want[i]) {
+			t.Errorf("workers=1 job %d: chaotic cluster bytes differ from healthy node", i)
+		}
+		if !bytes.Equal(bodies4[i], want[i]) {
+			t.Errorf("workers=4 job %d: chaotic cluster bytes differ from healthy node", i)
+		}
+	}
+
+	if snap1["serve.router.retries"] < 1 {
+		t.Error("killing a backend cost no retries — the chaos plan never hit a primary")
+	}
+	if snap1["serve.router.failover"] < 1 {
+		t.Error("no failovers — every key avoided the dead backend?")
+	}
+
+	j1, _ := json.MarshalIndent(snap1, "", "  ")
+	j4, _ := json.MarshalIndent(snap4, "", "  ")
+	if !bytes.Equal(j1, j4) {
+		t.Fatalf("counters depend on backend worker count:\nworkers=1: %s\nworkers=4: %s", j1, j4)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden", "chaos-cluster.json")
+	if *updateChaosGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(j1, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	goldenBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(goldenBytes), j1) {
+		t.Fatalf("chaos counters drifted from golden (run with -update if intended):\ngolden: %s\ngot:    %s",
+			bytes.TrimSpace(goldenBytes), j1)
+	}
+}
+
+// TestChaosFlakyClusterConverges: a cluster where every attempt has a 45%
+// chance of dying, stalling, or corrupting still answers every request
+// with the healthy node's exact bytes — retries, integrity validation and
+// local fallback absorb whatever mix the seed deals.
+func TestChaosFlakyClusterConverges(t *testing.T) {
+	want := healthyReference(t, 2)
+	c := newCluster(t, 3, Config{Workers: 2}, RouterConfig{
+		BreakerFailures: -1,
+		Chaos: &ChaosPlan{
+			Seed:        14, // deals kills, stalls AND corruptions to this job mix
+			KillProb:    0.15,
+			StallProb:   0.15,
+			CorruptProb: 0.15,
+		},
+	})
+	for i, j := range chaosJobs() {
+		resp, b := post(t, c.rts, j.path, j.body)
+		if resp.StatusCode >= 500 {
+			t.Fatalf("job %d: %d — flaky infrastructure must never surface a 5xx", i, resp.StatusCode)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("job %d: %d %s", i, resp.StatusCode, b)
+		}
+		if !bytes.Equal(b, want[i]) {
+			t.Fatalf("job %d: flaky-cluster bytes differ from healthy node", i)
+		}
+	}
+	if metricQuiet(c.rts, "serve.router.retries") < 1 {
+		t.Error("45% fault rate cost no retries")
+	}
+	if metricQuiet(c.rts, "serve.router.corrupt") < 1 {
+		t.Error("the corrupt-response path never fired — integrity validation untested")
+	}
+	t.Logf("flaky cluster: retries=%d corrupt=%d local_fallback=%d",
+		metricQuiet(c.rts, "serve.router.retries"),
+		metricQuiet(c.rts, "serve.router.corrupt"),
+		metricQuiet(c.rts, "serve.router.local_fallback"))
+}

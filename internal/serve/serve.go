@@ -27,10 +27,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -41,6 +45,7 @@ import (
 	"webracer/internal/obs"
 	"webracer/internal/pool"
 	"webracer/internal/report"
+	"webracer/internal/store"
 )
 
 // Config tunes the service. The zero Config is usable: every field
@@ -69,9 +74,17 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
-	// RetryAfter is the Retry-After hint, in seconds, on 429 responses
-	// (default 1).
+	// RetryAfter is the per-job turnaround estimate, in seconds, that
+	// 429 responses derive their Retry-After hint from (default 1). The
+	// hint scales with the live queue: estimate × (1 + ⌈waiting/workers⌉),
+	// capped at 60 — see OPERATIONS.md "Backpressure" for the formula.
 	RetryAfter int
+	// StoreDir, when set, backs the in-memory result cache with the
+	// crash-safe persistent store (internal/store) rooted there: results
+	// are written through on completion, served from disk on an LRU miss,
+	// and recovered into the LRU at startup — the cache survives
+	// restarts. Empty disables persistence (the pre-PR-8 behavior).
+	StoreDir string
 	// JobHistory is the number of finished job records kept for
 	// GET /v1/jobs (default 4096; result bytes live in the cache, these
 	// records are small).
@@ -121,7 +134,9 @@ type Server struct {
 	cfg     Config
 	metrics *obs.Metrics
 	cache   *Cache
+	store   *store.Store // nil when persistence is disabled
 	runner  *pool.Runner
+	workers int // effective worker count (cfg.Workers resolved)
 	mux     *http.ServeMux
 
 	mu       sync.Mutex
@@ -161,12 +176,17 @@ func NewServer(cfg Config) *Server {
 	if _, err := webracer.ParseDetector(cfg.DefaultDetector); err != nil {
 		panic(fmt.Sprintf("serve: bad DefaultDetector: %v", err))
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
 	m := obs.New()
 	s := &Server{
 		cfg:          cfg,
 		metrics:      m,
 		cache:        NewCache(cfg.CacheBytes, m),
 		runner:       pool.NewRunner(cfg.Workers, cfg.QueueDepth),
+		workers:      workers,
 		jobs:         map[string]*job{},
 		cAccepted:    m.Counter("serve.jobs.accepted"),
 		cCompleted:   m.Counter("serve.jobs.completed"),
@@ -176,6 +196,20 @@ func NewServer(cfg Config) *Server {
 		cRejected:    m.Counter("serve.queue.rejected"),
 		cEscalated:   m.Counter("serve.jobs.escalated"),
 		gDepth:       m.Gauge("serve.queue.depth"),
+	}
+	if cfg.StoreDir != "" {
+		// Opening the store replays the disk contents into the LRU: valid
+		// entries become immediate memory hits, corrupt ones are
+		// quarantined (serve.store.quarantined) instead of served or
+		// crashed on. A store that cannot open at all is a deployment
+		// error — the service must not boot half-persistent.
+		st, err := store.Open(cfg.StoreDir, m, func(key string, body []byte) {
+			s.cache.Put(key, body)
+		})
+		if err != nil {
+			panic(fmt.Sprintf("serve: %v", err))
+		}
+		s.store = st
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/detect", s.post(kindDetect))
@@ -198,6 +232,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // cmd/webracerd flushes its snapshot on drain.
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
+// Store is the persistent result store, nil when Config.StoreDir was
+// empty. Tests and operators use it to inspect recovery/quarantine state.
+func (s *Server) Store() *store.Store { return s.store }
+
 // Drain gracefully shuts the service down: new submissions are refused
 // with 503 from the moment it is called, every queued and in-flight job
 // still runs to completion (or ctx expires), and the cache/counter state
@@ -215,20 +253,45 @@ func (s *Server) Close() { _ = s.Drain(context.Background()) }
 // post builds the handler shared by the three submission endpoints.
 func (s *Server) post(kind jobKind) http.HandlerFunc {
 	return func(w http.ResponseWriter, hr *http.Request) {
-		var req Request
-		dec := json.NewDecoder(http.MaxBytesReader(w, hr.Body, s.cfg.MaxBodyBytes))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		req, _, ok := readRequest(w, hr, s.cfg.MaxBodyBytes)
+		if !ok {
 			return
 		}
-		r, err := s.resolve(kind, &req)
+		r, err := s.resolve(kind, req)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		s.submit(w, hr, r)
 	}
+}
+
+// readRequest reads and decodes a POST body within limit, writing the
+// 4xx response itself on failure: an oversized body is 413 (the body was
+// cut off mid-read — nothing was admitted, the request is safely
+// retryable smaller), anything else malformed is 400. The raw bytes are
+// returned alongside the decoded request so the router can forward a
+// body verbatim instead of re-marshaling it.
+func readRequest(w http.ResponseWriter, hr *http.Request, limit int64) (*Request, []byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, hr.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		}
+		return nil, nil, false
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return nil, nil, false
+	}
+	return &req, raw, true
 }
 
 // submit routes a resolved request: cache hit, coalesce onto an in-flight
@@ -247,6 +310,28 @@ func (s *Server) submit(w http.ResponseWriter, hr *http.Request, r *resolved) {
 		writeBody(w, http.StatusOK, body)
 		return
 	}
+	if s.store != nil {
+		// Second cache level: the persistent store. The disk read happens
+		// outside the server lock; if an identical job slipped in
+		// meanwhile, the bytes are identical by contract and revive is a
+		// no-op.
+		s.mu.Unlock()
+		body, ok := s.store.Get(r.key)
+		s.mu.Lock()
+		if ok {
+			s.cache.Put(r.key, body)
+			s.reviveJobLocked(r, body)
+			s.mu.Unlock()
+			w.Header().Set("X-Webracer-Cache", "store-hit")
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+		if s.draining {
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+	}
 	if j, ok := s.jobs[r.key]; ok && !j.finishedState() {
 		s.cCoalesced.Inc()
 		s.mu.Unlock()
@@ -261,7 +346,7 @@ func (s *Server) submit(w http.ResponseWriter, hr *http.Request, r *resolved) {
 		delete(s.jobs, r.key)
 		s.cRejected.Inc()
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "queue full")
 		return
 	}
@@ -269,6 +354,21 @@ func (s *Server) submit(w http.ResponseWriter, hr *http.Request, r *resolved) {
 	s.gDepth.Set(int64(s.runner.QueueDepth()))
 	s.mu.Unlock()
 	s.respond(w, hr, j, r.async, "miss")
+}
+
+// retryAfterSeconds derives the 429 hint from the live queue rather than
+// a constant: with W workers and Q jobs already waiting, a newcomer is
+// roughly ⌈Q/W⌉ job-turnarounds from the front, so the hint is
+// RetryAfter × (1 + ⌈Q/W⌉), capped at 60 so a deep queue never tells
+// clients to go away for minutes (the queue drains in parallel). The
+// formula is documented in OPERATIONS.md "Backpressure".
+func (s *Server) retryAfterSeconds() int {
+	waiting := s.runner.QueueDepth()
+	hint := s.cfg.RetryAfter * (1 + (waiting+s.workers-1)/s.workers)
+	if hint > 60 {
+		hint = 60
+	}
+	return hint
 }
 
 // reviveJobLocked makes sure a cache-served key has a finished job record
@@ -326,7 +426,6 @@ func (s *Server) runJob(j *job, r *resolved) {
 	}
 	body, cacheable, err := s.execute(r)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err != nil {
 		j.status = "failed"
 		j.code = http.StatusInternalServerError
@@ -348,6 +447,13 @@ func (s *Server) runJob(j *job, r *resolved) {
 	s.finished = append(s.finished, j.id)
 	s.pruneHistoryLocked()
 	close(j.done)
+	s.mu.Unlock()
+	if err == nil && cacheable {
+		// Persist outside the server lock — an fsync must not stall
+		// admissions. Best-effort: a failed write costs a recomputation
+		// after restart, never correctness (serve.store.errors counts it).
+		_ = s.store.Put(j.id, body)
+	}
 }
 
 // pruneHistoryLocked caps the finished-job records at cfg.JobHistory,
@@ -422,6 +528,7 @@ func (s *Server) crossPopulateExact(r *resolved, res *webracer.Result) {
 	resp.SampleRate, resp.SampledHits, resp.Escalated = 0, 0, false
 	if body, err := marshalBody(resp); err == nil {
 		s.cache.Put(r2.key, body)
+		_ = s.store.Put(r2.key, body)
 	}
 }
 
