@@ -1,12 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos cluster predictive sampled obs docs linkcheck bench bench-all benchcmp examples experiments outputs clean
+.PHONY: all build vet test chaos cluster predictive sampled obs docs linkcheck loadtest bench bench-all benchcmp examples experiments outputs clean
 
 # Repetitions for the detector benchmarks; raise for benchstat-grade noise
 # bounds (e.g. `make bench BENCH_COUNT=10`).
 BENCH_COUNT ?= 5
 
-all: build vet test obs docs linkcheck cluster
+all: build vet test obs docs linkcheck cluster loadtest
 
 build:
 	go build ./...
@@ -69,11 +69,20 @@ obs:
 	./scripts/metricsdiff.sh
 
 # Godoc coverage gate: every exported identifier in the documented
-# surface (root package, serve, obs, fault) must carry a doc comment.
-# scripts/checkdocs is a tiny go/ast walker — presence only, wording is
-# review's job.
+# surface (root package, serve, obs, fault, the bench harness) must
+# carry a doc comment. scripts/checkdocs is a tiny go/ast walker —
+# presence only, wording is review's job.
 docs:
-	go run ./scripts/checkdocs . internal/serve internal/store internal/obs internal/fault
+	go run ./scripts/checkdocs . internal/serve internal/store internal/obs internal/fault cmd/webracerbench
+
+# Load-test gate: webracerbench replays a 2000-request seeded trace
+# against an in-process 3-node cluster + router, verifies every response
+# byte-identical to its cold bytes (including a fresh-node recompute),
+# and pins the report's deterministic fields against
+# cmd/webracerbench/testdata/golden/loadtest.json. Update deliberately
+# with `go test ./cmd/webracerbench -run TestLoadtestGolden -update`.
+loadtest:
+	go test -race -count=1 -run TestLoadtestGolden ./cmd/webracerbench
 
 # Documentation rot gate: every relative markdown link and backticked
 # `*.go` reference in the repo's *.md files must resolve to a real file.

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"webracer/internal/pool"
 	"webracer/internal/race"
 	"webracer/internal/report"
+	"webracer/internal/serve"
 	"webracer/internal/sitegen"
 )
 
@@ -549,6 +551,28 @@ func runObs(seed int64, metricsDir, traceFile string) {
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}
+	}
+
+	// The service layer's histogram export: the fixed golden workload must
+	// produce byte-identical stable exports at workers 1 and 4 — the same
+	// identity TestGoldenMetricsServe pins — and the snapshot joins the
+	// metricsdiff gate as metrics-serve.json.
+	sb1, err := serve.GoldenWorkload(1)
+	if err == nil {
+		var sb4 []byte
+		if sb4, err = serve.GoldenWorkload(4); err == nil && !bytes.Equal(sb1, sb4) {
+			err = fmt.Errorf("serve golden workload diverged across worker counts")
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	} else {
+		fmt.Printf("serve workload: stable metrics export byte-identical at workers 1 and 4 (%dB)\n", len(sb1))
+		if metricsDir != "" {
+			if werr := os.WriteFile(metricsDir+"/metrics-serve.json", sb1, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", werr)
 			}
 		}
 	}

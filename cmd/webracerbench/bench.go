@@ -1,0 +1,448 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"webracer/internal/obs"
+	"webracer/internal/serve"
+)
+
+// Options configures one benchmark run. The replayed trace is a pure
+// function of (Seed, Requests, Workers, Jobs, HotJobs, HotFrac), so two
+// runs against the same target issue byte-identical request sequences —
+// which is what makes the report's count fields golden-pinnable while
+// its latency fields float with the machine.
+type Options struct {
+	// URL is the target base URL; empty boots an in-process cluster of
+	// Backends nodes behind a router and benches that.
+	URL string
+	// Backends is the in-process cluster size (ignored with URL set).
+	Backends int
+	// ServeWorkers is each in-process node's job worker count.
+	ServeWorkers int
+	// Workers is the number of concurrent load-generator goroutines.
+	Workers int
+	// Requests is the load-phase request count (warmup and verify add
+	// one serial request per distinct job each, on top).
+	Requests int
+	// Jobs is the number of distinct jobs in the trace; the detect /
+	// sweep / faultsweep mix is fixed at 8:1:1 by job index.
+	Jobs int
+	// HotJobs is the size of the hot subset (the first HotJobs jobs).
+	HotJobs int
+	// HotFrac is the probability a load request draws from the hot
+	// subset instead of uniformly — the cache-hit skew knob.
+	HotFrac float64
+	// Seed drives the deterministic trace draw.
+	Seed int64
+}
+
+// withDefaults fills zero fields with the standard bench shape.
+func (o Options) withDefaults() Options {
+	if o.Backends < 1 {
+		o.Backends = 3
+	}
+	if o.ServeWorkers < 1 {
+		o.ServeWorkers = 2
+	}
+	if o.Workers < 1 {
+		o.Workers = 8
+	}
+	if o.Requests < 1 {
+		o.Requests = 2000
+	}
+	if o.Jobs < 1 {
+		o.Jobs = 24
+	}
+	if o.HotJobs < 1 || o.HotJobs > o.Jobs {
+		o.HotJobs = (o.Jobs + 3) / 4
+	}
+	if o.HotFrac <= 0 || o.HotFrac > 1 {
+		o.HotFrac = 0.8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// EndpointStats is one endpoint family's load-phase outcome: request
+// count and errors are trace-deterministic; the quantiles are wall time.
+type EndpointStats struct {
+	// Count is the load-phase requests that hit this endpoint.
+	Count int64 `json:"count"`
+	// Errors counts non-200 responses.
+	Errors int64 `json:"errors"`
+	// P50us is the median latency in microseconds (nearest bucket bound).
+	P50us int64 `json:"p50us"`
+	// P99us is the 99th-percentile latency in microseconds.
+	P99us int64 `json:"p99us"`
+}
+
+// PhaseStats is one phase's outcome.
+type PhaseStats struct {
+	// Requests issued in this phase.
+	Requests int64 `json:"requests"`
+	// Errors counts non-200 responses.
+	Errors int64 `json:"errors"`
+	// Mismatches counts responses whose bytes differ from the job's cold
+	// bytes — any nonzero value is a determinism-contract violation.
+	Mismatches int64 `json:"mismatches"`
+	// IDMismatches counts responses that failed to echo the request's
+	// X-Webracer-Request-Id.
+	IDMismatches int64 `json:"idMismatches"`
+}
+
+// Verification is the post-load byte-identity check.
+type Verification struct {
+	// Jobs re-requested serially after the load phase.
+	Jobs int64 `json:"jobs"`
+	// Mismatches counts warm responses that differ from cold bytes.
+	Mismatches int64 `json:"mismatches"`
+	// ColdReference reports whether a fresh single node recomputed every
+	// job from scratch for comparison (in-process mode only).
+	ColdReference bool `json:"coldReference"`
+	// ColdMismatches counts reference recomputations that differ.
+	ColdMismatches int64 `json:"coldMismatches"`
+	// Pass is the overall verdict: zero mismatches everywhere.
+	Pass bool `json:"pass"`
+}
+
+// Report is the machine-readable benchmark result. Every field except
+// the two wall-clock ones (and the endpoint quantiles) is a pure
+// function of Options — Stable() zeroes exactly the floating fields, and
+// that projection is what the loadtest golden pins.
+type Report struct {
+	// Options echoes the effective (default-filled) run configuration.
+	Options Options `json:"options"`
+	// Warmup is the serial cold pass over every distinct job.
+	Warmup PhaseStats `json:"warmup"`
+	// Load is the concurrent replay phase.
+	Load PhaseStats `json:"load"`
+	// Verify is the post-load byte-identity check.
+	Verify Verification `json:"verify"`
+	// CacheLevels counts X-Webracer-Cache response headers across all
+	// phases ("hit", "store-hit", "miss", "coalesced"; "none" when the
+	// header was absent).
+	CacheLevels map[string]int64 `json:"cacheLevels"`
+	// Endpoints is the per-endpoint load-phase breakdown.
+	Endpoints map[string]*EndpointStats `json:"endpoints"`
+	// WallSeconds is the load phase's wall-clock duration.
+	WallSeconds float64 `json:"wallSeconds"`
+	// RPS is the load phase's achieved request rate.
+	RPS float64 `json:"rps"`
+}
+
+// Stable returns a copy of the report with every wall-clock-derived
+// field zeroed — the deterministic projection the loadtest golden pins.
+func (r *Report) Stable() *Report {
+	cp := *r
+	cp.WallSeconds, cp.RPS = 0, 0
+	cp.Endpoints = make(map[string]*EndpointStats, len(r.Endpoints))
+	for k, v := range r.Endpoints {
+		vv := *v
+		vv.P50us, vv.P99us = 0, 0
+		cp.Endpoints[k] = &vv
+	}
+	return &cp
+}
+
+// benchJob is one distinct job in the trace.
+type benchJob struct {
+	endpoint string // "detect", "sweep", "faultsweep"
+	path     string
+	body     string
+	cold     []byte // bytes of the first (serial, cold) response
+}
+
+// buildJobs lays out the job list: a fixed 8:1:1 detect/sweep/faultsweep
+// mix over deterministic corpus/fault specs.
+func buildJobs(o Options) []*benchJob {
+	jobs := make([]*benchJob, o.Jobs)
+	for j := range jobs {
+		switch j % 10 {
+		case 8:
+			jobs[j] = &benchJob{
+				endpoint: "sweep",
+				path:     "/v1/sweep",
+				body:     fmt.Sprintf(`{"spec":{"kind":"corpus","index":%d},"seeds":2}`, j),
+			}
+		case 9:
+			jobs[j] = &benchJob{
+				endpoint: "faultsweep",
+				path:     "/v1/faultsweep",
+				body:     fmt.Sprintf(`{"spec":{"kind":"fault","index":%d},"plans":2}`, j%8),
+			}
+		default:
+			jobs[j] = &benchJob{
+				endpoint: "detect",
+				path:     "/v1/detect",
+				body:     fmt.Sprintf(`{"spec":{"kind":"corpus","index":%d},"seed":%d}`, j, o.Seed),
+			}
+		}
+	}
+	return jobs
+}
+
+// pick draws the job index for (worker, i) — FNV-1a over (seed, worker,
+// i), split into the hot/uniform decision and the index draw.
+func pick(o Options, worker, i int) int {
+	h := fnv.New64a()
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(o.Seed))
+	h.Write(b8[:])
+	binary.LittleEndian.PutUint64(b8[:], uint64(worker))
+	h.Write(b8[:])
+	binary.LittleEndian.PutUint64(b8[:], uint64(i))
+	h.Write(b8[:])
+	x := h.Sum64()
+	if float64(x%1000)/1000 < o.HotFrac {
+		return int((x / 1000) % uint64(o.HotJobs))
+	}
+	return int((x / 1000) % uint64(o.Jobs))
+}
+
+// workerCounts is one load goroutine's private tally, merged after join
+// so the aggregate is independent of scheduling.
+type workerCounts struct {
+	perEndpoint  map[string]*EndpointStats
+	cacheLevels  map[string]int64
+	mismatches   int64
+	idMismatches int64
+}
+
+// cluster is the in-process bench target: n backends behind a router,
+// all over real loopback HTTP.
+type cluster struct {
+	backends []*serve.Server
+	tss      []*httptest.Server
+	local    *serve.Server
+	router   *serve.Router
+	rts      *httptest.Server
+}
+
+// bootCluster starts the in-process cluster.
+func bootCluster(o Options) *cluster {
+	c := &cluster{}
+	rcfg := serve.RouterConfig{}
+	for i := 0; i < o.Backends; i++ {
+		s := serve.NewServer(serve.Config{Workers: o.ServeWorkers})
+		ts := httptest.NewServer(s.Handler())
+		c.backends = append(c.backends, s)
+		c.tss = append(c.tss, ts)
+		rcfg.Backends = append(rcfg.Backends, ts.URL)
+		rcfg.BackendNames = append(rcfg.BackendNames, fmt.Sprintf("b%d", i))
+	}
+	c.local = serve.NewServer(serve.Config{Workers: o.ServeWorkers})
+	c.router = serve.NewRouter(c.local, rcfg)
+	c.rts = httptest.NewServer(c.router.Handler())
+	return c
+}
+
+// close tears the cluster down.
+func (c *cluster) close() {
+	c.rts.Close()
+	c.router.Close()
+	c.local.Close()
+	for i, ts := range c.tss {
+		ts.Close()
+		c.backends[i].Close()
+	}
+}
+
+// runBench executes the three phases against opts' target and returns
+// the report.
+func runBench(opts Options) (*Report, error) {
+	o := opts.withDefaults()
+	base := o.URL
+	var c *cluster
+	if base == "" {
+		c = bootCluster(o)
+		defer c.close()
+		base = c.rts.URL
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.Workers * 4,
+		MaxIdleConnsPerHost: o.Workers * 4,
+	}}
+
+	rep := &Report{
+		Options:     o,
+		CacheLevels: map[string]int64{},
+		Endpoints:   map[string]*EndpointStats{},
+	}
+	jobs := buildJobs(o)
+	lat := obs.New()
+
+	post := func(j *benchJob, reqID string) (int, string, string, []byte, error) {
+		hr, err := http.NewRequest(http.MethodPost, base+j.path, strings.NewReader(j.body))
+		if err != nil {
+			return 0, "", "", nil, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		if reqID != "" {
+			hr.Header.Set(serve.HeaderRequestID, reqID)
+		}
+		resp, err := client.Do(hr)
+		if err != nil {
+			return 0, "", "", nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, "", "", nil, err
+		}
+		return resp.StatusCode, resp.Header.Get(serve.HeaderCache), resp.Header.Get(serve.HeaderRequestID), body, nil
+	}
+	countCache := func(m map[string]int64, h string) {
+		if h == "" {
+			h = "none"
+		}
+		m[h]++
+	}
+
+	// Warmup: every distinct job once, serially — the cold bytes every
+	// later response is held to.
+	for ji, j := range jobs {
+		code, cacheH, _, body, err := post(j, fmt.Sprintf("bench-warm-%d", ji))
+		if err != nil {
+			return nil, fmt.Errorf("warmup job %d: %w", ji, err)
+		}
+		rep.Warmup.Requests++
+		countCache(rep.CacheLevels, cacheH)
+		if code != http.StatusOK {
+			rep.Warmup.Errors++
+			continue
+		}
+		j.cold = body
+	}
+	if rep.Warmup.Errors > 0 {
+		return rep, fmt.Errorf("warmup: %d of %d jobs failed", rep.Warmup.Errors, len(jobs))
+	}
+
+	// Load: Workers goroutines replay the seeded trace concurrently.
+	// Each worker's request list is a pure function of (seed, worker), so
+	// the aggregate counts are scheduling-independent.
+	perWorker := make([]*workerCounts, o.Workers)
+	var loadErrs int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.Workers; w++ {
+		n := o.Requests / o.Workers
+		if w < o.Requests%o.Workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			wc := &workerCounts{perEndpoint: map[string]*EndpointStats{}, cacheLevels: map[string]int64{}}
+			perWorker[w] = wc
+			for i := 0; i < n; i++ {
+				j := jobs[pick(o, w, i)]
+				st := wc.perEndpoint[j.endpoint]
+				if st == nil {
+					st = &EndpointStats{}
+					wc.perEndpoint[j.endpoint] = st
+				}
+				reqID := fmt.Sprintf("bench-%d-w%d-%d", o.Seed, w, i)
+				t0 := time.Now()
+				code, cacheH, echoed, body, err := post(j, reqID)
+				lat.WallHistogram("bench."+j.endpoint+".us", "us", latencyBounds).
+					Record(time.Since(t0).Microseconds())
+				st.Count++
+				if err != nil || code != http.StatusOK {
+					st.Errors++
+					mu.Lock()
+					loadErrs++
+					mu.Unlock()
+					continue
+				}
+				countCache(wc.cacheLevels, cacheH)
+				if echoed != reqID {
+					wc.idMismatches++
+				}
+				if !bytes.Equal(body, j.cold) {
+					wc.mismatches++
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.Load.Requests = int64(o.Requests)
+	rep.Load.Errors = loadErrs
+	if rep.WallSeconds > 0 {
+		rep.RPS = float64(o.Requests) / rep.WallSeconds
+	}
+	for _, wc := range perWorker {
+		if wc == nil {
+			continue
+		}
+		for ep, st := range wc.perEndpoint {
+			agg := rep.Endpoints[ep]
+			if agg == nil {
+				agg = &EndpointStats{}
+				rep.Endpoints[ep] = agg
+			}
+			agg.Count += st.Count
+			agg.Errors += st.Errors
+		}
+		for k, v := range wc.cacheLevels {
+			rep.CacheLevels[k] += v
+		}
+		rep.Load.Mismatches += wc.mismatches
+		rep.Load.IDMismatches += wc.idMismatches
+	}
+	for ep, st := range rep.Endpoints {
+		h := lat.WallHistogram("bench."+ep+".us", "us", latencyBounds)
+		st.P50us = h.Quantile(0.50)
+		st.P99us = h.Quantile(0.99)
+	}
+
+	// Verify: every job once more, serially, against its cold bytes; in
+	// in-process mode a fresh single node also recomputes each job from
+	// scratch — the cluster's answers must match a cold node's exactly.
+	rep.Verify.Jobs = int64(len(jobs))
+	for ji, j := range jobs {
+		code, cacheH, _, body, err := post(j, fmt.Sprintf("bench-verify-%d", ji))
+		if err != nil {
+			return rep, fmt.Errorf("verify job %d: %w", ji, err)
+		}
+		countCache(rep.CacheLevels, cacheH)
+		if code != http.StatusOK || !bytes.Equal(body, j.cold) {
+			rep.Verify.Mismatches++
+		}
+	}
+	if o.URL == "" {
+		rep.Verify.ColdReference = true
+		ref := serve.NewServer(serve.Config{Workers: o.ServeWorkers})
+		h := ref.Handler()
+		for _, j := range jobs {
+			hr := httptest.NewRequest(http.MethodPost, j.path, strings.NewReader(j.body))
+			hr.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, hr)
+			if w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), j.cold) {
+				rep.Verify.ColdMismatches++
+			}
+		}
+		ref.Close()
+	}
+	rep.Verify.Pass = rep.Load.Mismatches == 0 && rep.Load.IDMismatches == 0 &&
+		rep.Verify.Mismatches == 0 && rep.Verify.ColdMismatches == 0 && loadErrs == 0
+	return rep, nil
+}
+
+// latencyBounds is the shared bench latency bucket layout: 50µs doubling
+// up to ~100s.
+var latencyBounds = obs.ExpBuckets(50, 2, 22)

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateLoadtest = flag.Bool("update", false, "rewrite the loadtest golden report")
+
+// TestLoadtestGolden is the `make loadtest` gate: a 2000-request
+// in-process 3-node bench must pass full byte-identity verification, and
+// the report's deterministic projection (Report.Stable — every count,
+// cache level, and verification field; wall latencies zeroed) must match
+// the pinned golden byte for byte. Trace drift, cache-layer behavior
+// changes, and verification regressions all land here.
+func TestLoadtestGolden(t *testing.T) {
+	rep, err := runBench(Options{Requests: 2000, Workers: 8, Seed: 1})
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	if !rep.Verify.Pass {
+		blob, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("verification failed:\n%s", blob)
+	}
+	got, err := json.MarshalIndent(rep.Stable(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden", "loadtest.json")
+	if *updateLoadtest {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("loadtest report drifted from golden (rerun with -update if deliberate):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

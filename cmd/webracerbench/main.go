@@ -1,0 +1,102 @@
+// Command webracerbench replays a seeded synthetic trace — a mixed
+// detect/sweep/faultsweep job set with configurable cache-hit skew —
+// against a running webracerd (or an in-process 3-node cluster when no
+// -url is given) and reports per-endpoint latency quantiles, cache-hit
+// ratios by level, error counts, and a bytes-identical-to-cold
+// verification verdict.
+//
+// The trace is a pure function of the flags, so runs are comparable
+// across builds and machines; only the latency and throughput numbers
+// float. Machine-readable output via -json:
+//
+//	webracerbench -requests 100000 -workers 16 -json BENCH_cluster.json
+//	webracerbench -url http://host:8077 -requests 2000
+//
+// The process exits nonzero when verification fails — any response that
+// is not byte-identical to the job's cold bytes, a dropped request id,
+// or a load-phase error breaks the determinism contract the service
+// promises.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	var o Options
+	flag.StringVar(&o.URL, "url", "", "target base URL (empty: bench an in-process cluster)")
+	flag.IntVar(&o.Backends, "backends", 3, "in-process cluster size")
+	flag.IntVar(&o.ServeWorkers, "serve-workers", 2, "job workers per in-process node")
+	flag.IntVar(&o.Workers, "workers", 8, "concurrent load-generator workers")
+	flag.IntVar(&o.Requests, "requests", 2000, "load-phase request count")
+	flag.IntVar(&o.Jobs, "jobs", 24, "distinct jobs in the trace")
+	flag.IntVar(&o.HotJobs, "hot-jobs", 0, "hot-subset size (0: jobs/4)")
+	flag.Float64Var(&o.HotFrac, "hot", 0.8, "probability a request draws from the hot subset")
+	flag.Int64Var(&o.Seed, "seed", 1, "trace seed")
+	jsonPath := flag.String("json", "", "write the machine-readable report here")
+	flag.Parse()
+
+	rep, err := runBench(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webracerbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("webracerbench: %d requests, %d workers, %d jobs (hot %d @ %.0f%%), seed %d\n",
+		rep.Options.Requests, rep.Options.Workers, rep.Options.Jobs,
+		rep.Options.HotJobs, rep.Options.HotFrac*100, rep.Options.Seed)
+	fmt.Printf("load: %.2fs wall, %.0f req/s, %d errors\n", rep.WallSeconds, rep.RPS, rep.Load.Errors)
+	eps := make([]string, 0, len(rep.Endpoints))
+	for ep := range rep.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		st := rep.Endpoints[ep]
+		fmt.Printf("  %-11s %8d reqs  p50 %7dus  p99 %7dus  errors %d\n",
+			ep, st.Count, st.P50us, st.P99us, st.Errors)
+	}
+	levels := make([]string, 0, len(rep.CacheLevels))
+	total := int64(0)
+	for l, n := range rep.CacheLevels {
+		levels = append(levels, l)
+		total += n
+	}
+	sort.Strings(levels)
+	fmt.Print("cache: ")
+	for i, l := range levels {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %d (%.1f%%)", l, rep.CacheLevels[l], 100*float64(rep.CacheLevels[l])/float64(total))
+	}
+	fmt.Println()
+	fmt.Printf("verify: %d jobs re-checked, %d warm mismatches, %d load mismatches, %d id mismatches",
+		rep.Verify.Jobs, rep.Verify.Mismatches, rep.Load.Mismatches, rep.Load.IDMismatches)
+	if rep.Verify.ColdReference {
+		fmt.Printf(", %d cold-reference mismatches", rep.Verify.ColdMismatches)
+	}
+	fmt.Println()
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webracerbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "webracerbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+	if !rep.Verify.Pass {
+		fmt.Fprintln(os.Stderr, "webracerbench: VERIFICATION FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("verification PASS: every response byte-identical to cold")
+}

@@ -19,6 +19,9 @@
 //	-max-body N          request-body byte limit (default 8 MiB; over → 413)
 //	-store-dir DIR       persist results to DIR: atomic checksummed writes,
 //	                     corrupt entries quarantined and recovered around at boot
+//	-access-log DEST     one structured JSON line per request ("-": stdout,
+//	                     else a file path, appended); every line carries the
+//	                     request's X-Webracer-Request-Id
 //	-v                   log every job admission and completion
 //
 // Router mode — set -backends to turn this process into the cluster's
@@ -48,6 +51,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -75,6 +79,7 @@ func run() int {
 		defDetector  = flag.String("default-detector", "", "detector for requests that omit one (default pairwise; \"sampled\" routes bulk traffic through the cheap tier)")
 		maxBody      = flag.Int64("max-body", 8<<20, "request-body byte limit (over: 413)")
 		storeDir     = flag.String("store-dir", "", "persist results to this directory (atomic, checksummed; survives restarts)")
+		accessLog    = flag.String("access-log", "", "structured JSON access log: \"-\" for stdout, else a file path (appended); empty disables")
 		verbose      = flag.Bool("v", false, "log request-level detail")
 
 		backends        = flag.String("backends", "", "comma-separated backend URLs: run as the cluster router instead of a worker")
@@ -90,6 +95,18 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "webracerd:", err)
 		return 2
 	}
+	var accessW io.Writer
+	if *accessLog == "-" {
+		accessW = os.Stdout
+	} else if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webracerd:", err)
+			return 2
+		}
+		defer f.Close()
+		accessW = f
+	}
 	s := serve.NewServer(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -100,6 +117,7 @@ func run() int {
 		DefaultDetector: *defDetector,
 		MaxBodyBytes:    *maxBody,
 		StoreDir:        *storeDir,
+		AccessLog:       accessW,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution metric: bucket boundaries are
+// chosen once at construction (typically log-spaced via ExpBuckets) and
+// never move, so two snapshots of the same histogram are structurally
+// comparable and the JSON export is byte-stable. Each recorded value
+// lands in the first bucket whose upper bound is >= the value; values
+// above the last bound land in an implicit overflow bucket.
+//
+// Like every obs handle, the nil *Histogram discards all updates, which
+// is what a disabled registry hands out.
+//
+// Histograms come in two determinism classes, fixed at construction:
+//
+//   - step-unit histograms (Metrics.Histogram) record deterministic
+//     quantities — operation counts, response bytes, queue depths,
+//     attempt counts — and are golden-testable byte for byte;
+//   - wall-time histograms (Metrics.WallHistogram) record wall-clock
+//     durations and are excluded from the stable export
+//     (WriteStableJSON), so operators see them on /metrics while the
+//     golden gates never do.
+type Histogram struct {
+	unit   string
+	wall   bool
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; the last is the overflow bucket
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// newHistogram builds an enabled histogram over bounds (which must be
+// strictly ascending; newHistogram copies the slice).
+func newHistogram(unit string, wall bool, bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		unit:   unit,
+		wall:   wall,
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Record adds one observation (no-op on the nil handle). Safe for
+// concurrent use.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucket(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// bucket returns the index of the bucket v falls in (binary search over
+// the fixed bounds; the final index is the overflow bucket).
+func (h *Histogram) bucket(v int64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count is the number of recorded observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum is the total of all recorded values (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Unit names what the histogram measures ("ms", "ops", "bytes", ...).
+func (h *Histogram) Unit() string {
+	if h == nil {
+		return ""
+	}
+	return h.unit
+}
+
+// Wall reports whether the histogram records wall-clock time (and is
+// therefore excluded from the stable export).
+func (h *Histogram) Wall() bool { return h != nil && h.wall }
+
+// Quantile returns the q-quantile as the upper bound of the bucket the
+// q-th observation falls in — a deterministic function of the bucket
+// counts, which is what makes exported p50/p90/p99 golden-testable. An
+// empty histogram returns 0; a quantile landing in the overflow bucket
+// returns -1 ("above the largest bound").
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	// Nearest-rank: the smallest rank r with r/total >= q.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i == len(h.bounds) {
+				return -1
+			}
+			return h.bounds[i]
+		}
+	}
+	return -1
+}
+
+// snapshotCounts reads the bucket counts once, in order.
+func (h *Histogram) snapshotCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// appendJSON writes the histogram's stable one-line JSON encoding: fixed
+// field order, integers only, so the bytes are diffable and goldenable.
+// The wall field appears only on wall-time histograms — the "clearly
+// separated in export" half of the determinism contract.
+func (h *Histogram) appendJSON(buf *bytes.Buffer) {
+	counts := h.snapshotCounts()
+	buf.WriteString(`{"unit":`)
+	unit, _ := json.Marshal(h.unit)
+	buf.Write(unit)
+	if h.wall {
+		buf.WriteString(`,"wall":true`)
+	}
+	fmt.Fprintf(buf, `,"count":%d,"sum":%d`, h.n.Load(), h.sum.Load())
+	fmt.Fprintf(buf, `,"p50":%d,"p90":%d,"p99":%d`, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+	buf.WriteString(`,"bounds":[`)
+	for i, b := range h.bounds {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(buf, "%d", b)
+	}
+	buf.WriteString(`],"counts":[`)
+	for i, c := range counts {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(buf, "%d", c)
+	}
+	buf.WriteString(`]}`)
+}
+
+// ExpBuckets builds n log-spaced bucket bounds starting at first and
+// growing by factor each step (each bound advances by at least 1, so
+// small-integer prefixes stay distinct even under modest factors). The
+// canonical bounds for latency, size and count histograms:
+//
+//	ExpBuckets(1, 2, 16)    → 1, 2, 4, ... 32768      (ms or ops)
+//	ExpBuckets(64, 4, 10)   → 64, 256, 1024, ...      (bytes)
+func ExpBuckets(first int64, factor float64, n int) []int64 {
+	if first < 1 {
+		first = 1
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, 0, n)
+	b := first
+	for i := 0; i < n; i++ {
+		out = append(out, b)
+		next := int64(float64(b) * factor)
+		if next <= b {
+			next = b + 1
+		}
+		b = next
+	}
+	return out
+}
+
+// LinearBuckets builds n evenly spaced bounds first, first+step, ... —
+// for small bounded quantities like attempt counts and queue depths.
+func LinearBuckets(first, step int64, n int) []int64 {
+	if step < 1 {
+		step = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, first+int64(i)*step)
+	}
+	return out
+}

@@ -25,16 +25,16 @@ func ProgressHandler(snap func() map[string]any) http.Handler {
 }
 
 // MetricsHandler serves the registry's current snapshot as sorted-key JSON
-// — the /metrics route of both the -live CLI endpoint and webracerd. A nil
+// — the /metrics route of both the -live CLI endpoint and webracerd.
+// Histograms (wall-clock ones included — /metrics is the operator view,
+// not a determinism surface) render inline alongside the counters. A nil
 // registry serves an empty object.
 func MetricsHandler(m *Metrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		snapM := m.Snapshot()
-		v := make(map[string]any, len(snapM))
-		for k, n := range snapM {
-			v[k] = n
-		}
-		writeSortedJSON(w, v)
+		w.Header().Set("Content-Type", "application/json")
+		out := m.marshal(true)
+		out = append(out, '\n')
+		_, _ = w.Write(out)
 	})
 }
 

@@ -89,6 +89,7 @@ type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // New returns an enabled, empty registry.
@@ -96,6 +97,7 @@ func New() *Metrics {
 	return &Metrics{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
 	}
 }
 
@@ -131,6 +133,40 @@ func (m *Metrics) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named step-unit histogram, creating it over
+// bounds on first use (later calls return the existing histogram and
+// ignore bounds — handles are stable, like Counter's). Step-unit
+// histograms record deterministic quantities (ops, bytes, depths,
+// attempts) and are part of the stable export. Nil registry → nil
+// handle.
+func (m *Metrics) Histogram(name, unit string, bounds []int64) *Histogram {
+	return m.histogram(name, unit, false, bounds)
+}
+
+// WallHistogram returns the named wall-clock histogram, creating it over
+// bounds on first use. Wall histograms record real durations — useful on
+// /metrics, poison in goldens — so the stable export (WriteStableJSON)
+// skips them and their JSON carries "wall":true. Nil registry → nil
+// handle.
+func (m *Metrics) WallHistogram(name, unit string, bounds []int64) *Histogram {
+	return m.histogram(name, unit, true, bounds)
+}
+
+// histogram is the shared lookup-or-create path.
+func (m *Metrics) histogram(name, unit string, wall bool, bounds []int64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = newHistogram(unit, wall, bounds)
+		m.hists[name] = h
+	}
+	return h
+}
+
 // Add is shorthand for Counter(name).Add(n).
 func (m *Metrics) Add(name string, n int64) { m.Counter(name).Add(n) }
 
@@ -156,13 +192,45 @@ func (m *Metrics) Snapshot() map[string]int64 {
 	return out
 }
 
+// histSnapshot returns the registered histograms by name, optionally
+// excluding the wall-clock ones.
+func (m *Metrics) histSnapshot(includeWall bool) map[string]*Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]*Histogram, len(m.hists))
+	for name, h := range m.hists {
+		if h.wall && !includeWall {
+			continue
+		}
+		out[name] = h
+	}
+	return out
+}
+
 // MarshalJSON emits the snapshot as a flat JSON object in sorted key
 // order — the report.Counts pattern: a fixed, diff-friendly encoding so
-// snapshots can be golden-tested byte for byte.
+// snapshots can be golden-tested byte for byte. Counters and gauges
+// marshal as bare integers; histograms as one-line objects (unit, count,
+// sum, p50/p90/p99, bounds, counts) in the same sorted key space. A
+// registry without histograms marshals exactly as it did before they
+// existed.
 func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return m.marshal(true), nil
+}
+
+// marshal renders the compact encoding, including wall histograms only
+// when asked.
+func (m *Metrics) marshal(includeWall bool) []byte {
 	snap := m.Snapshot()
-	names := make([]string, 0, len(snap))
+	hists := m.histSnapshot(includeWall)
+	names := make([]string, 0, len(snap)+len(hists))
 	for name := range snap {
+		names = append(names, name)
+	}
+	for name := range hists {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -172,23 +240,46 @@ func (m *Metrics) MarshalJSON() ([]byte, error) {
 		if i > 0 {
 			buf.WriteByte(',')
 		}
-		key, err := json.Marshal(name)
-		if err != nil {
-			return nil, err
-		}
+		key, _ := json.Marshal(name)
 		buf.Write(key)
-		fmt.Fprintf(&buf, ":%d", snap[name])
+		buf.WriteByte(':')
+		if h, ok := hists[name]; ok {
+			h.appendJSON(&buf)
+		} else {
+			fmt.Fprintf(&buf, "%d", snap[name])
+		}
 	}
 	buf.WriteByte('}')
-	return buf.Bytes(), nil
+	return buf.Bytes()
 }
 
 // WriteJSON writes the snapshot as indented JSON (one metric per line,
 // sorted), trailing newline included — the on-disk snapshot format.
+// Histograms (wall-clock ones included) render as one-line objects on
+// their metric's line.
 func (m *Metrics) WriteJSON(w io.Writer) error {
+	return m.writeIndented(w, true)
+}
+
+// WriteStableJSON is WriteJSON minus the wall-clock histograms: every
+// value it emits is a deterministic function of the observed work, so
+// the output is golden-testable byte for byte across runs, machines and
+// worker counts. The metricsdiff gate pins service snapshots through
+// this export; /metrics keeps serving the full picture.
+func (m *Metrics) WriteStableJSON(w io.Writer) error {
+	return m.writeIndented(w, false)
+}
+
+// writeIndented renders the one-metric-per-line form shared by the two
+// Write variants.
+func (m *Metrics) writeIndented(w io.Writer, includeWall bool) error {
 	snap := m.Snapshot()
-	names := make([]string, 0, len(snap))
+	hists := m.histSnapshot(includeWall)
+	names := make([]string, 0, len(snap)+len(hists))
 	for name := range snap {
+		names = append(names, name)
+	}
+	for name := range hists {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -199,7 +290,12 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(&buf, "  %s: %d", key, snap[name])
+		fmt.Fprintf(&buf, "  %s: ", key)
+		if h, ok := hists[name]; ok {
+			h.appendJSON(&buf)
+		} else {
+			fmt.Fprintf(&buf, "%d", snap[name])
+		}
 		if i < len(names)-1 {
 			buf.WriteByte(',')
 		}

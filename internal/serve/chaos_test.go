@@ -194,14 +194,21 @@ func runChaosCluster(t *testing.T, workers int) ([][]byte, map[string]int64) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var all map[string]int64
+	var all map[string]json.RawMessage
 	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
 		t.Fatal(err)
 	}
-	for k, v := range all {
-		if strings.HasPrefix(k, "serve.router.") {
-			snap[k] = v
+	for k, raw := range all {
+		if !strings.HasPrefix(k, "serve.router.") {
+			continue
 		}
+		// Skip histogram objects (e.g. serve.router.attempts) — this
+		// golden pins the scalar counters only.
+		var v int64
+		if json.Unmarshal(raw, &v) != nil {
+			continue
+		}
+		snap[k] = v
 	}
 	return bodies, snap
 }

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenMetricsServe pins the service-layer stable metrics export:
+// the golden workload must produce byte-identical exports at workers 1
+// and 4, and those bytes must match testdata/golden/metrics-serve.json.
+// Regenerate deliberately with
+// `go test ./internal/serve -run TestGoldenMetricsServe -update`
+// (the -update flag is shared with the chaos battery's goldens).
+func TestGoldenMetricsServe(t *testing.T) {
+	got1, err := GoldenWorkload(1)
+	if err != nil {
+		t.Fatalf("GoldenWorkload(1): %v", err)
+	}
+	got4, err := GoldenWorkload(4)
+	if err != nil {
+		t.Fatalf("GoldenWorkload(4): %v", err)
+	}
+	if !bytes.Equal(got1, got4) {
+		t.Fatalf("stable export differs across worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", got1, got4)
+	}
+
+	path := filepath.Join("..", "..", "testdata", "golden", "metrics-serve.json")
+	if *updateChaosGolden {
+		if err := os.WriteFile(path, got1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got1, want) {
+		t.Fatalf("serve metrics drifted from golden (rerun with -update if deliberate):\ngot:\n%s\nwant:\n%s", got1, want)
+	}
+}

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"webracer/internal/obs"
+)
+
+// Response and request headers of the observability layer. Every response
+// — success or error — echoes the request id, so a 429 in a client log
+// and a retry in a router log correlate by one grep.
+const (
+	// HeaderRequestID carries the request's correlation id. Accepted from
+	// the client when present (so ids survive router → backend hops and
+	// external tracing systems can mint their own), minted otherwise, and
+	// echoed on every response including 4xx/5xx.
+	HeaderRequestID = "X-Webracer-Request-Id"
+	// HeaderJob names the content-addressed job key a POST resolved to —
+	// the same value as the body's "id" field, surfaced as a header so
+	// access logs and clients can correlate without parsing bodies.
+	HeaderJob = "X-Webracer-Job"
+	// HeaderAttempts reports how many forward attempts a routed request
+	// consumed (router responses only; absent on cache hits, which never
+	// leave the process).
+	HeaderAttempts = "X-Webracer-Attempts"
+	// HeaderCache is the cache-state header ("hit", "store-hit", "miss",
+	// "coalesced") set since PR 5; named here so the observability layer
+	// reads it by one constant.
+	HeaderCache = "X-Webracer-Cache"
+	// HeaderBackend names the node that produced a routed response
+	// ("local" for the router itself); set since PR 8.
+	HeaderBackend = "X-Webracer-Backend"
+)
+
+// maxRequestIDLen caps accepted client request ids — anything longer is
+// replaced with a minted id rather than truncated, so a log line never
+// carries half an id.
+const maxRequestIDLen = 128
+
+// requestID returns hr's accepted or minted correlation id. Client ids
+// are taken verbatim when they are printable, header-safe and within
+// length; anything else (including absence) gets a fresh "wr-" + 16 hex
+// chars id. The id is not a determinism surface — minting uses real
+// randomness — which is why it travels only in headers and the access
+// log, never in response bodies.
+func requestID(hr *http.Request) string {
+	id := hr.Header.Get(HeaderRequestID)
+	if id != "" && len(id) <= maxRequestIDLen && isHeaderSafe(id) {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degenerate fallback; correlation ids are best-effort.
+		return "wr-00000000deadbeef"
+	}
+	return "wr-" + hex.EncodeToString(b[:])
+}
+
+// isHeaderSafe reports whether every byte of s is printable non-space
+// ASCII — ids are grep tokens, not free text.
+func isHeaderSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// endpointLabel maps a request to its histogram/access-log endpoint
+// family: the /v1 route name, or "other" for the operational routes.
+func endpointLabel(hr *http.Request) string {
+	p := hr.URL.Path
+	switch {
+	case p == "/v1/detect", p == "/v1/sweep", p == "/v1/faultsweep":
+		return strings.TrimPrefix(p, "/v1/")
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		return "jobs"
+	case p == "/v1/backends":
+		return "backends"
+	case p == "/v1/detectors":
+		return "detectors"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter captures the response status and body size on the way
+// through — the access log's and latency histograms' view of the
+// response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader records the status code.
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts body bytes (and defaults the status like net/http does).
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// accessLogger serializes structured access-log lines onto one writer.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// accessRecord is one request's access-log line. Fields marshal in
+// declaration order (hand-built, not reflection) so lines are stable for
+// tooling: request id, method, path, outcome, then correlation detail.
+type accessRecord struct {
+	reqID    string
+	method   string
+	path     string
+	status   int
+	endpoint string
+	cache    string
+	backend  string
+	attempts int
+	key      string // job-key prefix (12 hex chars), "" when unresolved
+	bytes    int64
+	wallMS   int64
+}
+
+// log writes one JSON line. Best-effort: a failed write drops the line,
+// never the request.
+func (a *accessLogger) log(rec accessRecord) {
+	if a == nil || a.w == nil {
+		return
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"reqId":`)
+	writeJSONString(&buf, rec.reqID)
+	buf.WriteString(`,"method":`)
+	writeJSONString(&buf, rec.method)
+	buf.WriteString(`,"path":`)
+	writeJSONString(&buf, rec.path)
+	fmt.Fprintf(&buf, `,"status":%d,"endpoint":`, rec.status)
+	writeJSONString(&buf, rec.endpoint)
+	if rec.cache != "" {
+		buf.WriteString(`,"cache":`)
+		writeJSONString(&buf, rec.cache)
+	}
+	if rec.backend != "" {
+		buf.WriteString(`,"backend":`)
+		writeJSONString(&buf, rec.backend)
+	}
+	if rec.attempts > 0 {
+		fmt.Fprintf(&buf, `,"attempts":%d`, rec.attempts)
+	}
+	if rec.key != "" {
+		buf.WriteString(`,"key":`)
+		writeJSONString(&buf, rec.key)
+	}
+	fmt.Fprintf(&buf, `,"bytes":%d,"ms":%d}`, rec.bytes, rec.wallMS)
+	buf.WriteByte('\n')
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _ = a.w.Write(buf.Bytes())
+}
+
+// writeJSONString appends s as a JSON string (encoding/json escaping).
+func writeJSONString(buf *bytes.Buffer, s string) {
+	b, _ := json.Marshal(s)
+	buf.Write(b)
+}
+
+// keyPrefixLen is how much of the 64-hex job key the access log and
+// HeaderJob-derived tooling print — enough to be unique in practice,
+// short enough to scan.
+const keyPrefixLen = 12
+
+// keyPrefix shortens a job key for logs.
+func keyPrefix(key string) string {
+	if len(key) > keyPrefixLen {
+		return key[:keyPrefixLen]
+	}
+	return key
+}
+
+// httpObs is the per-mux request-observability state: the endpoint
+// latency/size histograms and the optional access log. Server and Router
+// each wrap their mux in exactly one of these.
+type httpObs struct {
+	metrics *obs.Metrics
+	access  *accessLogger
+}
+
+// newHTTPObs builds the middleware state over the shared registry.
+// accessW may be nil (no access log).
+func newHTTPObs(m *obs.Metrics, accessW io.Writer) *httpObs {
+	ho := &httpObs{metrics: m}
+	if accessW != nil {
+		ho.access = &accessLogger{w: accessW}
+	}
+	return ho
+}
+
+// wrap is the observability middleware: it assigns the request id (and
+// echoes it on the response before the handler can write), times the
+// request into the per-endpoint histograms, and emits the access-log
+// line. Histogram families per endpoint:
+//
+//	serve.http.<endpoint>.bytes    step-unit: 2xx response body sizes —
+//	                               byte-stable by the determinism
+//	                               contract, so golden-testable
+//	serve.http.<endpoint>.wall_ms  wall-clock latency (stable-export
+//	                               excluded)
+func (ho *httpObs) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, hr *http.Request) {
+		id := requestID(hr)
+		// Normalize the inbound header so downstream handlers (the router's
+		// forward path, the access log) read the effective id.
+		hr.Header.Set(HeaderRequestID, id)
+		w.Header().Set(HeaderRequestID, id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, hr)
+		wallMS := time.Since(start).Milliseconds()
+
+		ep := endpointLabel(hr)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if sw.status < 300 {
+			ho.metrics.Histogram("serve.http."+ep+".bytes", "bytes", httpBytesBounds).Record(sw.bytes)
+		}
+		ho.metrics.WallHistogram("serve.http."+ep+".wall_ms", "ms", wallMSBounds).Record(wallMS)
+
+		attempts, _ := strconv.Atoi(sw.Header().Get(HeaderAttempts))
+		ho.access.log(accessRecord{
+			reqID:    id,
+			method:   hr.Method,
+			path:     hr.URL.Path,
+			status:   sw.status,
+			endpoint: ep,
+			cache:    sw.Header().Get(HeaderCache),
+			backend:  sw.Header().Get(HeaderBackend),
+			attempts: attempts,
+			key:      keyPrefix(sw.Header().Get(HeaderJob)),
+			bytes:    sw.bytes,
+			wallMS:   wallMS,
+		})
+	})
+}
+
+// The shared bucket families. Log-spaced so one layout serves cache hits
+// (sub-millisecond, sub-kilobyte) and hundred-second sweeps alike.
+var (
+	// wallMSBounds covers 1ms .. ~131s.
+	wallMSBounds = obs.ExpBuckets(1, 2, 18)
+	// httpBytesBounds covers 64B .. 64MiB.
+	httpBytesBounds = obs.ExpBuckets(64, 4, 11)
+	// opsBounds covers 1 .. ~1M executed operations.
+	opsBounds = obs.ExpBuckets(1, 4, 11)
+	// depthBounds covers queue depths 0-rooted up to 4096.
+	depthBounds = obs.ExpBuckets(1, 2, 13)
+	// attemptBounds covers 1..8 forward attempts.
+	attemptBounds = obs.LinearBuckets(1, 1, 8)
+)

@@ -332,13 +332,13 @@ type keySpec struct {
 	// SampleRate is non-zero only for the sampled tier (resolve pins the
 	// default rate), so every pre-tier key hashes exactly as before.
 	SampleRate float64 `json:"sampleRate,omitempty"`
-	TimeoutMS  int64  `json:"timeoutMS"`
-	Fault      string `json:"fault,omitempty"`
-	Session    bool   `json:"session,omitempty"`
-	Seeds      int    `json:"seeds,omitempty"`
-	Mode       string `json:"mode,omitempty"`
-	Plans      int    `json:"plans,omitempty"`
-	FaultSeed  int64  `json:"faultSeed,omitempty"`
+	TimeoutMS  int64   `json:"timeoutMS"`
+	Fault      string  `json:"fault,omitempty"`
+	Session    bool    `json:"session,omitempty"`
+	Seeds      int     `json:"seeds,omitempty"`
+	Mode       string  `json:"mode,omitempty"`
+	Plans      int     `json:"plans,omitempty"`
+	FaultSeed  int64   `json:"faultSeed,omitempty"`
 }
 
 // keyVersion retires every cached result when the response encoding or

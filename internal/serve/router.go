@@ -122,6 +122,7 @@ type Router struct {
 	local   *Server
 	metrics *obs.Metrics
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
 	client  *http.Client
 
 	ring     []ringPoint
@@ -133,10 +134,11 @@ type Router struct {
 	healthStop chan struct{}
 	healthWG   sync.WaitGroup
 
-	cRequests, cForwarded, cRetries, cCorrupt    *obs.Counter
-	cFailover, cLocal, cCoalesced                *obs.Counter
-	cBreakerSkips, cBreakerOpened, cRouterHits   *obs.Counter
-	gHealthy                                     *obs.Gauge
+	cRequests, cForwarded, cRetries, cCorrupt  *obs.Counter
+	cFailover, cLocal, cCoalesced              *obs.Counter
+	cBreakerSkips, cBreakerOpened, cRouterHits *obs.Counter
+	gHealthy                                   *obs.Gauge
+	hAttempts                                  *obs.Histogram // step-unit attempts per routed dispatch
 }
 
 // ringPoint is one virtual node: a hash position owned by a backend.
@@ -149,8 +151,9 @@ type ringPoint struct {
 // passively by request outcomes and actively by /healthz probes) plus
 // the last probe verdict for /v1/backends.
 type backendState struct {
-	url  string
-	name string // ring/chaos identity; the URL unless BackendNames pinned it
+	url   string
+	name  string         // ring/chaos identity; the URL unless BackendNames pinned it
+	hWall *obs.Histogram // serve.router.attempt.<name>.wall_ms per-forward latency
 
 	mu        sync.Mutex
 	fails     int
@@ -162,11 +165,12 @@ type backendState struct {
 // flight is one in-flight routed request; followers of the same key
 // replay the leader's response.
 type flight struct {
-	done    chan struct{}
-	code    int
-	cacheH  string
-	backend string
-	body    []byte
+	done     chan struct{}
+	code     int
+	cacheH   string
+	backend  string
+	attempts int
+	body     []byte
 }
 
 // NewRouter builds the router in front of local, which supplies request
@@ -199,13 +203,19 @@ func NewRouter(local *Server, cfg RouterConfig) *Router {
 		cBreakerOpened: m.Counter("serve.router.breaker_opened"),
 		cRouterHits:    m.Counter("serve.router.cache_hits"),
 		gHealthy:       m.Gauge("serve.router.healthy"),
+		hAttempts:      m.Histogram("serve.router.attempts", "attempts", attemptBounds),
 	}
 	for i, url := range cfg.Backends {
 		name := url
 		if i < len(cfg.BackendNames) && cfg.BackendNames[i] != "" {
 			name = cfg.BackendNames[i]
 		}
-		rt.backends = append(rt.backends, &backendState{url: url, name: name, healthy: true})
+		rt.backends = append(rt.backends, &backendState{
+			url:     url,
+			name:    name,
+			hWall:   m.WallHistogram("serve.router.attempt."+name+".wall_ms", "ms", wallMSBounds),
+			healthy: true,
+		})
 	}
 	rt.gHealthy.Set(int64(len(rt.backends)))
 	rt.buildRing()
@@ -224,6 +234,11 @@ func NewRouter(local *Server, cfg RouterConfig) *Router {
 	mux.Handle("GET /progress", obs.ProgressHandler(local.progressSnap))
 	mux.HandleFunc("GET /healthz", local.handleHealth)
 	rt.mux = mux
+	// The router wraps its own mux in the observability middleware —
+	// request ids are accepted/minted here and propagated on forwards, so
+	// one id follows a job router → backend → local fallback. The access
+	// log (when configured) is shared with the local server's writer.
+	rt.handler = newHTTPObs(m, local.cfg.AccessLog).wrap(mux)
 
 	if cfg.HealthInterval > 0 {
 		rt.healthWG.Add(1)
@@ -234,7 +249,7 @@ func NewRouter(local *Server, cfg RouterConfig) *Router {
 
 // Handler is the router's HTTP surface — the same API shape a single
 // webracerd serves, so clients cannot tell a router from a node.
-func (rt *Router) Handler() http.Handler { return rt.mux }
+func (rt *Router) Handler() http.Handler { return rt.handler }
 
 // Close stops active health probing. The local server is drained
 // separately by its owner.
@@ -318,25 +333,28 @@ func (rt *Router) post(kind jobKind) http.HandlerFunc {
 // route serves one resolved POST: router-local cache, then single-flight
 // dispatch across the cluster.
 func (rt *Router) route(w http.ResponseWriter, hr *http.Request, kind jobKind, r *resolved, raw []byte) {
+	w.Header().Set(HeaderJob, r.key)
 	// Two-level router-side cache: a warm key never leaves the process.
 	// Only complete runs are ever cached, so serving them here is as
 	// sound as serving them on a backend.
 	if body, ok := rt.local.cache.Get(r.key); ok {
 		rt.cRouterHits.Inc()
-		writeRouted(w, http.StatusOK, "hit", "local", body)
+		writeRouted(w, http.StatusOK, "hit", "local", 0, body)
 		return
 	}
 	if body, ok := rt.local.store.Get(r.key); ok {
 		rt.cRouterHits.Inc()
 		rt.local.cache.Put(r.key, body)
-		writeRouted(w, http.StatusOK, "store-hit", "local", body)
+		writeRouted(w, http.StatusOK, "store-hit", "local", 0, body)
 		return
 	}
 
 	// Single-flight: identical requests in flight at this router share
 	// one dispatch. Sync and async submissions keep separate flights
 	// (their response codes differ); the backend's job table still
-	// coalesces them into one execution.
+	// coalesces them into one execution. Followers still echo their own
+	// request id (the middleware set it before routing); the forward
+	// itself carries the leader's.
 	fkey := r.key
 	if r.async {
 		fkey += "/async"
@@ -347,7 +365,7 @@ func (rt *Router) route(w http.ResponseWriter, hr *http.Request, kind jobKind, r
 		rt.mu.Unlock()
 		select {
 		case <-f.done:
-			writeRouted(w, f.code, f.cacheH, f.backend, f.body)
+			writeRouted(w, f.code, f.cacheH, f.backend, f.attempts, f.body)
 		case <-hr.Context().Done():
 		}
 		return
@@ -356,13 +374,13 @@ func (rt *Router) route(w http.ResponseWriter, hr *http.Request, kind jobKind, r
 	rt.flights[fkey] = f
 	rt.mu.Unlock()
 
-	f.code, f.cacheH, f.backend, f.body = rt.dispatch(kind, r, raw)
+	f.code, f.cacheH, f.backend, f.attempts, f.body = rt.dispatch(kind, r, raw, hr.Header.Get(HeaderRequestID))
 
 	rt.mu.Lock()
 	delete(rt.flights, fkey)
 	rt.mu.Unlock()
 	close(f.done)
-	writeRouted(w, f.code, f.cacheH, f.backend, f.body)
+	writeRouted(w, f.code, f.cacheH, f.backend, f.attempts, f.body)
 }
 
 // dispatch pushes one request through the retry ladder: up to Attempts
@@ -371,7 +389,7 @@ func (rt *Router) route(w http.ResponseWriter, hr *http.Request, kind jobKind, r
 // client's context deliberately — like Server.respond, a dispatch in
 // flight finishes (and caches on the backend) even if the submitting
 // client disconnects, so coalesced followers still get their bytes.
-func (rt *Router) dispatch(kind jobKind, r *resolved, raw []byte) (code int, cacheH, backend string, body []byte) {
+func (rt *Router) dispatch(kind jobKind, r *resolved, raw []byte, reqID string) (code int, cacheH, backend string, attempts int, body []byte) {
 	cands := rt.candidates(r.key)
 	for attempt := 0; attempt < rt.cfg.Attempts; attempt++ {
 		b := cands[attempt%len(cands)]
@@ -382,19 +400,22 @@ func (rt *Router) dispatch(kind jobKind, r *resolved, raw []byte) (code int, cac
 		if attempt > 0 {
 			rt.backoff(r.key, attempt)
 		}
-		res, retryable, err := rt.forwardOnce(b, "/v1/"+string(kind), r.key, raw, attempt)
+		attempts++
+		res, retryable, err := rt.forwardOnce(b, "/v1/"+string(kind), r.key, raw, attempt, reqID)
 		if err == nil {
 			rt.breakerResult(b, true)
 			if attempt > 0 {
 				rt.cFailover.Inc()
 			}
-			return res.code, res.cacheH, b.name, res.body
+			rt.hAttempts.Record(int64(attempts))
+			return res.code, res.cacheH, b.name, attempts, res.body
 		}
 		rt.breakerResult(b, false)
 		if !retryable {
 			// A definitive backend verdict (4xx): relaying it is correct,
 			// retrying it is not.
-			return res.code, "", b.name, res.body
+			rt.hAttempts.Record(int64(attempts))
+			return res.code, "", b.name, attempts, res.body
 		}
 		rt.cRetries.Inc()
 	}
@@ -403,8 +424,9 @@ func (rt *Router) dispatch(kind jobKind, r *resolved, raw []byte) (code int, cac
 	// queue), so even total cluster loss degrades to "one node's worth
 	// of throughput", never to a 5xx the cluster could have absorbed.
 	rt.cLocal.Inc()
-	code, cacheH, body = rt.runLocal(r)
-	return code, cacheH, "local", body
+	rt.hAttempts.Record(int64(attempts))
+	code, cacheH, body = rt.runLocal(r, reqID)
+	return code, cacheH, "local", attempts, body
 }
 
 // forwardResult is one completed forward attempt.
@@ -420,7 +442,7 @@ type forwardResult struct {
 // "this attempt did not produce a servable response"; retryable says
 // whether another backend could do better (transport faults, 5xx, 429,
 // corruption — yes; a 4xx verdict — no).
-func (rt *Router) forwardOnce(b *backendState, path, key string, raw []byte, attempt int) (forwardResult, bool, error) {
+func (rt *Router) forwardOnce(b *backendState, path, key string, raw []byte, attempt int, reqID string) (forwardResult, bool, error) {
 	rt.cForwarded.Inc()
 	chaos := rt.cfg.Chaos.decide(b.name, key, attempt)
 	switch chaos {
@@ -437,7 +459,12 @@ func (rt *Router) forwardOnce(b *backendState, path, key string, raw []byte, att
 		return forwardResult{}, true, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set(HeaderRequestID, reqID)
+	}
+	fwdStart := time.Now()
 	resp, err := rt.client.Do(req)
+	b.hWall.Record(time.Since(fwdStart).Milliseconds())
 	if err != nil {
 		return forwardResult{}, true, err
 	}
@@ -477,9 +504,14 @@ func (rt *Router) forwardOnce(b *backendState, path, key string, raw []byte, att
 }
 
 // runLocal executes the resolved request on the router's own Server
-// through the normal submission path, capturing the response.
-func (rt *Router) runLocal(r *resolved) (int, string, []byte) {
+// through the normal submission path, capturing the response. The
+// request id rides along so the fallback's log lines correlate with
+// the routed request that degraded to it.
+func (rt *Router) runLocal(r *resolved, reqID string) (int, string, []byte) {
 	hr, _ := http.NewRequest(http.MethodPost, "/", nil)
+	if reqID != "" {
+		hr.Header.Set(HeaderRequestID, reqID)
+	}
 	w := &memResponse{code: http.StatusOK}
 	rt.local.submit(w, hr, r)
 	return w.code, w.header().Get("X-Webracer-Cache"), w.buf.Bytes()
@@ -640,6 +672,9 @@ func (rt *Router) handleJob(w http.ResponseWriter, hr *http.Request) {
 			cancel()
 			continue
 		}
+		if reqID := hr.Header.Get(HeaderRequestID); reqID != "" {
+			req.Header.Set(HeaderRequestID, reqID)
+		}
 		resp, err := rt.client.Do(req)
 		if err != nil {
 			cancel()
@@ -719,13 +754,17 @@ func (rt *Router) handleBackends(w http.ResponseWriter, _ *http.Request) {
 // writeRouted writes a routed response with its provenance headers:
 // X-Webracer-Cache when any cache layer answered, X-Webracer-Backend
 // naming the node that produced the bytes ("local" for the router
-// itself).
-func writeRouted(w http.ResponseWriter, code int, cacheH, backend string, body []byte) {
+// itself), X-Webracer-Attempts counting the forwards consumed (absent
+// on cache hits, which never leave the process).
+func writeRouted(w http.ResponseWriter, code int, cacheH, backend string, attempts int, body []byte) {
 	if cacheH != "" {
-		w.Header().Set("X-Webracer-Cache", cacheH)
+		w.Header().Set(HeaderCache, cacheH)
 	}
 	if backend != "" {
-		w.Header().Set("X-Webracer-Backend", backend)
+		w.Header().Set(HeaderBackend, backend)
+	}
+	if attempts > 0 {
+		w.Header().Set(HeaderAttempts, fmt.Sprintf("%d", attempts))
 	}
 	writeBody(w, code, body)
 }

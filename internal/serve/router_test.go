@@ -285,9 +285,9 @@ func TestRouterBreaker(t *testing.T) {
 func TestRouterRejectsBadRequestsLocally(t *testing.T) {
 	c := newCluster(t, 2, Config{Workers: 1, MaxBodyBytes: 512}, RouterConfig{})
 	for body, want := range map[string]int{
-		`{}`:                         400,
-		`not json`:                   400,
-		`{"site":` + racySite + `,"detector":"quantum"}`: 400,
+		`{}`:       400,
+		`not json`: 400,
+		`{"site":` + racySite + `,"detector":"quantum"}`:                                         400,
 		`{"site":{"name":"big","resources":{"index.html":"` + strings.Repeat("x", 2048) + `"}}}`: 413,
 	} {
 		resp, _ := post(t, c.rts, "/v1/detect", body)

@@ -96,6 +96,11 @@ type Config struct {
 	// are never heuristic. Must be a webracer.ParseDetector spelling;
 	// NewServer panics otherwise (a misconfigured service must not boot).
 	DefaultDetector string
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (request id, method, path, status, cache state, backend,
+	// attempts, job-key prefix, bytes, wall ms). Lines are serialized;
+	// cmd/webracerd wires -access-log here. Nil disables.
+	AccessLog io.Writer
 }
 
 // withDefaults fills zero fields.
@@ -138,6 +143,8 @@ type Server struct {
 	runner  *pool.Runner
 	workers int // effective worker count (cfg.Workers resolved)
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
+	obsMW   *httpObs
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -147,6 +154,8 @@ type Server struct {
 	cAccepted, cCompleted, cFailed, cInterrupted *obs.Counter
 	cCoalesced, cRejected, cEscalated            *obs.Counter
 	gDepth                                       *obs.Gauge
+	hQueueDepth, hExecOps                        *obs.Histogram // step-unit (stable export)
+	hQueueWait, hExecWall                        *obs.Histogram // wall-clock
 
 	// jobGate, when non-nil, is called on the worker goroutine before a
 	// job executes — a test hook for holding jobs in flight.
@@ -156,13 +165,14 @@ type Server struct {
 // job is the service-side record of one admitted unit of work. Fields
 // past done are guarded by Server.mu until done closes, immutable after.
 type job struct {
-	id     string
-	kind   jobKind
-	status string // "queued" | "running" | "done" | "failed"
-	body   []byte
-	code   int
-	errMsg string
-	done   chan struct{}
+	id       string
+	kind     jobKind
+	status   string // "queued" | "running" | "done" | "failed"
+	body     []byte
+	code     int
+	errMsg   string
+	admitted time.Time // when the job entered the queue (queue-wait histogram)
+	done     chan struct{}
 }
 
 // finishedState reports whether the job reached a terminal status.
@@ -196,6 +206,10 @@ func NewServer(cfg Config) *Server {
 		cRejected:    m.Counter("serve.queue.rejected"),
 		cEscalated:   m.Counter("serve.jobs.escalated"),
 		gDepth:       m.Gauge("serve.queue.depth"),
+		hQueueDepth:  m.Histogram("serve.queue.wait.depth", "jobs", depthBounds),
+		hExecOps:     m.Histogram("serve.jobs.exec.ops", "ops", opsBounds),
+		hQueueWait:   m.WallHistogram("serve.queue.wait.wall_ms", "ms", wallMSBounds),
+		hExecWall:    m.WallHistogram("serve.jobs.exec.wall_ms", "ms", wallMSBounds),
 	}
 	if cfg.StoreDir != "" {
 		// Opening the store replays the disk contents into the LRU: valid
@@ -221,12 +235,16 @@ func NewServer(cfg Config) *Server {
 	mux.Handle("GET /progress", obs.ProgressHandler(s.progressSnap))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
+	s.obsMW = newHTTPObs(m, cfg.AccessLog)
+	s.handler = s.obsMW.wrap(mux)
 	return s
 }
 
 // Handler is the service's HTTP surface: the /v1 API plus /metrics,
-// /progress and /healthz.
-func (s *Server) Handler() http.Handler { return s.mux }
+// /progress and /healthz, wrapped in the request-observability
+// middleware (request-id echo, per-endpoint latency/size histograms,
+// access log).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Metrics is the service's live counter registry (the /metrics payload) —
 // cmd/webracerd flushes its snapshot on drain.
@@ -297,6 +315,7 @@ func readRequest(w http.ResponseWriter, hr *http.Request, limit int64) (*Request
 // submit routes a resolved request: cache hit, coalesce onto an in-flight
 // job, or admit a new job (429 when the queue refuses).
 func (s *Server) submit(w http.ResponseWriter, hr *http.Request, r *resolved) {
+	w.Header().Set(HeaderJob, r.key)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -340,8 +359,11 @@ func (s *Server) submit(w http.ResponseWriter, hr *http.Request, r *resolved) {
 	}
 	// New work — also the re-run path for a finished job whose result
 	// left the cache.
-	j := &job{id: r.key, kind: r.kind, status: "queued", done: make(chan struct{})}
+	j := &job{id: r.key, kind: r.kind, status: "queued", admitted: time.Now(), done: make(chan struct{})}
 	s.jobs[r.key] = j
+	// The depth this job sees ahead of it — the step-unit companion to
+	// the wall-clock queue-wait histogram.
+	s.hQueueDepth.Record(int64(s.runner.QueueDepth()))
 	if !s.runner.TrySubmit(func() { s.runJob(j, r) }) {
 		delete(s.jobs, r.key)
 		s.cRejected.Inc()
@@ -421,10 +443,13 @@ func (s *Server) runJob(j *job, r *resolved) {
 	j.status = "running"
 	gate := s.jobGate
 	s.mu.Unlock()
+	s.hQueueWait.Record(time.Since(j.admitted).Milliseconds())
 	if gate != nil {
 		gate(r.kind, r.key)
 	}
+	execStart := time.Now()
 	body, cacheable, err := s.execute(r)
+	s.hExecWall.Record(time.Since(execStart).Milliseconds())
 	s.mu.Lock()
 	if err != nil {
 		j.status = "failed"
@@ -495,6 +520,7 @@ func (s *Server) execute(r *resolved) (body []byte, cacheable bool, err error) {
 // full session when the request asked for one).
 func (s *Server) executeDetect(r *resolved) ([]byte, bool, error) {
 	res := webracer.RunConfig(r.site, r.cfg)
+	s.hExecOps.Record(int64(res.Ops))
 	var payload any
 	if r.session {
 		payload = SessionResponse{ID: r.key, Session: webracer.Export(res, r.cfg.Seed, nil, false)}
@@ -552,7 +578,9 @@ func (s *Server) executeSweep(r *resolved) ([]byte, bool, error) {
 		}
 		resp.Seeds = r.seeds
 		locations := map[string]int{}
+		totalOps := 0
 		for i, res := range results {
+			totalOps += res.Ops
 			resp.PerSeed = append(resp.PerSeed, len(res.Reports))
 			if res.Interrupted != "" {
 				cacheable = false
@@ -568,6 +596,7 @@ func (s *Server) executeSweep(r *resolved) ([]byte, bool, error) {
 				}
 			}
 		}
+		s.hExecOps.Record(int64(totalOps))
 		resp.Locations = locations
 		for loc, hits := range locations {
 			if hits == r.seeds {

@@ -62,11 +62,17 @@ func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte
 func metric(t *testing.T, ts *httptest.Server, name string) int64 {
 	t.Helper()
 	_, b := get(t, ts, "/metrics")
-	var m map[string]int64
+	// /metrics mixes scalar counters/gauges with histogram objects; raw
+	// decode first, then parse only the scalar asked for.
+	var m map[string]json.RawMessage
 	if err := json.Unmarshal(b, &m); err != nil {
 		t.Fatalf("parse /metrics: %v", err)
 	}
-	return m[name]
+	var v int64
+	if err := json.Unmarshal(m[name], &v); err != nil {
+		t.Fatalf("metric %s is not scalar: %s", name, m[name])
+	}
+	return v
 }
 
 // TestDetectCacheHitByteIdentical is the acceptance gate: a repeated
@@ -471,11 +477,15 @@ func metricQuiet(ts *httptest.Server, name string) int64 {
 		return -1
 	}
 	defer resp.Body.Close()
-	var m map[string]int64
+	var m map[string]json.RawMessage
 	if json.NewDecoder(resp.Body).Decode(&m) != nil {
 		return -1
 	}
-	return m[name]
+	var v int64
+	if json.Unmarshal(m[name], &v) != nil {
+		return -1
+	}
+	return v
 }
 
 func waitUntil(t *testing.T, cond func() bool) {
