@@ -1,12 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos cluster predictive sampled obs docs linkcheck loadtest bench bench-all benchcmp examples experiments outputs clean
+.PHONY: all build vet test chaos cluster predictive sampled prune obs docs linkcheck loadtest bench bench-all benchcmp examples experiments outputs clean
 
 # Repetitions for the detector benchmarks; raise for benchstat-grade noise
 # bounds (e.g. `make bench BENCH_COUNT=10`).
 BENCH_COUNT ?= 5
 
-all: build vet test obs docs linkcheck cluster loadtest
+all: build vet test obs docs linkcheck cluster loadtest prune
 
 build:
 	go build ./...
@@ -60,6 +60,18 @@ sampled:
 	go test -race -run 'TestSampled|TestDetectors|TestEscalation|TestDefaultDetector' ./internal/serve/
 	go run ./cmd/experiments -sampled
 
+# Schedule-pruning battery under the Go race detector: the pruned-vs-
+# unpruned differential (byte-identical sweeps at workers 1 vs 4 across
+# the sched/fault/stress corpora, every replayable detector, filters and
+# fault plans), the canonical-fingerprint invariance layer with a short
+# run of its relabeling fuzzer, the class-accounting unit tests, the
+# serve-layer prune tests, and the pinned explore.classes.* golden. The
+# E12 table reprints the passes-saved numbers.
+prune:
+	go test -race -run 'TestPrune|TestFingerprint|TestClassSet|TestClassStats|TestGoldenMetricsPrune' . ./internal/canon/ ./internal/explore/ ./internal/serve/
+	go test -run '^$$' -fuzz FuzzCanonicalFingerprint -fuzztime 30s ./internal/canon/
+	go run ./cmd/experiments -prune
+
 # Telemetry determinism gate: regenerate the golden-site metrics
 # snapshots with `experiments -obs` and byte-compare them against the
 # pinned goldens (testdata/golden/metrics-*.json). Drift means the
@@ -69,11 +81,11 @@ obs:
 	./scripts/metricsdiff.sh
 
 # Godoc coverage gate: every exported identifier in the documented
-# surface (root package, serve, obs, fault, the bench harness) must
-# carry a doc comment. scripts/checkdocs is a tiny go/ast walker —
-# presence only, wording is review's job.
+# surface (root package, serve, obs, fault, canon, explore, the bench
+# harness) must carry a doc comment. scripts/checkdocs is a tiny go/ast
+# walker — presence only, wording is review's job.
 docs:
-	go run ./scripts/checkdocs . internal/serve internal/store internal/obs internal/fault cmd/webracerbench
+	go run ./scripts/checkdocs . internal/serve internal/store internal/obs internal/fault internal/canon internal/explore cmd/webracerbench
 
 # Load-test gate: webracerbench replays a 2000-request seeded trace
 # against an in-process 3-node cluster + router, verifies every response

@@ -9,7 +9,7 @@
 //
 //	experiments [-sites 100] [-seed 1] [-workers N] [-progress]
 //	            [-table1] [-table2] [-perf] [-ablate] [-extensions]
-//	            [-faults] [-obs] [-predictive] [-sampled]
+//	            [-faults] [-obs] [-predictive] [-sampled] [-prune]
 //	            [-metrics-dir DIR] [-trace FILE] [-pprof PREFIX]
 //
 // With no experiment flags, everything runs. Corpus sweeps (Tables 1-2,
@@ -21,6 +21,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,6 +59,7 @@ func main() {
 		obsE   = flag.Bool("obs", false, "deterministic telemetry: per-site instrumentation table from metrics (E9)")
 		predE  = flag.Bool("predictive", false, "single-trace predictive detection: sweep-recovery recall table (E10)")
 		sampE  = flag.Bool("sampled", false, "sampled fast tier: cost vs recall vs the exact detector (E11)")
+		pruneE = flag.Bool("prune", false, "HB-equivalence schedule pruning: detector passes saved at identical results (E12)")
 		mDir   = flag.String("metrics-dir", "", "with -obs: also write each site's metrics JSON into this directory (files match testdata/golden/metrics-*.json)")
 		traceF = flag.String("trace", "", "with -obs: also write fig1's virtual-time Chrome trace to this file")
 		pprofP = flag.String("pprof", "", "write process CPU and heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
@@ -65,7 +67,7 @@ func main() {
 	flag.IntVar(&workers, "workers", runtime.NumCPU(), "parallel workers for corpus sweeps (identical results at any count)")
 	flag.BoolVar(&showProgress, "progress", false, "stream live per-worker sweep counters to stderr")
 	flag.Parse()
-	all := !*table1 && !*table2 && !*perf && !*ablate && !*exts && !*flt && !*obsE && !*predE && !*sampE
+	all := !*table1 && !*table2 && !*perf && !*ablate && !*exts && !*flt && !*obsE && !*predE && !*sampE && !*pruneE
 
 	if *pprofP != "" {
 		finish, err := obs.Profile(*pprofP)
@@ -106,6 +108,9 @@ func main() {
 	}
 	if *sampE || all {
 		runSampledTier(*seed, *sites)
+	}
+	if *pruneE || all {
+		runPrune(*seed)
 	}
 }
 
@@ -656,6 +661,37 @@ func runObs(seed int64, metricsDir, traceFile string) {
 		}
 	}
 
+	// The pruning layer's counters (explore.classes.*) are pinned on a
+	// pruned 16-seed sweep of the same sched-00 page, so
+	// scripts/metricsdiff.sh gates that counter family too.
+	var classes webracer.ClassStats
+	if _, err := webracer.RunSeedsParallel(sitegen.Generate(sitegen.SchedSpec(0)),
+		webracer.DefaultConfig(seed), 16,
+		webracer.ParallelConfig{Workers: workers, Prune: true, Classes: &classes}); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	} else {
+		fmt.Printf("%-12s prune counters: %d executions, %d class(es), %d pruned\n",
+			"sched-00", classes.Executions, classes.Distinct, classes.Pruned)
+		if metricsDir != "" {
+			m := obs.New()
+			classes.Fold(m)
+			path := metricsDir + "/metrics-sched-prune.json"
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			} else {
+				if err := m.WriteJSON(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+				}
+			}
+		}
+	}
+
 	fmt.Printf("(counters fold end-of-run state; identical bytes at any -workers and across runs.\n")
 	fmt.Printf(" See EXPERIMENTS.md E9 and DESIGN.md \"Observability\".)\n\n")
 }
@@ -779,4 +815,93 @@ func runSampledTier(seed int64, n int) {
 		sweepStats(n*6, time.Since(start)))
 	fmt.Printf(" rate and byte-identical at rate 1.0 — tier_test.go asserts both.\n")
 	fmt.Printf(" See EXPERIMENTS.md E11 and DESIGN.md \"Sampled tier\".)\n\n")
+}
+
+// runPrune is E12: HB-equivalence schedule pruning on the schedule- and
+// fault-corpus seed sweeps, then E10's 32-seed recovery measurement rerun
+// with the ground-truth sweep pruned. Every pruned aggregate is
+// byte-compared against its unpruned twin in-process — the "identical"
+// column is measured, not assumed — while the classes/passes columns show
+// what the classification saved. A pruned sweep executes every schedule
+// (cheaply: trace recorded, live race checking off) but pays the detector
+// pass once per canonical trace class.
+func runPrune(seed int64) {
+	corpus := []struct {
+		name  string
+		site  *loader.Site
+		seeds int
+	}{
+		{"sched-00", sitegen.Generate(sitegen.SchedSpec(0)), 16},
+		{"sched-01", sitegen.Generate(sitegen.SchedSpec(1)), 16},
+		{"fault-00", sitegen.Generate(sitegen.FaultSpec(0)), 16},
+		{"fault-01", sitegen.Generate(sitegen.FaultSpec(1)), 16},
+	}
+	fmt.Printf("== E12: HB-equivalence schedule pruning ==\n")
+	start := time.Now()
+	fmt.Printf("%-12s %6s %8s %7s %7s %6s %10s\n",
+		"site", "seeds", "classes", "passes", "saved", "races", "identical")
+	runs := 0
+	for _, tc := range corpus {
+		cfg := webracer.DefaultConfig(seed)
+		plain, err := webracer.RunSeedsParallel(tc.site, cfg, tc.seeds,
+			webracer.ParallelConfig{Workers: workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			continue
+		}
+		var stats webracer.ClassStats
+		pruned, err := webracer.RunSeedsParallel(tc.site, cfg, tc.seeds,
+			webracer.ParallelConfig{Workers: workers, Prune: true, Classes: &stats})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			continue
+		}
+		wantB, _ := json.Marshal(plain)
+		gotB, _ := json.Marshal(pruned)
+		passes := stats.Executions - stats.Pruned
+		fmt.Printf("%-12s %6d %8d %7d %6.0f%% %6d %10v\n",
+			tc.name, tc.seeds, stats.Distinct, passes,
+			100*float64(stats.Pruned)/float64(stats.Executions),
+			len(plain.Locations), bytes.Equal(wantB, gotB))
+		runs += 2 * tc.seeds
+	}
+
+	fmt.Printf("E10's 32-seed recovery measurement, ground-truth sweep pruned:\n")
+	fmt.Printf("%-12s %7s %8s %7s %7s %10s\n",
+		"site", "recall", "classes", "passes", "saved", "identical")
+	recovery := []struct {
+		name string
+		site *loader.Site
+	}{
+		{"fig1", sitegen.Fig1()},
+		{"fig4", sitegen.Fig4()},
+		{"sched-00", sitegen.Generate(sitegen.SchedSpec(0))},
+		{"sched-01", sitegen.Generate(sitegen.SchedSpec(1))},
+	}
+	const sweepSeeds = 32
+	for _, tc := range recovery {
+		plain, err := webracer.MeasureRecovery(tc.site, webracer.DefaultConfig(seed), sweepSeeds,
+			webracer.ParallelConfig{Workers: workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			continue
+		}
+		var stats webracer.ClassStats
+		pruned, err := webracer.MeasureRecovery(tc.site, webracer.DefaultConfig(seed), sweepSeeds,
+			webracer.ParallelConfig{Workers: workers, Prune: true, Classes: &stats})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			continue
+		}
+		wantB, _ := json.Marshal(plain)
+		gotB, _ := json.Marshal(pruned)
+		passes := stats.Executions - stats.Pruned
+		fmt.Printf("%-12s %6.0f%% %8d %7d %6.0f%% %10v\n",
+			tc.name, 100*pruned.Recall(), stats.Distinct, passes,
+			100*float64(stats.Pruned)/float64(stats.Executions), bytes.Equal(wantB, gotB))
+		runs += 2 * (sweepSeeds + 1)
+	}
+	fmt.Printf("(%s; identical=true is the union AND the per-seed counts, byte-compared.\n",
+		sweepStats(runs, time.Since(start)))
+	fmt.Printf(" See EXPERIMENTS.md E12 and DESIGN.md \"Schedule pruning\".)\n\n")
 }

@@ -13,6 +13,8 @@
 //	-harm               classify harmful races via the adversarial replay
 //	-detector pairwise  pairwise | pairwise-vc | accessset | predictive | sampled
 //	-rate R             sampled tier location sampling rate in (0, 1] (default 0.25)
+//	-seeds N            run under N seeds and report the union of races
+//	-prune              one detector pass per canonical trace class in -seeds sweeps
 //	-faults N           also sweep N deterministic fault plans (error-path races)
 //	-fault-seed S       base seed for fault-plan derivation (default: -seed)
 //	-timeout D          per-run wall-clock budget (tripped runs degrade, not fail)
@@ -61,6 +63,7 @@ func run() int {
 		advise    = flag.Bool("advise", false, "print a suggested remediation for each race")
 		exhaust   = flag.Bool("exhaustive", false, "feedback-directed exploration rounds (deeper than §5.2.2)")
 		seeds     = flag.Int("seeds", 1, "run under N seeds and report the union of races")
+		prune     = flag.Bool("prune", false, "HB-equivalence schedule pruning for -seeds sweeps: one detector pass per canonical trace class (same result bytes; requires a trace-replayable detector)")
 		faults    = flag.Int("faults", 0, "also sweep N deterministic fault plans and report error-path races")
 		faultSeed = flag.Int64("fault-seed", 0, "base seed for the fault-plan derivation (default: -seed)")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget; tripped runs report partial results as degraded")
@@ -171,7 +174,13 @@ func run() int {
 		}
 	}
 	if *seeds > 1 {
-		sweep, err := webracer.RunSeedsParallel(site, cfg, *seeds, pcfg)
+		scfg := pcfg
+		var classes webracer.ClassStats
+		if *prune {
+			scfg.Prune = true
+			scfg.Classes = &classes
+		}
+		sweep, err := webracer.RunSeedsParallel(site, cfg, *seeds, scfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "webracer:", err)
 			return 2
@@ -183,6 +192,13 @@ func run() int {
 			fmt.Printf("  schedule-dependent: %s (%d/%d seeds)\n",
 				loc, sweep.Locations[loc], sweep.Seeds)
 		}
+		if *prune {
+			fmt.Printf("  pruning: %d executions in %d trace class(es), %d detector pass(es) skipped\n",
+				classes.Executions, classes.Distinct, classes.Pruned)
+		}
+	} else if *prune {
+		fmt.Fprintln(os.Stderr, "webracer: -prune needs a -seeds sweep (N > 1)")
+		return 2
 	}
 
 	if *faults > 0 {

@@ -1,0 +1,236 @@
+// Package canon computes canonical fingerprints of happens-before traces,
+// the equivalence-class key behind HB-equivalence schedule pruning.
+//
+// Two executions belong to the same Mazurkiewicz trace class when they
+// perform the same events and order them by the same happens-before
+// partial order; every linearization of one class exposes exactly the
+// same races ("Fast, Sound and Effectively Complete Dynamic Race
+// Prediction" is the theoretical anchor — see DESIGN.md "Schedule
+// pruning"). The fingerprint here is a stable hash of the partial order
+// restricted to the events that matter for race detection — shared-memory
+// accesses and dispatch machinery — invariant under any reordering (or
+// relabeling) of HB-independent events, so a sweep can classify each
+// executed schedule and run the detector once per class.
+//
+// Construction (sorted-minimal-linearization flavour of Foata normal
+// form): every *relevant* operation — one that carries at least one event
+// label — hashes its own sorted event multiset, its Foata layer (the
+// number of relevant operations on the longest path reaching it), and the
+// sorted hashes of its nearest relevant ancestors; irrelevant operations
+// are transparent, forwarding their ancestors' contributions. The
+// fingerprint is the hash of the sorted multiset of all relevant
+// operation hashes. No operation ID ever enters a hash, so the result is
+// invariant under graph isomorphism: only the labeled partial order
+// matters. Collapsing two genuinely different classes requires a SHA-256
+// collision; splitting one class into several (e.g. when a label embeds a
+// schedule-dependent DOM serial) merely costs an extra detector pass and
+// never loses a race.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Builder accumulates one execution's labeled happens-before DAG:
+// operations are identified by dense 1-based IDs (matching op.ID), Edge
+// declares ordering, and Event attaches the race-relevant labels that
+// make an operation part of the fingerprint. IDs are only plumbing — the
+// fingerprint is independent of how the DAG happens to be numbered.
+type Builder struct {
+	preds  [][]int32
+	events [][]string
+}
+
+// New returns a Builder for a DAG of n operations with IDs 1..n.
+func New(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{preds: make([][]int32, n), events: make([][]string, n)}
+}
+
+// Len reports the number of operations the builder was sized for.
+func (b *Builder) Len() int { return len(b.preds) }
+
+// Edge records that operation `from` happens before operation `to`.
+// Out-of-range or self edges are ignored, so callers can feed a graph's
+// predecessor lists verbatim.
+func (b *Builder) Edge(from, to int) {
+	if from < 1 || to < 1 || from > len(b.preds) || to > len(b.preds) || from == to {
+		return
+	}
+	b.preds[to-1] = append(b.preds[to-1], int32(from))
+}
+
+// Event attaches one race-relevant label to operation id — a shared
+// memory access ("w var obj3.x [normal]") or a dispatch event
+// ("op handler click #send"). An operation with at least one event is
+// *relevant*: it contributes a node to the fingerprint. The same label
+// may be added repeatedly; multiplicity is preserved (the event set is a
+// multiset).
+func (b *Builder) Event(id int, label string) {
+	if id < 1 || id > len(b.events) {
+		return
+	}
+	b.events[id-1] = append(b.events[id-1], label)
+}
+
+// Fingerprint returns the canonical class hash as a 64-char hex string.
+// It is a pure function of the labeled partial order: permuting
+// HB-independent operations, renumbering IDs, or changing the insertion
+// order of edges and events all leave it unchanged. The builder is not
+// consumed; Fingerprint may be called again (and returns the same
+// string). Inputs are expected to be DAGs; a cyclic input yields a
+// deterministic but unspecified value rather than a panic, so fuzzers
+// can feed arbitrary edge lists.
+func (b *Builder) Fingerprint() string {
+	n := len(b.preds)
+	// Kahn topological order. The processing order among ready nodes is
+	// irrelevant: each node's hash depends only on its predecessors.
+	indeg := make([]int, n)
+	for to := range b.preds {
+		indeg[to] = len(b.preds[to])
+	}
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	succs := make([][]int32, n)
+	for to := range b.preds {
+		for _, p := range b.preds[to] {
+			succs[p-1] = append(succs[p-1], int32(to))
+		}
+	}
+	order := make([]int32, 0, n)
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, i)
+		for _, t := range succs[i] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) < n {
+		// Cycle: append the unprocessed nodes in index order so the
+		// result stays deterministic (contributions from unprocessed
+		// predecessors are simply absent).
+		inOrder := make([]bool, n)
+		for _, i := range order {
+			inOrder[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if !inOrder[i] {
+				order = append(order, int32(i))
+			}
+		}
+	}
+
+	var (
+		hashes = make([][]byte, n) // relevant nodes only
+		// nearest[i] is the identity set (sorted op indices) of i's
+		// nearest relevant ancestors: i itself when relevant, else the
+		// union over predecessors. Identity — not hash — so a diamond
+		// through one ancestor counts once while two distinct ancestors
+		// that happen to hash equally still count twice.
+		nearest = make([][]int32, n)
+		depth   = make([]int, n) // Foata layer: relevant ops on the longest path
+		final   [][]byte
+		h       = sha256.New()
+		num     [4]byte
+	)
+	writeNum := func(v int) {
+		binary.LittleEndian.PutUint32(num[:], uint32(v))
+		h.Write(num[:])
+	}
+	writeStr := func(s string) {
+		writeNum(len(s))
+		h.Write([]byte(s))
+	}
+	for _, i := range order {
+		d := 0
+		anc := []int32{}
+		for _, p := range b.preds[i] {
+			pi := p - 1
+			if depth[pi] > d {
+				d = depth[pi]
+			}
+			anc = mergeUnique(anc, nearest[pi])
+		}
+		if len(b.events[i]) == 0 {
+			nearest[i], depth[i] = anc, d
+			continue
+		}
+		d++
+		events := append([]string(nil), b.events[i]...)
+		sort.Strings(events)
+		contrib := make([][]byte, len(anc))
+		for k, a := range anc {
+			contrib[k] = hashes[a]
+		}
+		sort.Slice(contrib, func(x, y int) bool {
+			return string(contrib[x]) < string(contrib[y])
+		})
+		h.Reset()
+		h.Write([]byte{'N'})
+		writeNum(d)
+		writeNum(len(events))
+		for _, e := range events {
+			writeStr(e)
+		}
+		writeNum(len(contrib))
+		for _, c := range contrib {
+			h.Write(c)
+		}
+		sum := h.Sum(nil)
+		hashes[i] = sum
+		nearest[i], depth[i] = []int32{i}, d
+		final = append(final, sum)
+	}
+	sort.Slice(final, func(x, y int) bool {
+		return string(final[x]) < string(final[y])
+	})
+	h.Reset()
+	h.Write([]byte{'T'})
+	writeNum(len(final))
+	for _, s := range final {
+		h.Write(s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// mergeUnique merges two ascending unique int32 slices into a fresh
+// ascending unique slice.
+func mergeUnique(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]int32(nil), b...)
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

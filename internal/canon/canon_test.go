@@ -1,0 +1,190 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// dag is a test-side labeled partial order, independent of node numbering,
+// so tests can build the same abstract order under different IDs.
+type dag struct {
+	n      int
+	edges  [][2]int
+	events map[int][]string
+}
+
+func (d dag) build(perm []int) *Builder {
+	id := func(i int) int {
+		if perm == nil {
+			return i
+		}
+		return perm[i-1]
+	}
+	b := New(d.n)
+	for _, e := range d.edges {
+		b.Edge(id(e[0]), id(e[1]))
+	}
+	for node, evs := range d.events {
+		for _, e := range evs {
+			b.Event(id(node), e)
+		}
+	}
+	return b
+}
+
+func randomDAG(rng *rand.Rand) dag {
+	n := 2 + rng.Intn(20)
+	d := dag{n: n, events: map[int][]string{}}
+	for j := 2; j <= n; j++ {
+		for i := 1; i < j; i++ {
+			if rng.Intn(4) == 0 {
+				d.edges = append(d.edges, [2]int{i, j})
+			}
+		}
+	}
+	labels := []string{"w var a.x", "r var a.x", "w elem #dw", "op handler click"}
+	for i := 1; i <= n; i++ {
+		for k := rng.Intn(3); k > 0; k-- {
+			d.events[i] = append(d.events[i], labels[rng.Intn(len(labels))])
+		}
+	}
+	return d
+}
+
+func randomPerm(rng *rand.Rand, n int) []int {
+	p := rng.Perm(n)
+	for i := range p {
+		p[i]++
+	}
+	return p
+}
+
+// TestFingerprintDeterministic: the fingerprint is a pure function of the
+// labeled order — recomputing, rebuilding, and shuffling the insertion
+// order of edges and events all give the same hash.
+func TestFingerprintDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		d := randomDAG(rng)
+		b := d.build(nil)
+		fp := b.Fingerprint()
+		if again := b.Fingerprint(); again != fp {
+			t.Fatalf("trial %d: second Fingerprint call drifted: %s vs %s", trial, fp, again)
+		}
+		// Rebuild with shuffled insertion order.
+		shuffled := dag{n: d.n, events: map[int][]string{}}
+		shuffled.edges = append(shuffled.edges, d.edges...)
+		rng.Shuffle(len(shuffled.edges), func(i, j int) {
+			shuffled.edges[i], shuffled.edges[j] = shuffled.edges[j], shuffled.edges[i]
+		})
+		for node, evs := range d.events {
+			evs = append([]string(nil), evs...)
+			rng.Shuffle(len(evs), func(i, j int) { evs[i], evs[j] = evs[j], evs[i] })
+			shuffled.events[node] = evs
+		}
+		if got := shuffled.build(nil).Fingerprint(); got != fp {
+			t.Fatalf("trial %d: insertion order changed the fingerprint", trial)
+		}
+	}
+}
+
+// TestFingerprintIsomorphismInvariant: renumbering the operations of the
+// same labeled partial order — the general form of "permuting
+// HB-independent events in a recorded session" — never changes the
+// fingerprint.
+func TestFingerprintIsomorphismInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		d := randomDAG(rng)
+		fp := d.build(nil).Fingerprint()
+		for k := 0; k < 4; k++ {
+			perm := randomPerm(rng, d.n)
+			if got := d.build(perm).Fingerprint(); got != fp {
+				t.Fatalf("trial %d perm %v: fingerprint changed under relabeling: %s vs %s",
+					trial, perm, got, fp)
+			}
+		}
+	}
+}
+
+// TestFingerprintFlipSensitive: flipping an ordered racy pair — the same
+// two conflicting events with the happens-before edge reversed — moves
+// the execution to a different class, and so must change the fingerprint.
+// Removing the edge (making the pair race) is a third distinct class.
+func TestFingerprintFlipSensitive(t *testing.T) {
+	events := map[int][]string{1: {"w var a.x"}, 2: {"r var a.x"}}
+	fwd := dag{n: 2, edges: [][2]int{{1, 2}}, events: events}.build(nil).Fingerprint()
+	rev := dag{n: 2, edges: [][2]int{{2, 1}}, events: events}.build(nil).Fingerprint()
+	free := dag{n: 2, events: events}.build(nil).Fingerprint()
+	if fwd == rev {
+		t.Error("write→read and read→write orders share a fingerprint")
+	}
+	if fwd == free || rev == free {
+		t.Error("ordered and unordered conflicting pairs share a fingerprint")
+	}
+}
+
+// TestFingerprintIrrelevantTransparent: operations without events are
+// pure plumbing — routing an ordering edge through any number of them
+// leaves the class unchanged.
+func TestFingerprintIrrelevantTransparent(t *testing.T) {
+	events := map[int][]string{1: {"w var a.x"}, 2: {"r var a.x"}}
+	direct := dag{n: 2, edges: [][2]int{{1, 2}}, events: events}.build(nil).Fingerprint()
+	ev3 := map[int][]string{1: {"w var a.x"}, 3: {"r var a.x"}}
+	oneHop := dag{n: 3, edges: [][2]int{{1, 2}, {2, 3}}, events: ev3}.build(nil).Fingerprint()
+	ev4 := map[int][]string{1: {"w var a.x"}, 4: {"r var a.x"}}
+	twoHop := dag{n: 4, edges: [][2]int{{1, 2}, {2, 3}, {3, 4}}, events: ev4}.build(nil).Fingerprint()
+	diamond := dag{n: 4, edges: [][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}}, events: ev4}.build(nil).Fingerprint()
+	if oneHop != direct || twoHop != direct || diamond != direct {
+		t.Errorf("irrelevant plumbing changed the class: direct=%s oneHop=%s twoHop=%s diamond=%s",
+			direct, oneHop, twoHop, diamond)
+	}
+}
+
+// TestFingerprintAncestorMultiplicity: two distinct ancestors with
+// identical labels are not the same ancestor. An op ordered after both
+// identical writers is in a different class than one ordered after only
+// one of them (in the latter the second writer still races with the
+// reader).
+func TestFingerprintAncestorMultiplicity(t *testing.T) {
+	events := map[int][]string{1: {"w var a.x"}, 2: {"w var a.x"}, 3: {"r var a.x"}}
+	both := dag{n: 3, edges: [][2]int{{1, 3}, {2, 3}}, events: events}.build(nil).Fingerprint()
+	one := dag{n: 3, edges: [][2]int{{1, 3}}, events: events}.build(nil).Fingerprint()
+	if both == one {
+		t.Error("ordering after both identical writers vs one collapsed into the same class")
+	}
+}
+
+// TestFingerprintEventMultiset: the same label twice on one op is a
+// different event multiset than once.
+func TestFingerprintEventMultiset(t *testing.T) {
+	once := dag{n: 1, events: map[int][]string{1: {"w var a.x"}}}.build(nil).Fingerprint()
+	twice := dag{n: 1, events: map[int][]string{1: {"w var a.x", "w var a.x"}}}.build(nil).Fingerprint()
+	if once == twice {
+		t.Error("event multiplicity does not enter the fingerprint")
+	}
+}
+
+// TestFingerprintRobustInputs: out-of-range IDs, self edges, empty
+// builders and cyclic inputs must not panic and must stay deterministic.
+func TestFingerprintRobustInputs(t *testing.T) {
+	b := New(0)
+	if b.Fingerprint() != New(0).Fingerprint() {
+		t.Error("empty fingerprints differ")
+	}
+	b = New(3)
+	b.Edge(0, 1)
+	b.Edge(1, 99)
+	b.Edge(2, 2)
+	b.Event(0, "x")
+	b.Event(99, "x")
+	b.Event(1, "w var a.x")
+	// Cycle 2↔3.
+	b.Edge(2, 3)
+	b.Edge(3, 2)
+	b.Event(2, "r var a.x")
+	fp := b.Fingerprint()
+	if fp == "" || fp != b.Fingerprint() {
+		t.Errorf("hostile input not deterministic: %s vs %s", fp, b.Fingerprint())
+	}
+}

@@ -1,0 +1,67 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"webracer/internal/obs"
+)
+
+func TestClassSetObserve(t *testing.T) {
+	cs := NewClassSet()
+	if i, first := cs.Observe("a"); !first || i != 0 {
+		t.Fatalf("first observation of a: got (%d,%v)", i, first)
+	}
+	if i, first := cs.Observe("b"); !first || i != 1 {
+		t.Fatalf("first observation of b: got (%d,%v)", i, first)
+	}
+	if i, first := cs.Observe("a"); first || i != 0 {
+		t.Fatalf("repeat of a: got (%d,%v)", i, first)
+	}
+	cs.Degraded()
+	got := cs.Stats()
+	want := ClassStats{Executions: 4, Distinct: 2, Pruned: 1}
+	if got != want {
+		t.Errorf("stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestClassSetSteering(t *testing.T) {
+	cs := NewClassSet()
+	hasURL := func(url string) func(string) bool {
+		return func(key string) bool { return strings.Contains(key, url) }
+	}
+	cs.NotePair("var a.x|exe lib.js|handler click", true)
+	if !cs.OneWay(hasURL("lib.js")) {
+		t.Error("one-way pair not reported")
+	}
+	if cs.OneWay(hasURL("other.js")) {
+		t.Error("unrelated URL matched a pair")
+	}
+	cs.NotePair("var a.x|exe lib.js|handler click", false)
+	if cs.OneWay(hasURL("lib.js")) {
+		t.Error("pair ordered both ways still reported as one-way")
+	}
+	cs.NoteSteered()
+	if cs.Stats().Steered != 1 {
+		t.Errorf("steered = %d, want 1", cs.Stats().Steered)
+	}
+}
+
+func TestClassStatsFold(t *testing.T) {
+	m := obs.New()
+	ClassStats{Executions: 8, Distinct: 3, Pruned: 5, Steered: 2}.Fold(m)
+	snap := m.Snapshot()
+	want := map[string]int64{
+		"explore.classes.executions": 8,
+		"explore.classes.distinct":   3,
+		"explore.classes.pruned":     5,
+		"explore.classes.steered":    2,
+	}
+	for name, val := range want {
+		if snap[name] != val {
+			t.Errorf("%s = %d, want %d", name, snap[name], val)
+		}
+	}
+	ClassStats{}.Fold(nil) // nil registry is a no-op
+}

@@ -60,6 +60,15 @@ type Request struct {
 	// schedules, union of races) or "delay-one" (baseline plus one run
 	// per resource with that resource made pathologically slow).
 	Mode string `json:"mode,omitempty"`
+	// Prune enables HB-equivalence schedule pruning for /v1/sweep: every
+	// schedule still executes, but the detector pass runs once per
+	// canonical trace class and the response carries the class summary.
+	// The sweep's result bytes are byte-identical to the unpruned
+	// sweep's modulo the added classes field. Requires a
+	// trace-replayable detector (pairwise, accessset, pairwise-vc);
+	// combining it with predictive or sampled is a 400. Ignored by the
+	// other endpoints.
+	Prune bool `json:"prune,omitempty"`
 	// Plans is /v1/faultsweep's number of derived fault plans (default 6).
 	Plans int `json:"plans,omitempty"`
 	// FaultSeed is /v1/faultsweep's base seed for plan derivation
@@ -162,6 +171,7 @@ type resolved struct {
 	session bool
 	seeds   int
 	mode    string
+	prune   bool
 	plans   int
 	fseed   int64
 	async   bool
@@ -242,6 +252,13 @@ func (s *Server) resolve(kind jobKind, req *Request) (*resolved, error) {
 			r.mode = "delay-one"
 		default:
 			return nil, fmt.Errorf("unknown sweep mode %q (want seeds or delay-one)", req.Mode)
+		}
+		if req.Prune {
+			switch cfg.Detector {
+			case webracer.DetectorPredictive, webracer.DetectorSampled:
+				return nil, fmt.Errorf("prune requires a trace-replayable detector (pairwise, accessset, pairwise-vc); got %q", cfg.Detector)
+			}
+			r.prune = true
 		}
 	case kindFaultSweep:
 		r.plans = req.Plans
@@ -337,8 +354,13 @@ type keySpec struct {
 	Session    bool    `json:"session,omitempty"`
 	Seeds      int     `json:"seeds,omitempty"`
 	Mode       string  `json:"mode,omitempty"`
-	Plans      int     `json:"plans,omitempty"`
-	FaultSeed  int64   `json:"faultSeed,omitempty"`
+	// Prune is set only for pruned sweep jobs (omitempty, like
+	// SampleRate), so every pre-existing key hashes exactly as before. A
+	// pruned and an unpruned sweep of the same inputs are distinct jobs:
+	// their response bodies differ (the classes field).
+	Prune     bool  `json:"prune,omitempty"`
+	Plans     int   `json:"plans,omitempty"`
+	FaultSeed int64 `json:"faultSeed,omitempty"`
 }
 
 // keyVersion retires every cached result when the response encoding or
@@ -366,6 +388,7 @@ func (r *resolved) computeKey() string {
 		Session:    r.session,
 		Seeds:      r.seeds,
 		Mode:       r.mode,
+		Prune:      r.prune,
 		Plans:      r.plans,
 		FaultSeed:  r.fseed,
 	}

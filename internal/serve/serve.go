@@ -565,8 +565,31 @@ func (s *Server) crossPopulateExact(r *resolved, res *webracer.Result) {
 func (s *Server) executeSweep(r *resolved) ([]byte, bool, error) {
 	resp := SweepResponse{ID: r.key, Site: r.site.Name, Seed: r.cfg.Seed, Mode: r.mode}
 	cacheable := true
-	switch r.mode {
-	case "seeds":
+	switch {
+	case r.prune && r.mode == "seeds":
+		var stats webracer.ClassStats
+		sweep, err := webracer.RunSeedsParallel(r.site, r.cfg, r.seeds,
+			webracer.ParallelConfig{Workers: s.cfg.SweepWorkers, Prune: true, Classes: &stats})
+		if err != nil {
+			return nil, false, err
+		}
+		resp.Seeds = r.seeds
+		resp.PerSeed = sweep.PerSeed
+		resp.Locations = sweep.Locations
+		fillStableFlaky(&resp, r.seeds)
+		finishPrunedSweep(s, &resp, stats, &cacheable)
+	case r.prune && r.mode == "delay-one":
+		var stats webracer.ClassStats
+		sweep, err := webracer.ExploreSchedulesParallel(r.site, r.cfg,
+			webracer.ParallelConfig{Workers: s.cfg.SweepWorkers, Prune: true, Classes: &stats})
+		if err != nil {
+			return nil, false, err
+		}
+		resp.Runs = sweep.Runs
+		resp.ByLocation = sweep.ByLocation
+		resp.NewlyExposed = sweep.NewlyExposed
+		finishPrunedSweep(s, &resp, stats, &cacheable)
+	case r.mode == "seeds":
 		results, err := pool.Map(pool.Options{Workers: s.cfg.SweepWorkers}, r.seeds,
 			func(i int) *webracer.Result {
 				c := r.cfg
@@ -598,16 +621,8 @@ func (s *Server) executeSweep(r *resolved) ([]byte, bool, error) {
 		}
 		s.hExecOps.Record(int64(totalOps))
 		resp.Locations = locations
-		for loc, hits := range locations {
-			if hits == r.seeds {
-				resp.Stable = append(resp.Stable, loc)
-			} else {
-				resp.Flaky = append(resp.Flaky, loc)
-			}
-		}
-		sort.Strings(resp.Stable)
-		sort.Strings(resp.Flaky)
-	case "delay-one":
+		fillStableFlaky(&resp, r.seeds)
+	case r.mode == "delay-one":
 		sweep, err := webracer.ExploreSchedulesParallel(r.site, r.cfg,
 			webracer.ParallelConfig{Workers: s.cfg.SweepWorkers})
 		if err != nil {
@@ -623,6 +638,35 @@ func (s *Server) executeSweep(r *resolved) ([]byte, bool, error) {
 	}
 	body, err := marshalBody(resp)
 	return body, cacheable, err
+}
+
+// fillStableFlaky splits the sweep's location union into locations every
+// seed reported vs. the schedule-dependent remainder.
+func fillStableFlaky(resp *SweepResponse, seeds int) {
+	for loc, hits := range resp.Locations {
+		if hits == seeds {
+			resp.Stable = append(resp.Stable, loc)
+		} else {
+			resp.Flaky = append(resp.Flaky, loc)
+		}
+	}
+	sort.Strings(resp.Stable)
+	sort.Strings(resp.Flaky)
+}
+
+// finishPrunedSweep attaches a pruned sweep's class summary to the
+// response, folds it into the explore.classes.* counters of /metrics,
+// and keeps degraded sweeps out of the cache. Interrupted runs are
+// analyzed but never classified, so Executions − Distinct − Pruned
+// counts exactly the interrupted runs — their bytes depend on wall-clock
+// timing, not on the job key's inputs.
+func finishPrunedSweep(s *Server, resp *SweepResponse, stats webracer.ClassStats, cacheable *bool) {
+	resp.Classes = &stats
+	stats.Fold(s.metrics)
+	if degraded := stats.Executions - stats.Distinct - stats.Pruned; degraded > 0 {
+		*cacheable = false
+		resp.Degraded = append(resp.Degraded, fmt.Sprintf("%d interrupted runs", degraded))
+	}
 }
 
 // executeFaultSweep runs /v1/faultsweep: baseline plus N derived fault
@@ -853,6 +897,11 @@ type SweepResponse struct {
 	// Degraded lists runs that tripped the wall budget; a degraded sweep
 	// is returned but never cached.
 	Degraded []string `json:"degraded,omitempty"`
+	// Classes is the pruning summary of a "prune": true sweep — how many
+	// executions ran, how many distinct trace classes they fell into, and
+	// how many detector passes pruning skipped. Absent on unpruned
+	// sweeps.
+	Classes *webracer.ClassStats `json:"classes,omitempty"`
 }
 
 // FaultSweepResponse is POST /v1/faultsweep's body: the library's

@@ -139,6 +139,48 @@ func TestGoldenMetricsSampled(t *testing.T) {
 	}
 }
 
+// TestGoldenMetricsPrune pins the schedule-pruning counter family
+// (explore.classes.*) on a pruned 16-seed sweep of the
+// schedule-dependent sched-00 page — the same (site, config)
+// `experiments -obs -metrics-dir` regenerates as
+// metrics-sched-prune.json, so scripts/metricsdiff.sh gates the pruning
+// layer's telemetry alongside the rest. The counters must be identical
+// at any worker count (classification happens in the in-order fold).
+// Regenerate with
+//
+//	go test -run TestGoldenMetricsPrune -update .
+func TestGoldenMetricsPrune(t *testing.T) {
+	site := sitegen.Generate(sitegen.SchedSpec(0))
+	snap := func(workers int) []byte {
+		var stats ClassStats
+		if _, err := RunSeedsParallel(site, DefaultConfig(1), 16,
+			ParallelConfig{Workers: workers, Prune: true, Classes: &stats}); err != nil {
+			t.Fatal(err)
+		}
+		m := obs.New()
+		stats.Fold(m)
+		return metricsJSON(t, m)
+	}
+	got := snap(1)
+	if par := snap(4); !bytes.Equal(got, par) {
+		t.Fatalf("prune metrics differ between workers=1 and workers=4:\n%s\n%s", got, par)
+	}
+	path := goldenPath("metrics-sched-prune")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("prune metrics drifted from golden %s\ngot:  %s\nwant: %s", path, got, golden)
+	}
+}
+
 // TestMetricsRunToRunStability runs the same (site, seed) twice in one
 // process and demands byte-identical metrics — the acceptance criterion
 // behind golden-testing them at all.

@@ -2,7 +2,6 @@ package webracer
 
 import (
 	"context"
-	"sort"
 
 	"webracer/internal/loader"
 	"webracer/internal/pool"
@@ -28,6 +27,21 @@ type ParallelConfig struct {
 	// Progress, when non-nil, is updated live with per-worker
 	// completion counters and throughput (see Progress.Snapshot).
 	Progress *Progress
+	// Prune enables HB-equivalence schedule pruning for the seed and
+	// delay-one sweeps: every unit still executes (cheaply — trace
+	// recorded, live race checking off), each execution is classified
+	// by its canonical HB-trace fingerprint (internal/canon), and the
+	// detector pass runs once per distinct class; repeats reuse their
+	// class's verdict. The aggregate is byte-identical to the unpruned
+	// sweep at any worker count. Requires a trace-replayable detector —
+	// pairwise, accessset or pairwise-vc; the drivers return
+	// ErrPruneDetector otherwise. See DESIGN.md "Schedule pruning".
+	Prune bool
+	// Classes, when non-nil with Prune set, receives the sweep's
+	// pruning summary (executions, distinct classes, pruned detector
+	// passes, steering decisions) — the same numbers the
+	// explore.classes.* counters export.
+	Classes *ClassStats
 }
 
 // Progress exposes live per-worker sweep counters; see pool.Counters.
@@ -56,8 +70,13 @@ func RunCorpusParallel(n int, gen func(i int) *loader.Site, cfg Config, p Parall
 // RunSeedsParallel is RunSeeds sharded over p.Workers. Per-seed results
 // are folded into the sweep in seed order under a bounded window, so the
 // aggregate is identical to the serial sweep while holding only O(window)
-// results in memory.
+// results in memory. With p.Prune set, HB-equivalent seeds share one
+// detector pass (see ParallelConfig.Prune) and the aggregate is still
+// byte-identical.
 func RunSeedsParallel(site *loader.Site, cfg Config, n int, p ParallelConfig) (*SeedSweep, error) {
+	if p.Prune {
+		return runSeedsPruned(site, cfg, n, p)
+	}
 	sweep := &SeedSweep{Locations: map[string]int{}, Seeds: n}
 	err := pool.Each(p.opts(), n,
 		func(i int) *Result {
@@ -84,13 +103,15 @@ func RunSeedsParallel(site *loader.Site, cfg Config, n int, p ParallelConfig) (*
 // the baseline run and every delay-one perturbation are independent
 // simulations, executed concurrently and folded in the serial order
 // (baseline first, then URLs sorted), so ByLocation, NewlyExposed and
-// Reports are identical to the serial sweep.
+// Reports are identical to the serial sweep. With p.Prune set,
+// perturbations that land in an already-explored trace class skip their
+// detector pass and the fold counts which perturbations steering would
+// prioritize (see ParallelConfig.Prune).
 func ExploreSchedulesParallel(site *loader.Site, cfg Config, p ParallelConfig) (*ScheduleSweep, error) {
-	urls := make([]string, 0, len(site.Resources))
-	for url := range site.Resources {
-		urls = append(urls, url)
+	if p.Prune {
+		return exploreSchedulesPruned(site, cfg, p)
 	}
-	sort.Strings(urls)
+	urls := resourceURLs(site)
 
 	sweep := &ScheduleSweep{ByLocation: map[string][]string{}}
 	seenLoc := map[string]bool{}
@@ -127,18 +148,7 @@ func ExploreSchedulesParallel(site *loader.Site, cfg Config, p ParallelConfig) (
 			return nil
 		})
 
-	baseline := map[string]bool{}
-	if sweep.Baseline != nil {
-		for _, r := range sweep.Baseline.Reports {
-			baseline[r.Loc.String()] = true
-		}
-	}
-	for loc := range sweep.ByLocation {
-		if !baseline[loc] {
-			sweep.NewlyExposed = append(sweep.NewlyExposed, loc)
-		}
-	}
-	sort.Strings(sweep.NewlyExposed)
+	finishScheduleSweep(sweep)
 	return sweep, err
 }
 

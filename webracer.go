@@ -26,6 +26,7 @@ package webracer
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -538,7 +539,8 @@ func RunSeeds(site *loader.Site, cfg Config, n int) *SeedSweep {
 }
 
 // Stable returns the locations reported by every seed, and Flaky those
-// reported by only some.
+// reported by only some. Both slices are sorted, so callers printing
+// them stay deterministic.
 func (s *SeedSweep) Stable() (stable, flaky []string) {
 	for loc, hits := range s.Locations {
 		if hits == s.Seeds {
@@ -547,6 +549,8 @@ func (s *SeedSweep) Stable() (stable, flaky []string) {
 			flaky = append(flaky, loc)
 		}
 	}
+	sort.Strings(stable)
+	sort.Strings(flaky)
 	return stable, flaky
 }
 
